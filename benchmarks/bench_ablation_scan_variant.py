@@ -1,0 +1,19 @@
+"""Sec. VI-C1 ablation — Kogge-Stone vs. LF-scan (and the other warp scans).
+
+The paper evaluates both and reports "nearly the same computing
+efficiency" because the SAT is memory-bound; the ablation quantifies the
+residual gap and covers Brent-Kung / Han-Carlson as extra references.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_scan_variant_ablation(benchmark, runner, report):
+    out = benchmark.pedantic(E.ablation_scan_variant, args=(runner,),
+                             kwargs={"sizes": [1024, 4096]},
+                             rounds=1, iterations=1)
+    report("ablation_scan_variant", out["text"])
+    times = {(r["scan"], r["size"]): r["time_us"] for r in out["rows"]}
+    # Memory-bound regime: KS and LF within ~12%.
+    ks, lf = times[("kogge_stone", 4096)], times[("ladner_fischer", 4096)]
+    assert abs(ks - lf) / ks < 0.12

@@ -1,0 +1,18 @@
+"""Alg. 5 line 2 ablation — the stride-33 staging buffer vs. stride-32.
+
+The design choice DESIGN.md calls out: padding the shared-memory tile to
+33 columns removes the 32-way bank conflict of the transposed read-back.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_stride_ablation(benchmark, runner, report):
+    out = benchmark.pedantic(E.ablation_brlt_stride, args=(runner,),
+                             kwargs={"sizes": [1024, 4096]},
+                             rounds=1, iterations=1)
+    report("ablation_brlt_stride", out["text"])
+    rows = {(r["stride"], r["size"]): r for r in out["rows"]}
+    assert rows[(33, 4096)]["bank_conflict_replays"] == 0
+    assert rows[(32, 4096)]["bank_conflict_replays"] > 0
+    assert rows[(32, 4096)]["time_us"] > rows[(33, 4096)]["time_us"]

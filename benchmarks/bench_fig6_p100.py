@@ -1,0 +1,61 @@
+"""Fig. 6 — speedup and execution time on Tesla P100 (1k^2 .. 16k^2).
+
+Regenerates both halves of every subplot: the execution-time curves and
+the speedup-vs-OpenCV curves, for the 8u, 32f and 64f families the paper
+plots.  NPP appears only where it exists (8u input).
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig6(runner):
+    return E.fig6(runner)
+
+
+def test_fig6_report(benchmark, runner, report, fig6):
+    out = benchmark.pedantic(E.fig6, args=(runner,), rounds=1, iterations=1)
+    report("fig6_p100", out["text"])
+
+
+class TestFig6Shape:
+    """The qualitative claims Fig. 6 carries."""
+
+    def _ours(self, fig6, pair):
+        return {r["size"]: r["speedup_vs_baseline"] for r in fig6["rows"]
+                if r["algorithm"] == "brlt_scanrow" and r["pair"] == pair}
+
+    def test_ours_beats_opencv_everywhere_8u(self, fig6):
+        assert all(s > 1.0 for s in self._ours(fig6, "8u32s").values())
+
+    def test_peak_speedup_in_paper_band(self, fig6):
+        peak = max(max(self._ours(fig6, p).values())
+                   for p in ("8u32s", "32f32f"))
+        assert 2.0 <= peak <= 2.6  # paper: up to 2.3x on P100
+
+    def test_speedup_declines_with_size(self, fig6):
+        for pair in ("8u32s", "32f32f"):
+            s = self._ours(fig6, pair)
+            assert s[1024] > s[16384]
+
+    def test_npp_only_for_8u(self, fig6):
+        npp_pairs = {r["pair"] for r in fig6["rows"] if r["algorithm"] == "npp"}
+        assert npp_pairs <= {"8u32s", "8u32f"}
+
+    def test_npp_is_slowest_library(self, fig6):
+        rows = [r for r in fig6["rows"] if r["pair"] == "8u32s"]
+        by_algo = {}
+        for r in rows:
+            by_algo.setdefault(r["algorithm"], {})[r["size"]] = r["time_us"]
+        for size in (2048, 4096, 8192):
+            assert by_algo["npp"][size] > by_algo["opencv"][size]
+            assert by_algo["npp"][size] > by_algo["brlt_scanrow"][size]
+
+    def test_brlt_scanrow_is_our_fastest(self, fig6):
+        rows = [r for r in fig6["rows"] if r["pair"] == "32f32f"
+                and r["size"] == 4096]
+        t = {r["algorithm"]: r["time_us"] for r in rows}
+        assert t["brlt_scanrow"] <= t["scanrow_brlt"]
+        assert t["brlt_scanrow"] <= t["scan_row_column"] * 1.02

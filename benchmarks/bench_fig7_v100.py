@@ -1,0 +1,42 @@
+"""Fig. 7 — speedup and execution time on Tesla V100 (1k^2 .. 16k^2)."""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig7(runner):
+    return E.fig7(runner)
+
+
+def test_fig7_report(benchmark, runner, report, fig7):
+    out = benchmark.pedantic(E.fig7, args=(runner,), rounds=1, iterations=1)
+    report("fig7_v100", out["text"])
+
+
+class TestFig7Shape:
+    def _ours(self, fig7, pair):
+        return {r["size"]: r["speedup_vs_baseline"] for r in fig7["rows"]
+                if r["algorithm"] == "brlt_scanrow" and r["pair"] == pair}
+
+    def test_ours_beats_opencv_8u(self, fig7):
+        assert all(s > 1.0 for s in self._ours(fig7, "8u32s").values())
+
+    def test_speedup_declines_with_size(self, fig7):
+        s = self._ours(fig7, "32f32f")
+        assert s[1024] > s[16384]
+
+    def test_v100_absolute_times_beat_p100(self, runner, fig7):
+        p100 = E.fig6(runner, sizes=[4096], pairs=["32f32f"])["rows"]
+        tp = [r["time_us"] for r in p100
+              if r["algorithm"] == "brlt_scanrow"][0]
+        tv = [r["time_us"] for r in fig7["rows"]
+              if r["algorithm"] == "brlt_scanrow" and r["pair"] == "32f32f"
+              and r["size"] == 4096][0]
+        assert tv < tp
+
+    def test_peak_speedup_band(self, fig7):
+        peak = max(max(self._ours(fig7, p).values())
+                   for p in ("8u32s", "32f32f"))
+        assert 1.7 <= peak <= 2.6

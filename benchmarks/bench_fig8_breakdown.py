@@ -1,0 +1,47 @@
+"""Fig. 8 — per-kernel breakdown of 32f32f SATs, 1k^2 .. 4k^2 on P100.
+
+For each size, the first and second pass of BRLT-ScanRow and
+ScanRow-BRLT, plus the single ScanRow and ScanColumn kernels.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig8(runner):
+    return E.fig8(runner)
+
+
+def test_fig8_report(benchmark, runner, report, fig8):
+    out = benchmark.pedantic(E.fig8, args=(runner,), rounds=1, iterations=1)
+    report("fig8_breakdown", out["text"])
+
+
+class TestFig8Shape:
+    def _times(self, fig8, size):
+        return {r["kernel"]: r["time_us"] for r in fig8["rows"]
+                if r["size"] == size}
+
+    @pytest.mark.parametrize("size", [1024, 2048, 4096])
+    def test_vi_d_1_scancolumn_cheapest(self, fig8, size):
+        t = self._times(fig8, size)
+        assert t["ScanColumn"] < t["BRLT-ScanRow#1"]
+
+    @pytest.mark.parametrize("size", [1024, 2048, 4096])
+    def test_vi_d_2_brlt_pays_off(self, fig8, size):
+        t = self._times(fig8, size)
+        assert (t["BRLT-ScanRow#1"] + t["BRLT-ScanRow#2"]
+                < t["ScanRow"] + t["ScanColumn"])
+
+    @pytest.mark.parametrize("size", [1024, 2048, 4096])
+    def test_vi_d_3_serial_beats_parallel(self, fig8, size):
+        """Corrected direction of the paper's typo (see EXPERIMENTS.md)."""
+        t = self._times(fig8, size)
+        assert t["BRLT-ScanRow#1"] <= t["ScanRow-BRLT#1"]
+
+    def test_both_passes_comparable(self, fig8):
+        t = self._times(fig8, 2048)
+        assert t["BRLT-ScanRow#2"] == pytest.approx(t["BRLT-ScanRow#1"],
+                                                    rel=0.35)

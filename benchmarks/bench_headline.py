@@ -1,0 +1,15 @@
+"""The abstract's headline: up to 2.3x over OpenCV, 3.2x over NPP."""
+
+from repro.harness import experiments as E
+
+
+def test_headline(benchmark, runner, report):
+    out = benchmark.pedantic(E.headline, args=(runner,), rounds=1, iterations=1)
+    report("headline", out["text"])
+    by_dev = {r["device"]: r for r in out["rows"]}
+    best_cv = max(r["max speedup vs OpenCV"] for r in out["rows"])
+    best_npp = max(r["max speedup vs NPP"] for r in out["rows"])
+    # The paper's figures with a reproduction band.
+    assert 2.0 <= best_cv <= 2.7
+    assert 2.5 <= best_npp <= 3.8
+    assert by_dev["P100"]["max speedup vs OpenCV"] > 2.0

@@ -1,0 +1,14 @@
+"""Sec. V-A — latency/throughput micro-benchmarks (cudabmk extension)."""
+
+from repro.harness import experiments as E
+
+
+def test_microbench(benchmark, report):
+    out = benchmark.pedantic(E.microbench, args=(("P100", "V100"),),
+                             rounds=2, iterations=1)
+    report("microbench", out["text"])
+    by_dev = {r["device"]: r for r in out["rows"] if "smem latency (clk)" in r}
+    assert by_dev["P100"]["smem latency (clk)"] == 36
+    assert by_dev["V100"]["smem latency (clk)"] == 27
+    assert by_dev["P100"]["shuffle latency (clk)"] == 33
+    assert by_dev["V100"]["shuffle latency (clk)"] == 39

@@ -1,0 +1,15 @@
+"""Eqs. 3-15 — the Sec.-V analytic model vs. measured warp-tile counters."""
+
+from repro.harness import experiments as E
+
+
+def test_model_equations(benchmark, report):
+    out = benchmark.pedantic(E.model_equations, args=(("P100", "V100"),),
+                             rounds=2, iterations=1)
+    report("model_equations", out["text"])
+    p100 = out["rows"][0]
+    assert p100["L_transpose (clk)"] == 2304  # Eq. 3
+    assert p100["L_scan_row (clk)"] == 6240   # Eq. 4
+    assert p100["L_scan_col (clk)"] == 186    # Eq. 5
+    assert p100["Eq6 (<<)"] and p100["Eq14"] and p100["Eq15"]
+    assert all(r["match"] for r in out["count_rows"])

@@ -1,0 +1,13 @@
+"""Sec. VI-D — the three kernel-time inequalities, measured."""
+
+from repro.harness import experiments as E
+
+
+def test_model_verification(benchmark, report):
+    out = benchmark.pedantic(E.model_verification, args=("P100",),
+                             rounds=1, iterations=1)
+    report("model_verification", out["text"])
+    for row in out["rows"]:
+        assert row["(1) ScanCol<BRLT-SR"]
+        assert row["(2) BRLT pays"]
+        assert row["(3) serial wins"]

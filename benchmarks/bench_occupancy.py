@@ -1,0 +1,58 @@
+"""Occupancy table (Eqs. 7-8) for every kernel configuration in play.
+
+Not a numbered figure, but the quantity the paper's register-pressure
+narrative (Secs. IV-2, VI-C) rests on: our 4-byte kernels run at 50%
+occupancy, the 64f variant at 25%, while the scratchpad baselines sit at
+100% — and still lose on memory behaviour.
+"""
+
+from repro.dtypes import DTYPES
+from repro.gpusim.cost.occupancy import occupancy
+from repro.gpusim.device import P100, V100
+from repro.harness.tables import format_table
+from repro.sat.common import block_threads, regs_per_thread
+
+
+def _configs():
+    rows = []
+    for dev in (P100, V100):
+        for tname in ("32f", "64f"):
+            acc = DTYPES[tname]
+            threads = block_threads(acc, dev)
+            smem = (8 if acc.size <= 4 else 4) * 32 * 33 * acc.size + \
+                (threads // 32) * 32 * acc.size
+            occ = occupancy(dev, threads, regs_per_thread(acc), smem)
+            rows.append({
+                "device": dev.name,
+                "kernel": f"BRLT-ScanRow {tname}",
+                "threads": threads,
+                "regs": regs_per_thread(acc),
+                "smem (B)": smem,
+                "blocks/SM": occ.blocks_per_sm,
+                "warps/SM": occ.warps_per_sm,
+                "occupancy": occ.occupancy_fraction,
+            })
+        for kernel, threads, regs, smem in (
+                ("NPP scanRow", 256, 20, 2304),
+                ("OpenCV horisontal", 256, 24, 1024),
+                ("OpenCV vertical", 256, 18, 0)):
+            occ = occupancy(dev, threads, regs, smem)
+            rows.append({
+                "device": dev.name, "kernel": kernel, "threads": threads,
+                "regs": regs, "smem (B)": smem,
+                "blocks/SM": occ.blocks_per_sm,
+                "warps/SM": occ.warps_per_sm,
+                "occupancy": occ.occupancy_fraction,
+            })
+    return rows
+
+
+def test_occupancy_table(benchmark, report):
+    rows = benchmark(_configs)
+    report("occupancy", format_table(
+        rows, title="Kernel occupancy (Eqs. 7-8)"))
+    by = {(r["device"], r["kernel"]): r for r in rows}
+    # The register-pressure story: 64f halves our occupancy again.
+    assert by[("P100", "BRLT-ScanRow 32f")]["occupancy"] == 0.5
+    assert by[("P100", "BRLT-ScanRow 64f")]["occupancy"] == 0.25
+    assert by[("P100", "NPP scanRow")]["occupancy"] == 1.0

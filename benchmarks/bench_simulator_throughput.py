@@ -1,0 +1,27 @@
+"""Host-side throughput of the simulator itself (not a paper figure).
+
+Wall-clock cost of simulating one BRLT-ScanRow SAT at the calibration
+size — the quantity that bounds how fast the Fig. 6/7 sweeps regenerate.
+pytest-benchmark's statistics apply directly here.
+"""
+
+import numpy as np
+
+from repro.sat.brlt_scanrow import sat_brlt_scanrow
+from repro.sat.naive import sat_reference
+from repro.workloads import random_matrix
+
+
+def test_simulate_512_brlt_scanrow(benchmark):
+    img = random_matrix((512, 512), "32f", seed=0)
+    run = benchmark.pedantic(
+        lambda: sat_brlt_scanrow(img, pair="32f32f"), rounds=3, iterations=1)
+    np.testing.assert_allclose(run.output, sat_reference(img, "32f32f"),
+                               rtol=1e-4, atol=1e-2)
+
+
+def test_host_reference_1k(benchmark):
+    img = random_matrix((1024, 1024), "8u", seed=0)
+    out = benchmark(lambda: sat_reference(img, "8u32s"))
+    assert out.shape == img.shape and out.dtype == np.int32
+    assert out[-1, -1] == np.int64(img.sum()).astype(np.int32)

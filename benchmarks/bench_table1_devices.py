@@ -1,0 +1,11 @@
+"""Table I — shared memory vs. register files per SM (M40/P100/V100)."""
+
+from repro.harness import experiments as E
+
+
+def test_table1(benchmark, report):
+    out = benchmark(E.table1)
+    report("table1_devices", out["text"])
+    p100 = out["rows"][1]
+    assert p100["Registers/SM (KB)"] == 256
+    assert p100["Shared Memory/SM (KB)"] == 64

@@ -1,0 +1,10 @@
+"""Table II — NPP kernel details (block/grid geometry, registers, smem)."""
+
+from repro.harness import experiments as E
+
+
+def test_table2(benchmark, report):
+    out = benchmark(E.table2)
+    report("table2_npp", out["text"])
+    assert out["rows"][0]["kernel"] == "scanRow"
+    assert out["rows"][1]["blockSize"] == "(1, 256, 1)"

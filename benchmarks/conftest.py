@@ -1,0 +1,35 @@
+"""Benchmark fixtures: a shared calibrated runner and a report sink.
+
+Every benchmark regenerates one table or figure of the paper (DESIGN.md
+Sec. 4): it runs the experiment through pytest-benchmark for a wall-clock
+figure of the harness itself, prints the paper-shaped rows, and writes
+them under ``benchmark_reports/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import Runner
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_reports"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One calibration per (algorithm, pair, device) for the whole session."""
+    return Runner(calibration=1024)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer that persists each experiment's text output."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

@@ -1,0 +1,43 @@
+"""Bradley-Roth adaptive thresholding of an unevenly lit document.
+
+A global threshold fails when illumination varies across the page; the
+SAT-based local-mean threshold ([7] in the paper's Sec. I) adapts per
+pixel at constant cost.
+
+Run:  python examples/document_binarization.py
+"""
+
+import numpy as np
+
+from repro.apps import adaptive_threshold
+from repro.workloads import synthetic_document
+
+
+def ascii_preview(mask: np.ndarray, step: int = 8) -> str:
+    rows = []
+    for y in range(0, mask.shape[0], step * 2):
+        rows.append("".join(
+            "#" if mask[y:y + step * 2, x:x + step].mean() > 0.25 else "."
+            for x in range(0, mask.shape[1], step)))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    page = synthetic_document((240, 320), seed=5)
+    print(f"page {page.shape}: intensity {page.min()}..{page.max()} "
+          "(uneven illumination)")
+
+    # A global threshold misses text in the dark corner or floods the
+    # bright one; try the midpoint for reference.
+    global_mask = page < 128
+    local_mask = adaptive_threshold(page, window=15, t=0.15,
+                                    algorithm="brlt_scanrow")
+    print(f"global threshold marks {global_mask.mean():6.2%} of pixels")
+    print(f"adaptive (SAT) marks   {local_mask.mean():6.2%} of pixels")
+
+    print("\nbinarised page preview (text strokes as '#'):")
+    print(ascii_preview(local_mask))
+
+
+if __name__ == "__main__":
+    main()

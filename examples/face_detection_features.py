@@ -1,0 +1,42 @@
+"""Viola-Jones-style Haar feature extraction over a synthetic scene.
+
+The paper's introduction motivates SAT with the real-time face-detection
+cascade [2]: every weak classifier evaluates a Haar-like rectangle
+feature in constant time from the integral image.  This example computes
+a dense multi-scale feature map over a synthetic blob scene and reports
+the strongest responses per prototype.
+
+Run:  python examples/face_detection_features.py
+"""
+
+import numpy as np
+
+from repro.apps import STANDARD_FEATURES, sliding_window_features
+from repro.workloads import blob_scene
+
+
+def main() -> None:
+    scene = blob_scene((192, 256), n_blobs=8, seed=11)
+    print(f"scene {scene.shape}, {np.count_nonzero(scene > 150)} bright pixels")
+
+    for window in (16, 24, 32):
+        fmap = sliding_window_features(scene, window=window, stride=4,
+                                       algorithm="brlt_scanrow")
+        print(f"\nwindow {window}x{window}: feature map {fmap.shape}")
+        for fi, feat in enumerate(STANDARD_FEATURES):
+            resp = fmap[:, :, fi]
+            iy, ix = np.unravel_index(np.argmax(np.abs(resp)), resp.shape)
+            print(f"  {feat.name:18s} peak |response| {abs(resp[iy, ix]):10.1f} "
+                  f"at window origin ({iy * 4}, {ix * 4})")
+
+    # A cascade would now threshold these responses; the SAT makes each
+    # of the thousands of evaluations O(1).
+    n_windows = sum(
+        ((192 - w) // 4 + 1) * ((256 - w) // 4 + 1) * len(STANDARD_FEATURES)
+        for w in (16, 24, 32))
+    print(f"\nevaluated {n_windows} features, "
+          f"each from 4-9 SAT lookups instead of O(window^2) sums")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+where the PEP-517 editable path is unavailable (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Efficient Algorithms for the Summed Area
+Tables Primitive on GPUs" (Chen, Wahib, Takizawa, Takano, Matsuoka;
+IEEE CLUSTER 2018).
+
+The package provides:
+
+* :mod:`repro.gpusim` — a warp-synchronous SIMT GPU simulator (the CUDA
+  substrate: warps, shuffles, shared-memory banks, coalescing, occupancy
+  and an analytic cost model parameterised with the paper's
+  micro-benchmarked constants);
+* :mod:`repro.scan` — warp-level scan algorithms (serial, Kogge-Stone,
+  Ladner-Fischer, Brent-Kung, Han-Carlson);
+* :mod:`repro.sat` — the paper's three SAT algorithms (BRLT-ScanRow,
+  ScanRow-BRLT, ScanRowColumn) and the public :func:`sat` API;
+* :mod:`repro.baselines` — OpenCV scan-scan, NPP (Table II), Bilgic
+  scan-transpose-scan and CPU references;
+* :mod:`repro.perfmodel` — the Sec.-V analytic performance model
+  (Eqs. 3-15) and its verification against simulator counters;
+* :mod:`repro.apps` — application workloads built on SAT (Haar features,
+  adaptive thresholding, NCC template matching, pooling, integral
+  histograms, box blur);
+* :mod:`repro.harness` — the experiment runner that regenerates every
+  table and figure of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import sat
+
+    img = np.random.randint(0, 256, (1024, 1024)).astype(np.uint8)
+    run = sat(img, pair="8u32s", algorithm="brlt_scanrow", device="P100")
+    print(run.output[-1, -1], run.time_us)
+"""
+
+from .dtypes import DTYPES, TYPE_PAIRS, DType, TypePair, parse_dtype, parse_pair
+from .gpusim.device import DEVICES, M40, P100, V100, DeviceSpec, get_device
+from .sat import (
+    ALGORITHMS,
+    SatRun,
+    box_filter,
+    integral,
+    rect_mean,
+    rect_sum,
+    rect_sums,
+    sat,
+    sat_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DTYPES",
+    "TYPE_PAIRS",
+    "DType",
+    "TypePair",
+    "parse_dtype",
+    "parse_pair",
+    "DEVICES",
+    "M40",
+    "P100",
+    "V100",
+    "DeviceSpec",
+    "get_device",
+    "ALGORITHMS",
+    "SatRun",
+    "box_filter",
+    "integral",
+    "rect_mean",
+    "rect_sum",
+    "rect_sums",
+    "sat",
+    "sat_reference",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sat``         compute one SAT and print timing + a checksum
+``compare``     time every algorithm on one configuration
+``microbench``  print the Sec. V-A latency/throughput tables
+``experiment``  regenerate one paper table/figure by name
+``devices``     list the simulated device registry (Table I)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .harness import Runner, experiments as E
+from .harness.tables import format_table
+from .sat.api import ALGORITHMS, sat as sat_api
+from .workloads import random_matrix
+
+#: Experiment registry exposed by ``python -m repro experiment <name>``.
+EXPERIMENTS = {
+    "table1": lambda r: E.table1(),
+    "table2": lambda r: E.table2(),
+    "microbench": lambda r: E.microbench(),
+    "model-equations": lambda r: E.model_equations(),
+    "fig6": lambda r: E.fig6(r),
+    "fig7": lambda r: E.fig7(r),
+    "fig8": lambda r: E.fig8(r),
+    "model-verification": lambda r: E.model_verification(),
+    "headline": lambda r: E.headline(r),
+    "ablation-scan": lambda r: E.ablation_scan_variant(r),
+    "ablation-stride": lambda r: E.ablation_brlt_stride(r),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SAT-on-GPUs reproduction (Chen et al., CLUSTER 2018)",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("sat", help="compute one SAT on the simulator")
+    s.add_argument("--size", type=int, default=1024, help="square matrix side")
+    s.add_argument("--pair", default="8u32s", help="type pair, e.g. 8u32s, 32f32f")
+    s.add_argument("--algorithm", default="brlt_scanrow",
+                   choices=sorted(ALGORITHMS))
+    s.add_argument("--device", default="P100")
+    s.add_argument("--seed", type=int, default=0)
+
+    c = sub.add_parser("compare", help="time every algorithm on one config")
+    c.add_argument("--size", type=int, default=1024)
+    c.add_argument("--pair", default="8u32s")
+    c.add_argument("--device", default="P100")
+
+    sub.add_parser("microbench", help="Sec. V-A latency/throughput tables")
+
+    e = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    e.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    sub.add_parser("devices", help="list simulated devices (Table I)")
+    return p
+
+
+def cmd_sat(args) -> int:
+    from .dtypes import parse_pair
+
+    tp = parse_pair(args.pair)
+    img = random_matrix((args.size, args.size), tp.input, seed=args.seed)
+    run = sat_api(img, pair=tp, algorithm=args.algorithm, device=args.device)
+    print(f"{args.algorithm} on {args.device}, {args.size}x{args.size} {tp.name}")
+    for name, t in run.kernel_times_us():
+        print(f"  {name:24s} {t:10.2f} us")
+    print(f"  {'total':24s} {run.time_us:10.2f} us")
+    print(f"  checksum (bottom-right)  {run.output[-1, -1]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runner = Runner(calibration=min(1024, args.size))
+    rows = []
+    for algo in sorted(ALGORITHMS):
+        if algo.startswith("cpu"):
+            continue
+        try:
+            pt = runner.measure(algo, args.pair, args.device, args.size)
+        except (ValueError, KeyError):
+            continue
+        rows.append({"algorithm": algo, "time_us": pt.time_us})
+    best = min(r["time_us"] for r in rows)
+    for r in rows:
+        r["vs best"] = r["time_us"] / best
+    rows.sort(key=lambda r: r["time_us"])
+    print(format_table(rows, title=(
+        f"{args.device}, {args.size}x{args.size}, {args.pair}")))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    runner = Runner(calibration=1024)
+    out = EXPERIMENTS[args.name](runner)
+    print(out["text"])
+    return 0
+
+
+def cmd_devices(_args) -> int:
+    print(E.table1()["text"])
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "sat":
+        return cmd_sat(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "microbench":
+        print(E.microbench()["text"])
+        return 0
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "devices":
+        return cmd_devices(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

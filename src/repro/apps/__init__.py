@@ -1,0 +1,31 @@
+"""Application workloads built on the SAT primitive (paper Sec. I)."""
+
+from .adaptive_threshold import adaptive_threshold, adaptive_threshold_reference
+from .box_blur import box_blur, box_blur_reference
+from .haar import HaarFeature, STANDARD_FEATURES, evaluate_feature, sliding_window_features
+from .integral_histogram import IntegralHistogram, integral_histogram
+from .pooling import average_pool, average_pool_reference, box_convolve
+from .surf import det_hessian, find_interest_points, hessian_responses
+from .template_matching import best_match, match_template, match_template_reference
+
+__all__ = [
+    "adaptive_threshold",
+    "adaptive_threshold_reference",
+    "box_blur",
+    "box_blur_reference",
+    "HaarFeature",
+    "STANDARD_FEATURES",
+    "evaluate_feature",
+    "sliding_window_features",
+    "IntegralHistogram",
+    "integral_histogram",
+    "average_pool",
+    "average_pool_reference",
+    "box_convolve",
+    "best_match",
+    "match_template",
+    "match_template_reference",
+    "det_hessian",
+    "find_interest_points",
+    "hessian_responses",
+]

@@ -1,0 +1,71 @@
+"""SAT-based average pooling / box convolution (Kasagi et al. [14]).
+
+The deep-learning motivation from the paper's introduction: a pooling (or
+uniform-kernel convolution) layer over an activation map reduces to
+rectangle sums on one SAT, so arbitrary kernel sizes and strides cost the
+same — the "unified layer performing convolution and average pooling".
+Activations are ``32f``, the pair the paper singles out in Sec. VI-C3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sat.api import sat as sat_api
+from ..sat.box_filter import rect_sums
+
+__all__ = ["average_pool", "average_pool_reference", "box_convolve"]
+
+
+def average_pool(
+    activations: np.ndarray,
+    kernel: int,
+    stride: int = None,
+    algorithm: str = "brlt_scanrow",
+    device: str = "P100",
+) -> np.ndarray:
+    """Average-pool a 2-D activation map through one SAT.
+
+    ``stride`` defaults to ``kernel`` (non-overlapping pooling).
+    """
+    stride = stride or kernel
+    act = activations.astype(np.float32)
+    table = sat_api(act, pair=("32f", "64f"), algorithm=algorithm, device=device).output
+    h, w = act.shape
+    oy = np.arange(0, h - kernel + 1, stride)
+    ox = np.arange(0, w - kernel + 1, stride)
+    gy, gx = np.meshgrid(oy, ox, indexing="ij")
+    sums = rect_sums(table, gy, gx, gy + kernel - 1, gx + kernel - 1)
+    return (sums / (kernel * kernel)).astype(np.float32)
+
+
+def average_pool_reference(activations: np.ndarray, kernel: int,
+                           stride: int = None) -> np.ndarray:
+    """Loop-based pooling for verification."""
+    stride = stride or kernel
+    act = activations.astype(np.float64)
+    h, w = act.shape
+    oy = range(0, h - kernel + 1, stride)
+    ox = range(0, w - kernel + 1, stride)
+    out = np.zeros((len(oy), len(ox)))
+    for i, y in enumerate(oy):
+        for j, x in enumerate(ox):
+            out[i, j] = act[y:y + kernel, x:x + kernel].mean()
+    return out.astype(np.float32)
+
+
+def box_convolve(
+    activations: np.ndarray,
+    kernel: int,
+    weight: float = 1.0,
+    algorithm: str = "brlt_scanrow",
+    device: str = "P100",
+) -> np.ndarray:
+    """'Valid' convolution with a uniform ``kernel x kernel`` filter.
+
+    Equivalent to ``weight * kernel^2 * average_pool(stride=1)`` — the
+    building block Kasagi et al. fuse into their unified layer.
+    """
+    pooled = average_pool(activations, kernel, stride=1,
+                          algorithm=algorithm, device=device)
+    return pooled * (weight * kernel * kernel)

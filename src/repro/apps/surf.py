@@ -1,0 +1,102 @@
+"""SURF-style box-filter Hessian responses (Bay et al. [5], paper Sec. I).
+
+SURF's interest-point detector approximates the Hessian's second-order
+Gaussian derivatives with weighted box filters evaluated on an integral
+image, so every filter size costs the same handful of lookups.  This
+module implements the standard 9x9-lobed ``D_xx``, ``D_yy`` and ``D_xy``
+approximations at arbitrary scale and the determinant-of-Hessian response
+map used for detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sat.api import sat as sat_api
+from ..sat.box_filter import rect_sums
+
+__all__ = ["hessian_responses", "det_hessian", "find_interest_points"]
+
+
+def _clipped_rect_sums(table, y0, x0, y1, x1):
+    h, w = table.shape
+    y0c = np.clip(y0, 0, h - 1)
+    y1c = np.clip(y1, 0, h - 1)
+    x0c = np.clip(x0, 0, w - 1)
+    x1c = np.clip(x1, 0, w - 1)
+    valid = (y0 <= y1) & (x0 <= x1)
+    return np.where(valid, rect_sums(table, y0c, x0c,
+                                     np.maximum(y1c, y0c),
+                                     np.maximum(x1c, x0c)), 0.0)
+
+
+def hessian_responses(
+    table: np.ndarray, lobe: int = 3
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(D_xx, D_yy, D_xy)`` box-filter responses at every pixel.
+
+    ``lobe`` is SURF's ``l`` (3 for the 9x9 base filter); the filter side
+    is ``3 * lobe``.  Border pixels where the filter does not fit return 0.
+    """
+    h, w = table.shape
+    size = 3 * lobe
+    half = size // 2
+    ys, xs = np.mgrid[0:h, 0:w]
+
+    # D_yy: three stacked horizontal lobes (white, -2x black, white);
+    # the middle lobe is exactly ``lobe`` rows tall, so the filter is
+    # zero-sum: area(full) = 3*lobe * (2*lobe-1) = 3 * area(mid).
+    full = _clipped_rect_sums(table, ys - half, xs - lobe + 1,
+                              ys + half, xs + lobe - 1)
+    mid = _clipped_rect_sums(table, ys - lobe // 2, xs - lobe + 1,
+                             ys + (lobe - 1) // 2, xs + lobe - 1)
+    d_yy = full - 3.0 * mid
+
+    # D_xx is the transpose pattern.
+    full = _clipped_rect_sums(table, ys - lobe + 1, xs - half,
+                              ys + lobe - 1, xs + half)
+    mid = _clipped_rect_sums(table, ys - lobe + 1, xs - lobe // 2,
+                             ys + lobe - 1, xs + (lobe - 1) // 2)
+    d_xx = full - 3.0 * mid
+
+    # D_xy: four diagonal lobes (+ - / - +).
+    pp = _clipped_rect_sums(table, ys + 1, xs + 1, ys + lobe, xs + lobe)
+    mm = _clipped_rect_sums(table, ys - lobe, xs - lobe, ys - 1, xs - 1)
+    pm = _clipped_rect_sums(table, ys + 1, xs - lobe, ys + lobe, xs - 1)
+    mp = _clipped_rect_sums(table, ys - lobe, xs + 1, ys - 1, xs + lobe)
+    d_xy = pp + mm - pm - mp
+
+    return d_xx, d_yy, d_xy
+
+
+def det_hessian(
+    image: np.ndarray,
+    lobe: int = 3,
+    algorithm: str = "brlt_scanrow",
+    device: str = "P100",
+) -> np.ndarray:
+    """SURF's determinant-of-Hessian response map from one GPU SAT.
+
+    ``det = D_xx * D_yy - (0.9 * D_xy)^2``, normalised by the filter area.
+    """
+    run = sat_api(image, pair=(image.dtype, "64f"), algorithm=algorithm,
+                  device=device)
+    d_xx, d_yy, d_xy = hessian_responses(run.output, lobe)
+    norm = (3.0 * lobe) ** 2
+    return (d_xx / norm) * (d_yy / norm) - (0.9 * d_xy / norm) ** 2
+
+
+def find_interest_points(
+    response: np.ndarray, threshold: float, border: int = 8
+) -> List[Tuple[int, int]]:
+    """Local maxima of the response above ``threshold`` (3x3 NMS)."""
+    h, w = response.shape
+    points: List[Tuple[int, int]] = []
+    for y in range(max(border, 1), min(h - border, h - 1)):
+        for x in range(max(border, 1), min(w - border, w - 1)):
+            v = response[y, x]
+            if v > threshold and v == response[y - 1:y + 2, x - 1:x + 2].max():
+                points.append((y, x))
+    return points

@@ -1,0 +1,16 @@
+"""Baseline SAT implementations the paper compares against (Sec. VI)."""
+
+from .bilgic import sat_bilgic
+from .cpu import sat_cpu_numpy, sat_cpu_serial
+from .npp_sat import NPP_KERNEL_TABLE, NPP_SUPPORTED_PAIRS, sat_npp
+from .opencv_sat import sat_opencv
+
+__all__ = [
+    "sat_bilgic",
+    "sat_cpu_numpy",
+    "sat_cpu_serial",
+    "sat_npp",
+    "sat_opencv",
+    "NPP_KERNEL_TABLE",
+    "NPP_SUPPORTED_PAIRS",
+]

@@ -1,0 +1,91 @@
+"""Bilgic et al. [17] — the classic scan-transpose-scan SAT.
+
+The algorithm the paper's ScanRow-BRLT directly improves on (Sec. IV-A):
+scan all rows, *explicitly transpose the matrix through global memory*,
+scan the rows of the transposed matrix, and transpose back — four kernels
+and twice the DRAM traffic of the two-kernel register-cache pipelines.
+
+The row scans reuse the register-cache ScanRow kernel (Sec. IV-C1) so the
+comparison isolates exactly what BRLT removes: the two global-memory
+transpose kernels (classic 32x32 shared-memory tile transpose with a
+stride-33 staging buffer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import parse_pair
+from ..gpusim.device import get_device
+from ..gpusim.global_mem import GlobalArray
+from ..gpusim.launch import launch_kernel
+from ..sat.common import SatRun, crop, pad_matrix
+from ..sat.scan_row_column import scanrow_pass
+
+__all__ = ["transpose_kernel", "transpose_pass", "sat_bilgic"]
+
+
+def transpose_kernel(ctx, src: GlobalArray, dst: GlobalArray):
+    """Classic tiled matrix transpose through shared memory.
+
+    Grid is (W/32, H/32); each 256-thread block moves one 32x32 tile:
+    coalesced load rows into a 32x33 staging buffer, barrier, coalesced
+    store of the transposed tile.
+    """
+    h, w = src.shape
+    lane = ctx.lane_id()
+    wid = ctx.warp_id()  # 8 warps: each handles 4 tile rows
+    bx = ctx.block_idx("x")
+    by = ctx.block_idx("y")
+    tile = ctx.alloc_shared((32, 33), src.dtype, name="sMemTile")
+
+    rows_per_warp = 32 // ctx.warps_per_block
+    for r in range(rows_per_warp):
+        y = wid * rows_per_warp + r
+        v = src.load(ctx, by * 32 + y, bx * 32 + lane)
+        tile.store((y, lane), v)
+    ctx.syncthreads()
+    for r in range(rows_per_warp):
+        y = wid * rows_per_warp + r
+        v = tile.load((lane, y), dependent=(r == 0))
+        dst.store(ctx, bx * 32 + y, by * 32 + lane, value=v)
+
+
+def transpose_pass(src: GlobalArray, *, device, name: str = "transpose") -> tuple:
+    """Launch the transpose kernel; returns ``(dst, stats)``."""
+    dev = get_device(device)
+    h, w = src.shape
+    dst = GlobalArray.empty((w, h), src.dtype, name=f"{name}_out")
+    stats = launch_kernel(
+        transpose_kernel,
+        device=dev,
+        grid=(w // 32, h // 32, 1),
+        block=(256, 1, 1),
+        regs_per_thread=24,
+        args=(src, dst),
+        name=name,
+        mlp=8,
+    )
+    return dst, stats
+
+
+def sat_bilgic(image: np.ndarray, pair="32f32f", device="P100",
+               scan: str = "kogge_stone", **_opts) -> SatRun:
+    """Scan -> transpose -> scan -> transpose ([17])."""
+    tp = parse_pair(pair)
+    dev = get_device(device)
+    orig = image.shape
+    padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
+
+    src = GlobalArray(padded, "input")
+    a, s1 = scanrow_pass(src, device=dev, acc=tp.output, name="ScanRow#1", scan=scan)
+    b, s2 = transpose_pass(a, device=dev, name="transpose#1")
+    c, s3 = scanrow_pass(b, device=dev, acc=tp.output, name="ScanRow#2", scan=scan)
+    d, s4 = transpose_pass(c, device=dev, name="transpose#2")
+    return SatRun(
+        output=crop(d.to_host(), orig),
+        launches=[s1, s2, s3, s4],
+        algorithm="bilgic",
+        device=dev.name,
+        pair=tp.name,
+    )

@@ -1,0 +1,41 @@
+"""CPU reference baselines (host-side, wall-clock measurable).
+
+These run on the host, not the simulator: the vectorised numpy scan-scan
+and the literal Alg.-1 loop.  They anchor the examples (a user without the
+simulated GPU still gets correct SATs) and give the benchmarks a
+wall-clock CPU column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import parse_pair
+from ..sat.common import SatRun
+from ..sat.naive import sat_reference, sat_serial_literal
+
+__all__ = ["sat_cpu_numpy", "sat_cpu_serial"]
+
+
+def sat_cpu_numpy(image: np.ndarray, pair="32f32f", device="CPU", **_opts) -> SatRun:
+    """Vectorised numpy scan-scan (the fast CPU path)."""
+    tp = parse_pair(pair)
+    return SatRun(
+        output=sat_reference(image, tp),
+        launches=[],
+        algorithm="cpu_numpy",
+        device="CPU",
+        pair=tp.name,
+    )
+
+
+def sat_cpu_serial(image: np.ndarray, pair="32f32f", device="CPU", **_opts) -> SatRun:
+    """Literal Alg. 1 — ``2*H*W`` additions on one core.  Small inputs only."""
+    tp = parse_pair(pair)
+    return SatRun(
+        output=sat_serial_literal(image, tp),
+        launches=[],
+        algorithm="cpu_serial",
+        device="CPU",
+        pair=tp.name,
+    )

@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's evaluation: its future-work directions."""
+
+from .dwt import haar_dwt2_brlt, haar_dwt2_reference
+from .multi_tile import MultiTileResult, multi_tile_sat
+from .rsat import rsat, rsat_reference, tilted_rect_sum, tilted_rect_sum_reference
+
+__all__ = [
+    "haar_dwt2_brlt",
+    "haar_dwt2_reference",
+    "MultiTileResult",
+    "multi_tile_sat",
+    "rsat",
+    "rsat_reference",
+    "tilted_rect_sum",
+    "tilted_rect_sum_reference",
+]

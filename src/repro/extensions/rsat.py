@@ -1,0 +1,124 @@
+"""Rotated Summed Area Tables (RSAT) — the 45-degree extension.
+
+Lienhart & Maydt extended Viola-Jones with tilted Haar features, which
+need a *rotated* integral image::
+
+    RSAT(y, x) = sum of I(j, i) with j <= y and |x - i| <= y - j
+
+i.e. the pixels inside the 45-degree cone opening upward from ``(y, x)``.
+It obeys the two-term recurrence
+
+    RSAT(y, x) = RSAT(y-1, x-1) + RSAT(y-1, x+1) - RSAT(y-2, x)
+                 + I(y, x) + I(y-1, x)
+
+which is computed here row by row with vectorised numpy (each row
+depends only on the two rows above, the same dependence depth as the
+paper's column scan).  ``tilted_rect_sum`` then evaluates any 45-degree
+rectangle from four lookups, mirroring Fig. 1 for the rotated case.
+
+This is an application-layer extension (host-side); the upright SAT it
+complements comes from the GPU kernels as usual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rsat", "rsat_reference", "tilted_rect_sum", "tilted_rect_sum_reference"]
+
+
+def rsat(image: np.ndarray) -> np.ndarray:
+    """Rotated SAT of ``image`` (float64 accumulator).
+
+    The recurrence is exact on an infinite zero plane, but a cone apex
+    near a side border draws on table entries *outside* the image (their
+    cones still cover in-image pixels), so the computation runs on a
+    horizontally zero-padded working strip ``h`` columns wider on each
+    side and crops back.
+    """
+    img = image.astype(np.float64)
+    h, w = img.shape
+    pad = h  # cones reach at most h-1 columns past either side
+    wp = w + 2 * pad
+    work = np.zeros((h, wp), dtype=np.float64)
+    work[:, pad:pad + w] = img
+    out = np.zeros((h, wp), dtype=np.float64)
+    prev1 = np.zeros(wp + 2, dtype=np.float64)  # row y-1, edge-padded
+    prev2 = np.zeros(wp + 2, dtype=np.float64)  # row y-2, edge-padded
+    row_above = np.zeros(wp, dtype=np.float64)
+    for y in range(h):
+        cur = np.zeros(wp + 2, dtype=np.float64)
+        cur[1:-1] = prev1[:-2] + prev1[2:] - prev2[1:-1] + work[y] + row_above
+        out[y] = cur[1:-1]
+        prev2, prev1 = prev1, cur
+        row_above = work[y]
+    return out[:, pad:pad + w]
+
+
+def rsat_reference(image: np.ndarray) -> np.ndarray:
+    """Brute-force cone sums for verification (small inputs only)."""
+    img = image.astype(np.float64)
+    h, w = img.shape
+    out = np.zeros((h, w), dtype=np.float64)
+    for y in range(h):
+        for x in range(w):
+            total = 0.0
+            for j in range(y + 1):
+                reach = y - j
+                for i in range(max(0, x - reach), min(w, x + reach + 1)):
+                    total += img[j, i]
+            out[y, x] = total
+    return out
+
+
+def tilted_rect_sum(table: np.ndarray, y: int, x: int, w: int, h: int) -> float:
+    """Sum of the tilted rectangle anchored at ``(y, x)``.
+
+    The rectangle's corners, walking its 45-degree edges, are::
+
+        A = (y, x)                 top corner
+        B = (y + w, x + w)         down-right w steps
+        C = (y + h, x - h)         down-left  h steps
+        D = (y + w + h, x + w - h) opposite corner
+
+    and its pixel sum is ``RSAT(D) + RSAT(A) - RSAT(B) - RSAT(C)``
+    (Lienhart's four-lookup formula), with out-of-range lookups reading 0.
+    """
+
+    hh, ww = table.shape
+    corners = ((y, x), (y + w, x + w), (y + h, x - h), (y + w + h, x + w - h))
+    for (j, i) in corners:
+        if not (0 <= j < hh and 0 <= i < ww):
+            raise ValueError(
+                f"tilted rectangle corner ({j}, {i}) outside the {hh}x{ww} "
+                "table; tilted features must fit inside the image"
+            )
+    a = float(table[y, x])
+    b = float(table[y + w, x + w])
+    c = float(table[y + h, x - h])
+    d = float(table[y + w + h, x + w - h])
+    return d + a - b - c
+
+
+def _cone_mask(shape, y: int, x: int) -> np.ndarray:
+    """Indicator of the RSAT cone of ``(y, x)``: ``j <= y, |x-i| <= y-j``."""
+    hh, ww = shape
+    js, iis = np.mgrid[0:hh, 0:ww]
+    return ((js <= y) & (np.abs(x - iis) <= (y - js))).astype(np.int64)
+
+
+def tilted_region_mask(shape, y: int, x: int, w: int, h: int) -> np.ndarray:
+    """Pixel-membership mask of the tilted rectangle (by cone
+    inclusion-exclusion — the ground truth for the 4-lookup formula)."""
+    d = _cone_mask(shape, y + w + h, x + w - h)
+    a = _cone_mask(shape, y, x)
+    b = _cone_mask(shape, y + w, x + w)
+    c = _cone_mask(shape, y + h, x - h)
+    return d + a - b - c
+
+
+def tilted_rect_sum_reference(image: np.ndarray, y: int, x: int,
+                              w: int, h: int) -> float:
+    """Brute-force tilted rectangle sum via the membership mask."""
+    mask = tilted_region_mask(image.shape, y, x, w, h)
+    return float((image.astype(np.float64) * mask).sum())

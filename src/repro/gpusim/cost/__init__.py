@@ -1,0 +1,14 @@
+"""Cost model: occupancy (Eqs. 7-8), kernel timing, and size projection."""
+
+from .model import KernelTiming, kernel_time
+from .occupancy import Occupancy, occupancy
+from .projection import PassScaling, project_stats
+
+__all__ = [
+    "KernelTiming",
+    "kernel_time",
+    "Occupancy",
+    "occupancy",
+    "PassScaling",
+    "project_stats",
+]

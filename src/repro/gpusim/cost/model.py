@@ -1,0 +1,223 @@
+"""Kernel execution-time model (the simulator's ``nvprof``).
+
+The model converts the event counts collected during simulated execution
+into a kernel time using the roofline-style combination the paper's Sec. V
+reasons with:
+
+``T = max(T_compute, T_gmem, T_smem) + launch overhead``
+
+* ``T_gmem`` — total 32-byte sectors moved over DRAM at the device
+  bandwidth.  For large matrices every SAT implementation converges to
+  this floor, which is why the paper's speedups taper with size.
+* ``T_smem`` — shared-memory transactions (128 bytes each, conflict
+  replays included) over the aggregate scratchpad bandwidth of Eq. 10.
+* ``T_compute`` — per-SM issue clocks: each pipeline's lane-ops divided by
+  its CUDA-manual throughput (Eqs. 11-13), plus the latency term: the
+  per-block dependency chain repeated for every wave of blocks an SM must
+  run, which is what the occupancy of Eq. 8 controls.
+
+The components are kept in the returned :class:`KernelTiming` so the
+Fig. 8 breakdown and the model-verification benches can report them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..counters import CostCounters
+from ..device import DeviceSpec
+from .occupancy import Occupancy, occupancy
+
+__all__ = ["KernelTiming", "kernel_time", "OVERLAP_FACTOR"]
+
+#: Imperfect overlap between the memory system and the execution pipelines.
+#: A pure roofline ``max()`` assumes the non-dominant components hide
+#: completely behind the dominant one; measured kernels pay a fraction of
+#: them (dependences, barriers, issue contention).  The fraction grows as
+#: occupancy falls — with few resident warps an SM cannot overlap memory
+#: stalls with other warps' compute — which is exactly the "register
+#: pressure" effect the paper reports for ``64f`` (Secs. IV-2, VI-C):
+#: 32 cached doubles cost 64+ registers, halving occupancy and eroding the
+#: speedup at large sizes.  At full occupancy the exposed fraction is
+#: OVERLAP_FACTOR; it scales inversely with the occupancy fraction, capped
+#: at 1 (fully serialised).
+OVERLAP_FACTOR = 0.25
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modeled timing decomposition of one kernel launch."""
+
+    device: str
+    name: str
+    n_blocks: int
+    waves: int
+    occupancy: Occupancy
+    #: DRAM time, seconds.
+    t_gmem: float
+    #: Shared-memory bandwidth time, seconds.
+    t_smem: float
+    #: Issue-throughput time across ALU/shuffle/LSU pipelines, seconds.
+    t_exec: float
+    #: Latency-chain time (waves x per-block critical path), seconds.
+    t_latency: float
+    #: Fixed launch overhead, seconds.
+    t_overhead: float
+
+    @property
+    def t_compute(self) -> float:
+        return max(self.t_exec, self.t_latency)
+
+    @property
+    def overlap_exposed_fraction(self) -> float:
+        """Fraction of non-dominant components that leak into the total.
+
+        OVERLAP_FACTOR at full occupancy, growing as occupancy falls
+        (fewer resident warps hide less), capped at fully serialised.
+        Latency hiding degrades sub-linearly in the resident-warp count
+        (each warp still overlaps its own independent instructions), so
+        the scaling uses the square root of the occupancy fraction.
+        """
+        occ = max(self.occupancy.occupancy_fraction, 1e-6)
+        return min(1.0, OVERLAP_FACTOR / occ ** 0.5)
+
+    @property
+    def total(self) -> float:
+        """Modeled kernel time: dominant roofline term plus an
+        occupancy-scaled fraction of the others (imperfect overlap), plus
+        launch overhead."""
+        parts = [self.t_gmem, self.t_smem, self.t_exec, self.t_latency]
+        dominant = max(parts)
+        exposed = self.overlap_exposed_fraction
+        return dominant + exposed * (sum(parts) - dominant) + self.t_overhead
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term limits this kernel."""
+        parts = {
+            "gmem": self.t_gmem,
+            "smem": self.t_smem,
+            "exec": self.t_exec,
+            "latency": self.t_latency,
+        }
+        return max(parts, key=parts.get)
+
+
+#: Outstanding load instructions a warp can keep in flight (hardware LSU
+#: queue depth) when the kernel does not declare its own figure.
+DEFAULT_MLP = 8
+
+#: Live registers a thread can sustain before the compiler starts pushing
+#: values through local memory (spills).  Caching 32 doubles (64 registers)
+#: plus scan/offset temporaries crosses this line — the paper's
+#: "register pressure results in the speedup disappear when matrices go
+#: to larger" for 64f (Sec. VI-C).
+SPILL_THRESHOLD_REGS = 64
+
+
+def spill_traffic_fraction(regs_per_thread: int) -> float:
+    """Extra DRAM traffic from local-memory spills, as a fraction of the
+    kernel's useful traffic.  Zero below the threshold; grows with the
+    number of values the compiler must round-trip through local memory."""
+    spilled = max(0, regs_per_thread - SPILL_THRESHOLD_REGS)
+    if spilled == 0:
+        return 0.0
+    # Roughly half of the spilled values actually round-trip per tile.
+    return spilled / (2.0 * regs_per_thread)
+
+
+def effective_gmem_bw(
+    device: DeviceSpec,
+    counters: CostCounters,
+    resident_warps: int,
+    mlp: int,
+) -> float:
+    """Achievable DRAM bandwidth under Little's law.
+
+    Sustained bandwidth needs ``bw * latency`` bytes in flight.  Each
+    resident warp contributes up to ``mlp`` outstanding load instructions
+    of its average sector width.  Register-cache kernels issue 32
+    independent tile loads back to back (deep MLP); a scratchpad
+    scan that loads one element per thread per phase cannot, which is a
+    large part of why the paper's kernels beat OpenCV/NPP at small and
+    medium sizes before everything converges to the bandwidth roof.
+    """
+    if counters.gmem_load_instructions <= 0:
+        return device.global_bw
+    avg_bytes_per_load = (
+        counters.gmem_load_sectors * device.gmem_sector_bytes
+        / counters.gmem_load_instructions
+    )
+    inflight_bytes = resident_warps * mlp * avg_bytes_per_load
+    latency_s = device.global_latency / device.clock_hz
+    return min(device.global_bw, inflight_bytes / latency_s)
+
+
+def kernel_time(
+    device: DeviceSpec,
+    counters: CostCounters,
+    *,
+    n_blocks: int,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+    mlp: int = DEFAULT_MLP,
+    l2_sector_reuse: float = 1.0,
+    name: str = "kernel",
+) -> KernelTiming:
+    """Convert event counts into a modeled kernel time."""
+    occ = occupancy(device, threads_per_block, regs_per_thread, smem_per_block)
+    concurrent_blocks = max(1, min(occ.blocks_per_sm * device.sm_count, n_blocks))
+    waves = max(1, math.ceil(n_blocks / concurrent_blocks))
+    # Blocks each SM processes over the kernel's lifetime.
+    blocks_per_sm_total = math.ceil(n_blocks / min(device.sm_count, n_blocks))
+
+    per_block = 1.0 / max(1, n_blocks)
+
+    # --- DRAM ---
+    warps_per_block = threads_per_block // device.warp_size
+    resident_warps = min(occ.active_warps, n_blocks * warps_per_block)
+    # ``l2_sector_reuse`` > 1 credits sectors served to several blocks by
+    # one DRAM fetch (e.g. NPP's scanCol, where 8 adjacent column-blocks
+    # read 4-byte slices of the same 32-byte sector through the L2).
+    gmem_bytes = (counters.gmem_load_sectors + counters.gmem_store_sectors) * (
+        device.gmem_sector_bytes
+    ) / max(1.0, l2_sector_reuse)
+    # Local-memory spill traffic above the live-register budget.
+    gmem_bytes *= 1.0 + spill_traffic_fraction(regs_per_thread)
+    t_gmem = gmem_bytes / effective_gmem_bw(device, counters, resident_warps, mlp)
+
+    # --- shared memory bandwidth (Eq. 10 generalised) ---
+    smem_trans_bytes = counters.smem_transactions * device.warp_size * 4
+    t_smem = smem_trans_bytes / device.shared_bw
+
+    # --- issue throughput per SM (Eqs. 11-13) ---
+    exec_clocks_pb = (
+        counters.adds * per_block / device.add_throughput
+        + counters.adds_f64 * per_block / device.add_throughput_f64
+        + counters.muls * per_block / device.add_throughput
+        + counters.bools * per_block / device.bool_throughput
+        + counters.shuffles * per_block / device.shuffle_throughput
+    )
+    # Shared-memory issue: ~one transaction per clock per SM.
+    smem_issue_pb = counters.smem_transactions * per_block
+    exec_clocks = blocks_per_sm_total * max(exec_clocks_pb, smem_issue_pb)
+    t_exec = device.clocks_to_seconds(exec_clocks + device.global_latency)
+
+    # --- latency chain ---
+    latency_clocks = waves * counters.chain_clocks + device.global_latency
+    t_latency = device.clocks_to_seconds(latency_clocks)
+
+    return KernelTiming(
+        device=device.name,
+        name=name,
+        n_blocks=n_blocks,
+        waves=waves,
+        occupancy=occ,
+        t_gmem=t_gmem,
+        t_smem=t_smem,
+        t_exec=t_exec,
+        t_latency=t_latency,
+        t_overhead=device.launch_overhead_s,
+    )

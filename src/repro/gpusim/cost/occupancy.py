@@ -1,0 +1,116 @@
+"""Occupancy calculation (Eqs. 7 and 8 of the paper).
+
+The number of active warps an SM can host is the minimum of three limits:
+
+* **registers** — ``Reg_sm / (Reg_thread * WarpSize)`` warps,
+* **shared memory** — ``(Smem_sm / Smem_block) * N_wpb`` warps,
+* **block slots** — ``N_wpb * N_max_blk_sm`` warps,
+
+multiplied by the SM count (Eq. 8).  The hardware additionally caps
+resident threads per SM and schedules whole blocks, so alongside the
+paper's verbatim formula we expose the block-granular figure the cost
+model uses.
+
+This is where the paper's "register pressure" remark (Sec. VI-C) becomes
+measurable: caching 32 elements of ``64f`` costs 64 registers before
+overhead, which on a 1024-thread block leaves at most one resident block
+per SM and removes the latency-hiding headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy figures for one kernel configuration on one device."""
+
+    device: str
+    threads_per_block: int
+    regs_per_thread: int
+    smem_per_block: int
+    #: Warps per block (Eq. 7).
+    warps_per_block: int
+    #: Warp limit imposed by the register file.
+    warps_limit_regs: int
+    #: Warp limit imposed by shared memory.
+    warps_limit_smem: int
+    #: Warp limit imposed by block slots.
+    warps_limit_blocks: int
+    #: Warp limit imposed by resident threads.
+    warps_limit_threads: int
+    #: Resident blocks per SM (block-granular, what the scheduler does).
+    blocks_per_sm: int
+    #: Active warps per SM (block-granular).
+    warps_per_sm: int
+    #: Total active warps on the device — Eq. 8 evaluated warp-granularly.
+    active_warps_eq8: int
+    #: Total active warps on the device, block-granular.
+    active_warps: int
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Active warps relative to the architectural maximum."""
+        return self.warps_per_sm * 32 / 2048
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> Occupancy:
+    """Evaluate Eqs. 7-8 for a kernel configuration.
+
+    Raises ``ValueError`` if the configuration cannot launch at all
+    (e.g. the register or shared-memory demand of a single block exceeds
+    the SM).
+    """
+    ws = device.warp_size
+    n_wpb = threads_per_block // ws  # Eq. 7
+
+    warps_regs = device.registers_per_sm // max(1, regs_per_thread * ws)
+    if smem_per_block > 0:
+        blocks_smem = device.shared_mem_per_sm // smem_per_block
+    else:
+        blocks_smem = device.max_blocks_per_sm
+    warps_smem = blocks_smem * n_wpb
+    warps_blocks = n_wpb * device.max_blocks_per_sm
+    warps_threads = device.max_threads_per_sm // ws
+
+    eq8 = device.sm_count * min(warps_regs, warps_smem, warps_blocks, warps_threads)
+
+    blocks_per_sm = min(
+        warps_regs // n_wpb if n_wpb else 0,
+        blocks_smem,
+        device.max_blocks_per_sm,
+        warps_threads // n_wpb if n_wpb else 0,
+    )
+    if blocks_per_sm < 1:
+        raise ValueError(
+            f"kernel cannot launch on {device.name}: {threads_per_block} threads/block "
+            f"with {regs_per_thread} regs/thread and {smem_per_block} B smem/block "
+            "exceed a single SM"
+        )
+    warps_per_sm = blocks_per_sm * n_wpb
+
+    return Occupancy(
+        device=device.name,
+        threads_per_block=threads_per_block,
+        regs_per_thread=regs_per_thread,
+        smem_per_block=smem_per_block,
+        warps_per_block=n_wpb,
+        warps_limit_regs=warps_regs,
+        warps_limit_smem=warps_smem,
+        warps_limit_blocks=warps_blocks,
+        warps_limit_threads=warps_threads,
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=warps_per_sm,
+        active_warps_eq8=eq8,
+        active_warps=device.sm_count * warps_per_sm,
+    )

@@ -1,0 +1,96 @@
+"""Tile-homogeneous cost projection (DESIGN.md Sec. 5).
+
+Every kernel in the paper processes the input in fixed 32x32 (or
+32 x BlockSize) tiles with identical per-tile work, so its event counts are
+exactly proportional to the number of processed elements, its block count
+to one matrix dimension, and its per-block dependency chain to the length
+of its serial loop (the other dimension).
+
+This lets the harness *execute* the simulator once at a calibration size
+(checking correctness on real data) and regenerate the paper's full
+1k..16k sweeps analytically:
+
+* throughput counters scale by ``(H*W) / (H0*W0)``;
+* the grid scales along the kernel's block dimension;
+* the chain scales along the kernel's loop dimension.
+
+``project_stats`` returns a re-timed :class:`LaunchStats` clone.  Tests
+assert that a projected launch matches a fully executed one bit-for-bit on
+counter totals when the target size is actually simulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a circular import at runtime
+    from ..launch import LaunchStats
+
+__all__ = ["PassScaling", "project_stats"]
+
+
+@dataclass(frozen=True)
+class PassScaling:
+    """How one kernel's launch scales with the matrix size.
+
+    ``blocks_along``/``chain_along`` name the driving dimension: ``"H"``,
+    ``"W"`` or ``"HW"`` (both).  ``grid_axis`` says which grid axis grows.
+    """
+
+    blocks_along: str
+    chain_along: str
+    grid_axis: str = "y"
+
+
+def _dim_factor(which: str, size0: Tuple[int, int], size: Tuple[int, int]) -> float:
+    h0, w0 = size0
+    h, w = size
+    if which == "H":
+        return h / h0
+    if which == "W":
+        return w / w0
+    if which == "HW":
+        return (h * w) / (h0 * w0)
+    if which == "const":
+        return 1.0
+    raise ValueError(f"unknown scaling dimension {which!r}")
+
+
+def project_stats(
+    stats: "LaunchStats",
+    size0: Tuple[int, int],
+    size: Tuple[int, int],
+    scaling: PassScaling,
+) -> "LaunchStats":
+    """Project a measured launch at ``size0 = (H0, W0)`` to ``size = (H, W)``."""
+    if size == size0:
+        return stats
+    area = _dim_factor("HW", size0, size)
+    blocks_f = _dim_factor(scaling.blocks_along, size0, size)
+    chain_f = _dim_factor(scaling.chain_along, size0, size)
+
+    counters = stats.counters.scaled(area)
+    counters.chain_clocks = stats.counters.chain_clocks * chain_f
+
+    gx, gy, gz = stats.grid
+    axis = {"x": 0, "y": 1, "z": 2}[scaling.grid_axis]
+    new_grid = [gx, gy, gz]
+    new_grid[axis] = max(1, int(math.ceil(new_grid[axis] * blocks_f)))
+
+    from ..launch import LaunchStats
+
+    projected = LaunchStats(
+        name=stats.name,
+        device=stats.device,
+        grid=(new_grid[0], new_grid[1], new_grid[2]),
+        block=stats.block,
+        regs_per_thread=stats.regs_per_thread,
+        smem_per_block=stats.smem_per_block,
+        counters=counters,
+        timing=stats.timing,
+        mlp=stats.mlp,
+        l2_sector_reuse=stats.l2_sector_reuse,
+    )
+    return projected.retime()

@@ -1,0 +1,208 @@
+"""GPU device descriptions (Table I plus the constants used in Sec. V).
+
+A :class:`DeviceSpec` collects every architectural constant the paper's
+performance model consumes:
+
+* capacity numbers reproduced in Table I (shared memory / registers per SM,
+  SM count);
+* the micro-benchmarked latencies of Sec. V-A (shared-memory access,
+  shuffle, addition, boolean AND);
+* pipeline throughputs from the CUDA programming manual (32 shuffles and
+  64 integer/float adds per SM per clock);
+* the shared-memory bandwidths the model plugs into Eq. 10 (9519 GB/s on
+  P100, 13800 GB/s on V100, both from Jia et al. [55]);
+* DRAM bandwidth and clock rate used to convert modeled clocks into time.
+
+The registry is what the Table-I benchmark prints and what every simulated
+kernel launch is parameterised with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DeviceSpec", "M40", "P100", "V100", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one CUDA device.
+
+    All capacities are in bytes, bandwidths in bytes/second, latencies in
+    clock cycles and throughputs in lane-operations per SM per clock.
+    """
+
+    name: str
+    compute_capability: Tuple[int, int]
+    sm_count: int
+    warp_size: int
+    #: Maximum threads per block (CUDA limit).
+    max_threads_per_block: int
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int
+    #: Maximum resident blocks per SM.
+    max_blocks_per_sm: int
+    #: 32-bit registers per SM (count, not bytes).
+    registers_per_sm: int
+    #: Maximum registers per thread the compiler may allocate.
+    max_registers_per_thread: int
+    #: Shared memory per SM, bytes.  Table I reports this in KB.
+    shared_mem_per_sm: int
+    #: Shared memory usable by one block, bytes.
+    shared_mem_per_block: int
+    #: Number of shared memory banks.
+    shared_mem_banks: int
+    #: Device (DRAM) memory bandwidth, bytes/s.
+    global_bw: float
+    #: Aggregate shared-memory bandwidth, bytes/s (Sec. V, from [55]).
+    shared_bw: float
+    #: SM clock, Hz.
+    clock_hz: float
+    # --- Sec. V-A micro-benchmarked latencies, clocks ---
+    shared_mem_latency: int
+    shuffle_latency: int
+    add_latency: int
+    bool_latency: int
+    #: Global-memory load latency, clocks (Wong et al. [53] / Jia et al. [55]).
+    global_latency: int
+    # --- CUDA-manual issue throughputs, lane-ops / SM / clock ---
+    shuffle_throughput: int
+    add_throughput: int
+    bool_throughput: int
+    #: FP64 add throughput (P100/V100 have a half-rate double pipeline).
+    add_throughput_f64: int
+    #: Minimum global-memory transaction (sector) size, bytes.
+    gmem_sector_bytes: int
+    #: Fixed kernel launch overhead, seconds.
+    launch_overhead_s: float
+
+    # ------------------------------------------------------------------
+    @property
+    def registers_per_sm_bytes(self) -> int:
+        """Register-file capacity per SM in bytes (Table I row 2)."""
+        return self.registers_per_sm * 4
+
+    @property
+    def shared_mem_bank_width(self) -> int:
+        """Width of one shared-memory bank word in bytes."""
+        return 4
+
+    @property
+    def warps_per_sm(self) -> int:
+        """Maximum resident warps per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    def clocks_to_seconds(self, clocks: float) -> float:
+        """Convert SM clock cycles into seconds."""
+        return clocks / self.clock_hz
+
+    @property
+    def shared_bw_per_sm_clock(self) -> float:
+        """Shared-memory bytes per SM per clock implied by :attr:`shared_bw`."""
+        return self.shared_bw / (self.sm_count * self.clock_hz)
+
+
+#: Tesla M40 (Maxwell GM200).  Table I reports the configurable 16/32/48 KB
+#: shared memory; we carry the 48 KB maximum as the per-block figure.
+M40 = DeviceSpec(
+    name="M40",
+    compute_capability=(5, 2),
+    sm_count=24,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=48 * 1024,
+    shared_mem_banks=32,
+    global_bw=288e9,
+    shared_bw=2400e9,
+    clock_hz=1.114e9,
+    shared_mem_latency=34,
+    shuffle_latency=33,
+    add_latency=6,
+    bool_latency=6,
+    global_latency=400,
+    shuffle_throughput=32,
+    add_throughput=128,
+    bool_throughput=128,
+    add_throughput_f64=4,
+    gmem_sector_bytes=32,
+    launch_overhead_s=3.0e-6,
+)
+
+#: Tesla P100 (Pascal GP100), the paper's primary evaluation device.
+P100 = DeviceSpec(
+    name="P100",
+    compute_capability=(6, 0),
+    sm_count=56,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=48 * 1024,
+    shared_mem_banks=32,
+    global_bw=732e9,
+    shared_bw=9519e9,  # Sec. V / Jia et al. [55]
+    clock_hz=1.328e9,
+    shared_mem_latency=36,  # Sec. V-A
+    shuffle_latency=33,  # Sec. V-A
+    add_latency=6,  # Sec. V-A
+    bool_latency=6,
+    global_latency=570,
+    shuffle_throughput=32,
+    add_throughput=64,
+    bool_throughput=64,
+    add_throughput_f64=32,
+    gmem_sector_bytes=32,
+    launch_overhead_s=3.0e-6,
+)
+
+#: Tesla V100 (Volta GV100), the paper's second evaluation device.
+V100 = DeviceSpec(
+    name="V100",
+    compute_capability=(7, 0),
+    sm_count=80,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=96 * 1024,
+    shared_mem_banks=32,
+    global_bw=900e9,
+    shared_bw=13800e9,  # Sec. V / Jia et al. [55]
+    clock_hz=1.53e9,
+    shared_mem_latency=27,  # Sec. V-A
+    shuffle_latency=39,  # Sec. V-A
+    add_latency=4,  # Sec. V-A
+    bool_latency=4,
+    global_latency=440,
+    shuffle_throughput=32,
+    add_throughput=64,
+    bool_throughput=64,
+    add_throughput_f64=32,
+    gmem_sector_bytes=32,
+    launch_overhead_s=2.5e-6,
+)
+
+#: Device registry keyed by name (case-insensitive lookup via :func:`get_device`).
+DEVICES: Dict[str, DeviceSpec] = {d.name: d for d in (M40, P100, V100)}
+
+
+def get_device(spec) -> DeviceSpec:
+    """Return a :class:`DeviceSpec` from a spec object or name."""
+    if isinstance(spec, DeviceSpec):
+        return spec
+    key = str(spec).upper()
+    if key in DEVICES:
+        return DEVICES[key]
+    raise KeyError(f"unknown device {spec!r}; known: {sorted(DEVICES)}")

@@ -1,0 +1,269 @@
+"""Global (device DRAM) memory model with a sector-based coalescing model.
+
+Global memory only approaches peak bandwidth under coalesced, unit-stride
+access (Sec. II-B2).  The model follows the hardware's sector granularity:
+every warp load/store instruction touches some set of 32-byte sectors, and
+the memory system moves whole sectors.  A fully coalesced 32-lane float32
+load touches ``32 * 4 / 32 = 4`` sectors (128 useful bytes = 128 moved
+bytes); a stride-``W`` column walk — NPP's ``scanCol`` geometry from
+Table II — touches 32 sectors for the same 128 useful bytes, an 8x
+bandwidth waste that is precisely why the paper beats NPP by up to 3.2x.
+
+:class:`GlobalArray` owns the backing numpy array, so simulated kernels
+operate on real data and results can be checked bit-exactly against the
+serial reference (Alg. 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+import numpy as np
+
+from .regfile import RegArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import KernelContext
+
+__all__ = ["GlobalArray", "sector_count"]
+
+Index = Union[int, np.ndarray]
+
+
+def sector_count(
+    byte_addrs: np.ndarray,
+    lane_mask: Optional[np.ndarray],
+    itemsize: int,
+    sector_bytes: int = 32,
+) -> float:
+    """Number of 32-byte sectors a batch of warp accesses touches.
+
+    ``byte_addrs`` holds the starting byte address per lane, shape
+    ``(..., lanes)`` with leading axes enumerating warps.  Elements
+    straddling a sector boundary count both sectors (relevant for 64f).
+    """
+    addrs = np.asarray(byte_addrs, dtype=np.int64)
+    if lane_mask is None:
+        active = np.ones(addrs.shape, dtype=bool)
+    else:
+        active = np.broadcast_to(lane_mask, addrs.shape)
+
+    first = addrs // sector_bytes
+    last = (addrs + itemsize - 1) // sector_bytes
+    # Collect both endpoints; for <=4-byte types they coincide.
+    sec = np.stack([first, last], axis=-1).reshape(*addrs.shape[:-1], -1)
+    act = np.repeat(active, 2, axis=-1)
+    sec = np.where(act, sec, -1)
+
+    flat = sec.reshape(-1, sec.shape[-1])
+    s = np.sort(flat, axis=-1)
+    new = np.ones_like(s, dtype=bool)
+    new[:, 1:] = s[:, 1:] != s[:, :-1]
+    distinct = new & (s >= 0)
+    return float(distinct.sum())
+
+
+class GlobalArray:
+    """A device-resident array (the simulator's ``cudaMalloc`` result).
+
+    Kernels address it through 2-D ``(row, col)`` or flat indices; the host
+    reads results back with :meth:`to_host`.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "gmem"):
+        self.data = np.ascontiguousarray(data)
+        self.name = name
+
+    # -- host side -------------------------------------------------------
+    @classmethod
+    def empty(cls, shape, dtype, name: str = "gmem") -> "GlobalArray":
+        return cls(np.zeros(shape, dtype=dtype), name=name)
+
+    def to_host(self) -> np.ndarray:
+        """Copy back to the host (returns the live array; copy if mutating)."""
+        return self.data
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    # -- device side -------------------------------------------------------
+    def _flat_index(self, ctx: "KernelContext", index: Tuple[Index, ...]) -> np.ndarray:
+        if len(index) == 1:
+            comp = index[0]
+            comp = comp.a if isinstance(comp, RegArray) else comp
+            return np.asarray(comp, dtype=np.int64)
+        if len(index) != self.data.ndim:
+            raise IndexError(
+                f"{self.name}: expected {self.data.ndim} indices, got {len(index)}"
+            )
+        off: np.ndarray = np.zeros((), dtype=np.int64)
+        for comp, stride in zip(index, [s // self.data.itemsize for s in self.data.strides]):
+            comp = comp.a if isinstance(comp, RegArray) else comp
+            off = off + np.asarray(comp, dtype=np.int64) * stride
+        return off
+
+    def _account(
+        self,
+        ctx: "KernelContext",
+        flat: np.ndarray,
+        mask: Optional[np.ndarray],
+        store: bool,
+    ) -> None:
+        itemsize = self.data.itemsize
+        full = ctx.broadcast_full(flat)
+        sectors = sector_count(
+            full * itemsize, mask, itemsize, ctx.device.gmem_sector_bytes
+        )
+        useful = float(ctx.active_lane_count(mask)) * itemsize
+        c = ctx.counters
+        if store:
+            c.gmem_store_sectors += sectors
+            c.gmem_store_bytes += useful
+        else:
+            c.gmem_load_sectors += sectors
+            c.gmem_load_bytes += useful
+            c.gmem_load_instructions += ctx.active_warp_count(mask)
+        c.warp_instructions += ctx.active_warp_count(mask)
+        ctx._chain(1.0)  # issue slot; pipeline fill handled by the cost model
+
+    def load(
+        self,
+        ctx: "KernelContext",
+        *index: Index,
+        lane_mask: Optional[np.ndarray] = None,
+        dependent: bool = False,
+    ) -> RegArray:
+        """Warp load; inactive lanes receive 0.
+
+        ``dependent=True`` charges the full DRAM latency to the dependency
+        chain (used by the pointer-chase micro-benchmark).
+        """
+        flat = self._flat_index(ctx, index)
+        mask = ctx._combine_mask(lane_mask)
+        self._account(ctx, flat, mask, store=False)
+        if dependent:
+            ctx._chain(float(ctx.device.global_latency) - 1.0)
+        full = ctx.broadcast_full(flat)
+        safe = np.clip(full, 0, self.data.size - 1)
+        vals = self.data.reshape(-1)[safe]
+        if mask is not None:
+            vals = np.where(np.broadcast_to(mask, vals.shape), vals, self.data.dtype.type(0))
+        return RegArray(ctx, vals)
+
+    def load_vector(
+        self,
+        ctx: "KernelContext",
+        *index: Index,
+        count: int,
+        stride: int = 1,
+        lane_mask: Optional[np.ndarray] = None,
+    ):
+        """Vector load: ``count`` consecutive elements per lane, ONE instruction.
+
+        Models ``uint4``/``float4`` loads (e.g. OpenCV's
+        ``horisontal_pass_8u_shfl`` loading 16 bytes per thread): the
+        sector accounting covers the whole footprint but only one load
+        instruction is issued.  Returns a list of ``count`` registers.
+        """
+        flat = self._flat_index(ctx, index)
+        mask = ctx._combine_mask(lane_mask)
+        itemsize = self.data.itemsize
+        full = ctx.broadcast_full(flat)
+
+        # One accounting pass over the union of all element addresses.
+        stacked = np.stack([full + k * stride for k in range(count)], axis=-1)
+        stacked = stacked.reshape(*full.shape[:-1], -1)
+        smask = None if mask is None else np.repeat(
+            np.broadcast_to(mask, full.shape), count, axis=-1
+        )
+        sectors = sector_count(stacked * itemsize, smask, itemsize,
+                               ctx.device.gmem_sector_bytes)
+        c = ctx.counters
+        c.gmem_load_sectors += sectors
+        c.gmem_load_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+        c.gmem_load_instructions += ctx.active_warp_count(mask)
+        c.warp_instructions += ctx.active_warp_count(mask)
+        ctx._chain(1.0)
+
+        out = []
+        data_flat = self.data.reshape(-1)
+        for k in range(count):
+            idx_k = np.clip(full + k * stride, 0, self.data.size - 1)
+            vals = data_flat[idx_k]
+            if mask is not None:
+                vals = np.where(np.broadcast_to(mask, vals.shape), vals,
+                                self.data.dtype.type(0))
+            out.append(RegArray(ctx, vals))
+        return out
+
+    def store_vector(
+        self,
+        ctx: "KernelContext",
+        *index: Index,
+        values,
+        stride: int = 1,
+        lane_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Vector store: one instruction writing ``len(values)`` elements/lane.
+
+        The ``int4``/``float4`` store counterpart of :meth:`load_vector`.
+        """
+        count = len(values)
+        flat = self._flat_index(ctx, index)
+        mask = ctx._combine_mask(lane_mask)
+        itemsize = self.data.itemsize
+        full = ctx.broadcast_full(flat)
+
+        stacked = np.stack([full + k * stride for k in range(count)], axis=-1)
+        stacked = stacked.reshape(*full.shape[:-1], -1)
+        smask = None if mask is None else np.repeat(
+            np.broadcast_to(mask, full.shape), count, axis=-1
+        )
+        sectors = sector_count(stacked * itemsize, smask, itemsize,
+                               ctx.device.gmem_sector_bytes)
+        c = ctx.counters
+        c.gmem_store_sectors += sectors
+        c.gmem_store_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+        c.warp_instructions += ctx.active_warp_count(mask)
+        ctx._chain(1.0)
+
+        target = self.data.reshape(-1)
+        for k, value in enumerate(values):
+            vals = value.a if isinstance(value, RegArray) else np.asarray(value)
+            full_vals = np.broadcast_to(ctx.broadcast_full(vals), full.shape)
+            idx_k = full + k * stride
+            if mask is None:
+                target[idx_k.ravel()] = full_vals.astype(self.data.dtype, copy=False).ravel()
+            else:
+                m = np.broadcast_to(mask, full.shape)
+                target[idx_k[m]] = full_vals[m].astype(self.data.dtype, copy=False)
+
+    def store(
+        self,
+        ctx: "KernelContext",
+        *index: Index,
+        value,
+        lane_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Warp store under ``lane_mask``."""
+        flat = self._flat_index(ctx, index)
+        mask = ctx._combine_mask(lane_mask)
+        self._account(ctx, flat, mask, store=True)
+        full = ctx.broadcast_full(flat)
+        vals = value.a if isinstance(value, RegArray) else np.asarray(value)
+        full_vals = np.broadcast_to(ctx.broadcast_full(vals), full.shape)
+        target = self.data.reshape(-1)
+        if mask is None:
+            target[full.ravel()] = full_vals.astype(self.data.dtype, copy=False).ravel()
+        else:
+            m = np.broadcast_to(mask, full.shape)
+            target[full[m]] = full_vals[m].astype(self.data.dtype, copy=False)

@@ -1,0 +1,11 @@
+"""Micro-benchmarks recovering the Sec.-V-A device constants (cudabmk-style)."""
+
+from .latency import LatencyReport, measure_latencies
+from .throughput import ThroughputReport, measure_throughputs
+
+__all__ = [
+    "LatencyReport",
+    "measure_latencies",
+    "ThroughputReport",
+    "measure_throughputs",
+]

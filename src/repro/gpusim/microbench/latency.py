@@ -1,0 +1,120 @@
+"""Latency micro-benchmarks (Sec. V-A, cudabmk [53] methodology).
+
+The paper extends the cudabmk suite to measure shared-memory and shuffle
+latency; the same dependent-chain method runs here on the simulator: a
+single warp executes ``N`` serially dependent operations of one kind, the
+dependency-chain clock is read from the cost counters, and the per-op
+latency is the slope.  The measured values must equal the device-spec
+constants (they are what the cost engine charges), which validates that
+the cost engine and the Sec.-V model consume identical numbers:
+
+=================  =====  =====
+latency (clocks)   P100   V100
+=================  =====  =====
+shared memory        36     27
+shuffle              33     39
+addition              6      4
+boolean AND           6      4
+=================  =====  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..device import DeviceSpec, get_device
+from ..global_mem import GlobalArray
+from ..launch import launch_kernel
+
+__all__ = ["LatencyReport", "measure_latencies"]
+
+#: Chain length used by the measurements.
+CHAIN_OPS = 256
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Measured per-operation latencies for one device, in clocks."""
+
+    device: str
+    shared_mem: float
+    shuffle: float
+    add: float
+    bool_and: float
+    global_mem: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "shared_mem": self.shared_mem,
+            "shuffle": self.shuffle,
+            "add": self.add,
+            "bool_and": self.bool_and,
+            "global_mem": self.global_mem,
+        }
+
+
+def _chain_clocks(fn, device: DeviceSpec, extra_args=()) -> float:
+    stats = launch_kernel(
+        fn, device=device, grid=1, block=32, regs_per_thread=32,
+        args=extra_args, name=fn.__name__,
+    )
+    return stats.counters.chain_clocks
+
+
+def _smem_chain(ctx):
+    smem = ctx.alloc_shared((64,), np.int32, name="latbuf")
+    lane = ctx.lane_id()
+    idx = lane
+    for _ in range(CHAIN_OPS):
+        # Pointer chase: each load's address depends on the previous value.
+        v = smem.load((idx % 64,), dependent=True)
+        idx = lane  # address register round-trip (not separately charged)
+
+
+def _shuffle_chain(ctx):
+    x = ctx.const(1, np.int32)
+    for _ in range(CHAIN_OPS):
+        x = ctx.shfl(x, 0)
+
+
+def _add_chain(ctx):
+    x = ctx.const(1, np.int32)
+    for _ in range(CHAIN_OPS):
+        x = x + 1
+
+
+def _and_chain(ctx):
+    x = ctx.const(1, np.int32)
+    lane_reg = ctx.from_array(ctx.lane_id())
+    for _ in range(CHAIN_OPS):
+        x = x & 1
+
+
+def _gmem_chain(ctx, buf: GlobalArray):
+    lane = ctx.lane_id()
+    idx = lane
+    for _ in range(CHAIN_OPS):
+        v = buf.load(ctx, idx, dependent=True)
+        idx = lane
+
+
+def measure_latencies(device="P100") -> LatencyReport:
+    """Run the dependent-chain micro-kernels and fit per-op latencies."""
+    dev = get_device(device)
+    smem = _chain_clocks(_smem_chain, dev) / CHAIN_OPS
+    sfl = _chain_clocks(_shuffle_chain, dev) / CHAIN_OPS
+    add = _chain_clocks(_add_chain, dev) / CHAIN_OPS
+    band = _chain_clocks(_and_chain, dev) / CHAIN_OPS
+    buf = GlobalArray(np.zeros(1024, dtype=np.int32), "latbuf")
+    gmem = _chain_clocks(_gmem_chain, dev, (buf,)) / CHAIN_OPS
+    return LatencyReport(
+        device=dev.name,
+        shared_mem=smem,
+        shuffle=sfl,
+        add=add,
+        bool_and=band,
+        global_mem=gmem,
+    )

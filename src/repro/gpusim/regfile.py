@@ -1,0 +1,145 @@
+"""Register values and instruction counting.
+
+A :class:`RegArray` is the simulator's model of a per-thread register (or a
+small static array of them, as in ``T data[32]`` from Alg. 5): one value per
+*lane*, vectorised across every warp and block of the launch, stored as a
+numpy array of shape ``(blocks, warps_per_block, warp_size)``.
+
+Arithmetic on a ``RegArray`` goes through operator overloading so that every
+operation is counted against the launch's :class:`~repro.gpusim.counters.
+CostCounters` (lane ops, warp instructions, dependency-chain clocks) with no
+extra effort in kernel code — the kernels in :mod:`repro.sat` read almost
+line-for-line like the paper's pseudo code.
+
+Predicated execution (the ``if laneId >= i`` guards of Algs. 3 and 4) is
+expressed with :meth:`RegArray.add_where` / :meth:`RegArray.where`, which
+count only the active lanes exactly like the paper's operation counts in
+Sec. V-B (e.g. ``N_KoggeStone_add = (31+30+28+24+16) * C``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import KernelContext
+
+__all__ = ["RegArray"]
+
+Scalar = Union[int, float]
+
+
+class RegArray:
+    """One register's worth of values across all simulated threads."""
+
+    __slots__ = ("ctx", "a")
+
+    def __init__(self, ctx: "KernelContext", a: np.ndarray):
+        self.ctx = ctx
+        self.a = a
+
+    # -- construction helpers -----------------------------------------
+    def copy(self) -> "RegArray":
+        """A register-to-register move (free: not counted)."""
+        return RegArray(self.ctx, self.a.copy())
+
+    def astype(self, dtype) -> "RegArray":
+        """Type conversion; counted as one ALU op per lane."""
+        self.ctx._count_alu("adds", self.a.dtype)
+        return RegArray(self.ctx, self.a.astype(dtype))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.a.dtype
+
+    # -- arithmetic ----------------------------------------------------
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, RegArray):
+            return other.a
+        return other
+
+    def _binop(self, other, op: str, pipeline: str) -> "RegArray":
+        rhs = self._coerce(other)
+        out = getattr(np, op)(self.a, rhs)
+        self.ctx._count_alu(pipeline, out.dtype)
+        return RegArray(self.ctx, out)
+
+    def __add__(self, other) -> "RegArray":
+        return self._binop(other, "add", "adds")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "RegArray":
+        return self._binop(other, "subtract", "adds")
+
+    def __rsub__(self, other) -> "RegArray":
+        rhs = self._coerce(other)
+        out = np.subtract(rhs, self.a)
+        self.ctx._count_alu("adds", out.dtype)
+        return RegArray(self.ctx, out)
+
+    def __mul__(self, other) -> "RegArray":
+        return self._binop(other, "multiply", "muls")
+
+    __rmul__ = __mul__
+
+    def __and__(self, other) -> "RegArray":
+        return self._binop(other, "bitwise_and", "bools")
+
+    def __or__(self, other) -> "RegArray":
+        return self._binop(other, "bitwise_or", "bools")
+
+    def __rshift__(self, other) -> "RegArray":
+        return self._binop(other, "right_shift", "bools")
+
+    def __lshift__(self, other) -> "RegArray":
+        return self._binop(other, "left_shift", "bools")
+
+    # -- comparisons (counted on the boolean pipeline) ------------------
+    def _cmp(self, other, op: str) -> np.ndarray:
+        """Comparisons produce plain boolean predicate masks."""
+        rhs = self._coerce(other)
+        self.ctx._count_alu("bools", np.dtype(np.int32))
+        return getattr(np, op)(self.a, rhs)
+
+    def __ge__(self, other) -> np.ndarray:
+        return self._cmp(other, "greater_equal")
+
+    def __gt__(self, other) -> np.ndarray:
+        return self._cmp(other, "greater")
+
+    def __le__(self, other) -> np.ndarray:
+        return self._cmp(other, "less_equal")
+
+    def __lt__(self, other) -> np.ndarray:
+        return self._cmp(other, "less")
+
+    # -- predicated updates ---------------------------------------------
+    def add_where(self, mask: np.ndarray, other) -> "RegArray":
+        """``data += val`` under a lane predicate.
+
+        Only lanes where ``mask`` is true execute the addition, and only
+        those lanes are counted — matching the per-stage active-lane counts
+        of the parallel scans in Sec. V-B2.
+        """
+        rhs = self._coerce(other)
+        out = np.where(mask, self.a + rhs, self.a)
+        self.ctx._count_alu("adds", out.dtype, lane_mask=mask)
+        return RegArray(self.ctx, out)
+
+    def where(self, mask: np.ndarray, other) -> "RegArray":
+        """Select ``self`` where ``mask`` else ``other`` (one select op)."""
+        rhs = self._coerce(other)
+        out = np.where(mask, self.a, rhs)
+        self.ctx._count_alu("bools", out.dtype)
+        return RegArray(self.ctx, out)
+
+    # -- misc ------------------------------------------------------------
+    def broadcast_to_lanes(self) -> "RegArray":
+        """No-op marker kept for kernel readability."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegArray(shape={self.a.shape}, dtype={self.a.dtype})"

@@ -1,0 +1,230 @@
+"""Shared-memory (scratchpad) model with 32-bank conflict accounting.
+
+Shared memory is divided into 32 banks of 4-byte words (Sec. II-B2); a warp
+access that maps two *different* words to the same bank is replayed, which
+is exactly why Alg. 5 stages the register matrix through a ``32 x 33``
+buffer: with stride 32 a column read hits one bank 32 times (32-way
+conflict), with stride 33 the column spreads across all banks.
+
+The model counts, per warp access instruction:
+
+``transactions = max over banks of (# distinct words touched in that bank)``
+
+(broadcasts of the same word count once, like the hardware's broadcast
+path), multiplied by ``itemsize / 4`` for 8-byte element types which the
+hardware serves in two phases.  Replays beyond the first transaction are
+also tallied separately so the stride-32 vs stride-33 ablation can report
+conflict counts directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .regfile import RegArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import KernelContext
+
+__all__ = ["SharedMem", "bank_transactions"]
+
+Index = Union[int, np.ndarray]
+
+
+def bank_transactions(
+    words: np.ndarray,
+    lane_mask: Optional[np.ndarray],
+    n_banks: int = 32,
+) -> Tuple[float, float]:
+    """Count shared-memory transactions for a batch of warp accesses.
+
+    Parameters
+    ----------
+    words:
+        Starting 4-byte word index per lane, shape ``(..., lanes)``; the
+        leading axes enumerate warps.
+    lane_mask:
+        Boolean activity mask broadcastable to ``words`` (``None`` = all
+        lanes active).
+    n_banks:
+        Number of banks (32 on all modern parts).
+
+    Returns
+    -------
+    (transactions, replays):
+        Total transactions across all warps, and the replays beyond one
+        transaction per active warp access (the bank-conflict penalty).
+    """
+    words = np.asarray(words, dtype=np.int64)
+    if words.ndim == 0:
+        words = words.reshape(1)
+    if lane_mask is None:
+        active = np.ones(words.shape, dtype=bool)
+    else:
+        active = np.broadcast_to(lane_mask, words.shape)
+
+    flat_w = words.reshape(-1, words.shape[-1])
+    flat_a = active.reshape(-1, words.shape[-1])
+    n_warps, lanes = flat_w.shape
+
+    big = int(flat_w.max(initial=0)) + 1
+    bank = flat_w % n_banks
+    key = np.where(flat_a, bank * big + flat_w, -1)
+    s = np.sort(key, axis=-1)
+    first = np.ones_like(s, dtype=bool)
+    first[:, 1:] = s[:, 1:] != s[:, :-1]
+    distinct = first & (s >= 0)
+
+    bank_sorted = np.where(distinct, s // big, 0)
+    warp_ix = np.broadcast_to(np.arange(n_warps)[:, None], s.shape)
+    counts = np.bincount(
+        (warp_ix * n_banks + bank_sorted)[distinct],
+        minlength=n_warps * n_banks,
+    ).reshape(n_warps, n_banks)
+    degree = counts.max(axis=1)
+
+    warp_active = flat_a.any(axis=1)
+    transactions = float(degree[warp_active].sum())
+    replays = float(np.maximum(degree[warp_active] - 1, 0).sum())
+    return transactions, replays
+
+
+class SharedMem:
+    """A per-block shared-memory array, vectorised across all blocks.
+
+    ``shape`` is the logical per-block shape (e.g. ``(S, 32, 33)`` for the
+    BRLT staging buffer of Alg. 5); storage adds a leading block axis.
+    Element offsets are computed with C-order strides so the bank pattern
+    matches what the CUDA declaration ``__shared__ T sMem[S][32][33]``
+    would produce.
+    """
+
+    def __init__(self, ctx: "KernelContext", shape: Sequence[int], dtype: np.dtype, name: str):
+        self.ctx = ctx
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        self.elems = int(np.prod(self.shape))
+        self.data = np.zeros((ctx.n_blocks, self.elems), dtype=self.dtype)
+        # C-order strides in elements.
+        strides = []
+        acc = 1
+        for s in reversed(self.shape):
+            strides.append(acc)
+            acc *= s
+        self.strides = tuple(reversed(strides))
+
+    @property
+    def nbytes_per_block(self) -> int:
+        """Shared-memory footprint of this allocation per block, bytes."""
+        return self.elems * self.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    def _offsets(self, idx: Sequence[Index]) -> np.ndarray:
+        """Flat element offset per lane from a multi-dimensional index."""
+        if len(idx) != len(self.shape):
+            raise IndexError(
+                f"{self.name}: expected {len(self.shape)} indices, got {len(idx)}"
+            )
+        off: np.ndarray = np.zeros((), dtype=np.int64)
+        for component, stride in zip(idx, self.strides):
+            comp = component.a if isinstance(component, RegArray) else component
+            off = off + np.asarray(comp, dtype=np.int64) * stride
+        return off
+
+    def _account(
+        self,
+        off: np.ndarray,
+        lane_mask: Optional[np.ndarray],
+        store: bool,
+        dependent: bool = False,
+    ) -> None:
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        full = ctx.broadcast_full(off)
+        itemsize = self.dtype.itemsize
+        banks = ctx.device.shared_mem_banks
+        if itemsize == 8:
+            # The hardware serves 8-byte accesses as two half-warp phases,
+            # each covering both words of 16 lanes; stride-1 (and the
+            # BRLT stride-33) stay conflict-free.
+            w0 = full * 2
+            words = np.stack([w0, w0 + 1], axis=-1).reshape(*full.shape[:-1], -1)
+            if mask is None:
+                m2 = None
+            else:
+                m2 = np.repeat(np.broadcast_to(mask, full.shape), 2, axis=-1)
+            half = words.shape[-1] // 2
+            t1, r1 = bank_transactions(
+                words[..., :half], None if m2 is None else m2[..., :half], banks)
+            t2, r2 = bank_transactions(
+                words[..., half:], None if m2 is None else m2[..., half:], banks)
+            trans, replays = t1 + t2, r1 + r2
+        else:
+            if itemsize == 4:
+                words = full
+            else:
+                # Sub-word (8/16-bit) accesses share words; word granularity.
+                words = (full * itemsize) // 4
+            trans, replays = bank_transactions(words, mask, banks)
+        c = ctx.counters
+        if store:
+            c.smem_store_transactions += trans
+        else:
+            c.smem_load_transactions += trans
+        c.smem_bank_conflict_replays += replays
+        c.smem_bytes += float(ctx.active_lane_count(mask)) * itemsize
+        c.warp_instructions += ctx.active_warp_count(mask)
+        # Independent accesses pipeline: one issue slot on the dependency
+        # chain.  A load that feeds the next instruction (``dependent=True``,
+        # e.g. the stage reads of a Hillis-Steele shared-memory scan) pays
+        # the full micro-benchmarked latency of Sec. V-A.
+        ctx._chain(float(ctx.device.shared_mem_latency) if dependent else 1.0)
+
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        idx: Sequence[Index],
+        value,
+        lane_mask: Optional[np.ndarray] = None,
+        dependent: bool = False,
+    ) -> None:
+        """Store ``value`` (RegArray or scalar) at ``idx`` under ``lane_mask``."""
+        off = self._offsets(idx)
+        self._account(off, lane_mask, store=True, dependent=dependent)
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        full_off = ctx.broadcast_full(off)
+        vals = value.a if isinstance(value, RegArray) else np.asarray(value)
+        full_vals = np.broadcast_to(ctx.broadcast_full(vals), full_off.shape)
+        blk = np.broadcast_to(ctx.block_linear_index(), full_off.shape)
+        if mask is None:
+            self.data[blk.ravel(), full_off.ravel()] = (
+                full_vals.astype(self.dtype, copy=False).ravel()
+            )
+        else:
+            m = np.broadcast_to(mask, full_off.shape)
+            self.data[blk[m], full_off[m]] = full_vals[m].astype(self.dtype, copy=False)
+
+    def load(
+        self,
+        idx: Sequence[Index],
+        lane_mask: Optional[np.ndarray] = None,
+        dependent: bool = False,
+    ) -> RegArray:
+        """Load a register from ``idx`` under ``lane_mask`` (inactive lanes get 0)."""
+        off = self._offsets(idx)
+        self._account(off, lane_mask, store=False, dependent=dependent)
+        mask = self.ctx._combine_mask(lane_mask)
+        full_off = self.ctx.broadcast_full(off)
+        blk = np.broadcast_to(self.ctx.block_linear_index(), full_off.shape)
+        vals = self.data[blk, full_off]
+        if mask is not None:
+            vals = np.where(np.broadcast_to(mask, vals.shape), vals, self.dtype.type(0))
+        return RegArray(self.ctx, vals)
+
+    def fill(self, value) -> None:
+        """Host-style initialisation (not counted; used for test setup)."""
+        self.data[...] = value

@@ -1,0 +1,101 @@
+"""CUDA warp-shuffle intrinsics (``__shfl_*_sync``) on simulated registers.
+
+Shuffles are the only way registers move between lanes of a warp
+(Sec. III-B2), and they are central to the parallel warp-scans the paper
+measures against: Kogge-Stone (Alg. 3) uses :func:`shfl_up`, the
+Ladner-Fischer scan (Alg. 4) uses segmented :func:`shfl`.
+
+Semantics follow the hardware:
+
+* lanes are the last axis of the register array;
+* ``width`` splits the warp into independent sub-segments (used by
+  LF-scan's ``shfl(data, i-1, 2*i)``);
+* ``shfl_up`` leaves the lowest ``delta`` lanes of each segment unchanged
+  (they receive their own value), exactly like ``__shfl_up_sync``.
+
+Every shuffle is counted as one warp instruction on the shuffle pipeline
+(throughput 32 lane-ops/SM/clock per the CUDA manual, latency 33 clocks on
+P100 / 39 on V100 per the paper's micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from .regfile import RegArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import KernelContext
+
+__all__ = ["shfl", "shfl_up", "shfl_down", "shfl_xor"]
+
+
+def _lane_index(warp_size: int) -> np.ndarray:
+    return np.arange(warp_size, dtype=np.int64)
+
+
+def _count(ctx: "KernelContext") -> None:
+    ctx._count_shuffle()
+
+
+def shfl_up(ctx: "KernelContext", reg: RegArray, delta: int, width: int = 32) -> RegArray:
+    """``__shfl_up_sync``: lane ``l`` receives lane ``l - delta``'s value.
+
+    Lanes whose in-segment index is below ``delta`` receive their own value.
+    """
+    ws = reg.a.shape[-1]
+    lanes = _lane_index(ws)
+    src = lanes - delta
+    keep = (lanes % width) < delta
+    src = np.where(keep, lanes, src)
+    out = reg.a[..., src]
+    _count(ctx)
+    return RegArray(ctx, out)
+
+
+def shfl_down(ctx: "KernelContext", reg: RegArray, delta: int, width: int = 32) -> RegArray:
+    """``__shfl_down_sync``: lane ``l`` receives lane ``l + delta``'s value."""
+    ws = reg.a.shape[-1]
+    lanes = _lane_index(ws)
+    src = lanes + delta
+    keep = (lanes % width) + delta >= width
+    src = np.where(keep, lanes, src)
+    out = reg.a[..., src]
+    _count(ctx)
+    return RegArray(ctx, out)
+
+
+def shfl(
+    ctx: "KernelContext",
+    reg: RegArray,
+    src_lane: Union[int, np.ndarray],
+    width: int = 32,
+) -> RegArray:
+    """``__shfl_sync``: broadcast from ``src_lane`` within each segment.
+
+    ``src_lane`` is taken modulo ``width`` inside each ``width``-wide
+    sub-segment, matching the hardware behaviour LF-scan relies on.
+    ``src_lane`` may be a scalar or a per-lane array.
+    """
+    ws = reg.a.shape[-1]
+    lanes = _lane_index(ws)
+    base = (lanes // width) * width
+    src = base + (np.asarray(src_lane, dtype=np.int64) % width)
+    out = reg.a[..., src] if src.ndim <= 1 else np.take_along_axis(
+        reg.a, np.broadcast_to(src, reg.a.shape), axis=-1
+    )
+    _count(ctx)
+    return RegArray(ctx, out)
+
+
+def shfl_xor(ctx: "KernelContext", reg: RegArray, lane_mask: int, width: int = 32) -> RegArray:
+    """``__shfl_xor_sync``: butterfly exchange with lane ``l ^ lane_mask``."""
+    ws = reg.a.shape[-1]
+    lanes = _lane_index(ws)
+    src = lanes ^ lane_mask
+    src = np.where(src // width == lanes // width, src, lanes)
+    out = reg.a[..., src]
+    _count(ctx)
+    return RegArray(ctx, out)

@@ -1,0 +1,84 @@
+"""Warp- and lane-level indexing helpers.
+
+The simulator vectorises execution across every block and warp of a launch;
+register values live in arrays of shape ``(blocks, warps_per_block,
+warp_size)``.  The helpers here construct the broadcastable identity arrays
+(``laneId``, ``warpId``, block indices) every kernel needs, mirroring the
+CUDA built-ins ``threadIdx`` / ``blockIdx`` under the x-major thread
+linearisation rule:
+
+    tid   = threadIdx.z * (blockDim.y * blockDim.x)
+          + threadIdx.y * blockDim.x + threadIdx.x
+    warp  = tid // warpSize
+    lane  = tid %  warpSize
+
+The warp/lane decomposition of ``threadIdx`` is what makes NPP's
+``scanCol`` launch geometry (block ``(1, 256, 1)``, Table II) produce
+*uncoalesced* global accesses: consecutive lanes map to consecutive ``y``
+and therefore to addresses a whole row apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "lane_ids",
+    "warp_ids",
+    "block_ids",
+    "thread_xy",
+    "ballot_any",
+]
+
+
+def lane_ids(warp_size: int = 32) -> np.ndarray:
+    """``laneId`` for every lane: shape ``(1, 1, warp_size)``."""
+    return np.arange(warp_size, dtype=np.int64).reshape(1, 1, warp_size)
+
+
+def warp_ids(warps_per_block: int) -> np.ndarray:
+    """``warpId`` within the block: shape ``(1, warps_per_block, 1)``."""
+    return np.arange(warps_per_block, dtype=np.int64).reshape(1, warps_per_block, 1)
+
+
+def block_ids(grid: Tuple[int, int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``blockIdx.(x, y, z)`` arrays of shape ``(n_blocks, 1, 1)``.
+
+    Blocks are linearised x-major (x fastest) like the hardware scheduler
+    enumerates them.
+    """
+    gx, gy, gz = grid
+    n = gx * gy * gz
+    lin = np.arange(n, dtype=np.int64)
+    bx = lin % gx
+    by = (lin // gx) % gy
+    bz = lin // (gx * gy)
+    shape = (n, 1, 1)
+    return bx.reshape(shape), by.reshape(shape), bz.reshape(shape)
+
+
+def thread_xy(
+    block_dim: Tuple[int, int, int], warps_per_block: int, warp_size: int = 32
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``threadIdx.(x, y, z)`` per (warp, lane): shapes ``(1, W, L)``.
+
+    Derived from the linear thread id, so any block shape (``(1024,1,1)``,
+    ``(32,32,1)``, ``(1,256,1)`` ...) yields the correct per-lane
+    coordinates.
+    """
+    bx, by, _bz = block_dim
+    tid = (
+        np.arange(warps_per_block, dtype=np.int64).reshape(1, warps_per_block, 1) * warp_size
+        + np.arange(warp_size, dtype=np.int64).reshape(1, 1, warp_size)
+    )
+    tx = tid % bx
+    ty = (tid // bx) % by
+    tz = tid // (bx * by)
+    return tx, ty, tz
+
+
+def ballot_any(mask: np.ndarray) -> bool:
+    """True if any simulated lane is active (host-side loop control)."""
+    return bool(np.any(mask))

@@ -1,0 +1,15 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .runner import ALGO_SCALING, MeasuredPoint, Runner
+from .tables import format_series, format_table, pivot_series
+from . import experiments
+
+__all__ = [
+    "ALGO_SCALING",
+    "MeasuredPoint",
+    "Runner",
+    "format_series",
+    "format_table",
+    "pivot_series",
+    "experiments",
+]

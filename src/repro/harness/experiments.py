@@ -1,0 +1,252 @@
+"""One entry point per table and figure of the paper (DESIGN.md Sec. 4).
+
+Every function returns ``{"rows": [...], "text": "..."}``: structured data
+plus the formatted report the benchmarks print and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.npp_sat import NPP_KERNEL_TABLE, NPP_SUPPORTED_PAIRS
+from ..gpusim.device import DEVICES, get_device
+from ..gpusim.microbench import measure_latencies, measure_throughputs
+from ..perfmodel.equations import WarpTileModel
+from ..perfmodel.verification import (
+    verify_fig8_inequalities,
+    verify_warp_tile_counts,
+)
+from .runner import Runner
+from .tables import format_series, format_table
+
+__all__ = [
+    "FIG67_SIZES",
+    "FIG67_PAIRS",
+    "FIG8_SIZES",
+    "table1",
+    "table2",
+    "microbench",
+    "model_equations",
+    "fig6",
+    "fig7",
+    "fig8",
+    "model_verification",
+    "headline",
+    "ablation_scan_variant",
+    "ablation_brlt_stride",
+]
+
+#: Matrix sides for the Fig. 6/7 sweeps (the paper's 1k^2 .. 16k^2).
+FIG67_SIZES: List[int] = [1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384]
+#: Type pairs plotted in Figs. 6/7 (8u32s also stands for 8u32u/8u32f,
+#: which the paper reports as "nearly the same").
+FIG67_PAIRS: List[str] = ["8u32s", "8u32f", "32f32f", "64f64f"]
+#: Fig. 8 plots the per-kernel breakdown from 1k^2 to 4k^2.
+FIG8_SIZES: List[int] = [1024, 2048, 3072, 4096]
+
+#: Algorithms plotted in the figures, ours first.
+FIG67_ALGOS = ["brlt_scanrow", "scanrow_brlt", "scan_row_column", "opencv", "npp"]
+
+
+# --------------------------------------------------------------------------
+def table1() -> Dict:
+    """Table I: shared memory vs. register files per SM."""
+    rows = []
+    for name in ("M40", "P100", "V100"):
+        d = DEVICES[name]
+        rows.append({
+            "Tesla GPU": d.name,
+            "Shared Memory/SM (KB)": d.shared_mem_per_sm // 1024,
+            "Registers/SM (KB)": d.registers_per_sm_bytes // 1024,
+            "SMs": d.sm_count,
+        })
+    return {"rows": rows, "text": format_table(rows, title="Table I")}
+
+
+def table2() -> Dict:
+    """Table II: NPP kernel details recovered from the NPP model."""
+    rows = [dict(r, blockSize=str(r["blockSize"])) for r in NPP_KERNEL_TABLE]
+    return {"rows": rows, "text": format_table(rows, title="Table II (NPP kernels)")}
+
+
+def microbench(devices: Sequence[str] = ("P100", "V100")) -> Dict:
+    """Sec. V-A micro-benchmarks: measured latencies and throughputs."""
+    rows = []
+    for dev in devices:
+        lat = measure_latencies(dev)
+        rows.append({
+            "device": dev,
+            "smem latency (clk)": lat.shared_mem,
+            "shuffle latency (clk)": lat.shuffle,
+            "add latency (clk)": lat.add,
+            "AND latency (clk)": lat.bool_and,
+            "gmem latency (clk)": lat.global_mem,
+        })
+    tp = measure_throughputs(devices[0])
+    tp_rows = [{
+        "device": devices[0],
+        "add ops/clk/SM": tp.add_ops_per_clock,
+        "AND ops/clk/SM": tp.bool_ops_per_clock,
+        "shuffle ops/clk/SM": tp.shuffle_ops_per_clock,
+        "smem BW (GB/s)": tp.shared_bw / 1e9,
+    }]
+    text = (format_table(rows, title="Sec. V-A latencies (measured on the simulator)")
+            + "\n\n" + format_table(tp_rows, title="Pipeline throughputs"))
+    return {"rows": rows + tp_rows, "text": text}
+
+
+def model_equations(devices: Sequence[str] = ("P100", "V100")) -> Dict:
+    """Eqs. 3-15 evaluated per device, plus the warp-tile counter check."""
+    rows = []
+    for dev in devices:
+        m = WarpTileModel(get_device(dev))
+        rows.append({
+            "device": dev,
+            "L_transpose (clk)": m.l_transpose,
+            "L_scan_row (clk)": m.l_scan_row,
+            "L_scan_col (clk)": m.l_scan_col,
+            "Eq6 (<<)": m.eq6_holds(),
+            "Eq14": m.eq14_holds(),
+            "Eq15": m.eq15_holds(),
+        })
+    counts = verify_warp_tile_counts(devices[0])
+    count_rows = [
+        {"quantity": k, "measured": v["measured"], "paper": v["paper"],
+         "match": v["match"]}
+        for k, v in counts.items()
+    ]
+    text = (format_table(rows, title="Sec. V latency model (Eqs. 3-6, 14-15)")
+            + "\n\n" + format_table(count_rows, floatfmt="{:.0f}",
+                                    title="Warp-tile operation counts vs. paper"))
+    return {"rows": rows, "count_rows": count_rows, "text": text}
+
+
+# --------------------------------------------------------------------------
+def _fig67(device: str, runner: Optional[Runner], sizes, pairs) -> Dict:
+    runner = runner or Runner()
+    rows = runner.sweep(FIG67_ALGOS, pairs, sizes, device=device, baseline="opencv")
+    sections = []
+    for pair in pairs:
+        sub = [r for r in rows if r["pair"] == pair]
+        sections.append(format_series(
+            sub, x="size", series="algorithm", y="time_us",
+            title=f"[{device} {pair}] execution time (us)"))
+        sections.append(format_series(
+            sub, x="size", series="algorithm", y="speedup_vs_baseline",
+            title=f"[{device} {pair}] speedup vs OpenCV"))
+    return {"rows": rows, "text": "\n\n".join(sections)}
+
+
+def fig6(runner: Optional[Runner] = None, sizes=None, pairs=None) -> Dict:
+    """Fig. 6: speedup and execution time on Tesla P100."""
+    return _fig67("P100", runner, sizes or FIG67_SIZES, pairs or FIG67_PAIRS)
+
+
+def fig7(runner: Optional[Runner] = None, sizes=None, pairs=None) -> Dict:
+    """Fig. 7: speedup and execution time on Tesla V100."""
+    return _fig67("V100", runner, sizes or FIG67_SIZES, pairs or FIG67_PAIRS)
+
+
+def fig8(runner: Optional[Runner] = None, device: str = "P100",
+         sizes=None, pair: str = "32f32f") -> Dict:
+    """Fig. 8: per-kernel breakdown (1st and 2nd scan) for 32f32f."""
+    runner = runner or Runner()
+    sizes = sizes or FIG8_SIZES
+    rows = []
+    for size in sizes:
+        for algo in ("brlt_scanrow", "scanrow_brlt", "scan_row_column"):
+            pt = runner.measure(algo, pair, device, size)
+            for idx, (kname, t) in enumerate(pt.kernel_times_us()):
+                rows.append({
+                    "size": size,
+                    "kernel": kname,
+                    "pass": idx + 1,
+                    "time_us": t,
+                })
+    text = format_series(rows, x="size", series="kernel", y="time_us",
+                         title=f"Fig. 8: {pair} kernel breakdown on {device} (us)")
+    return {"rows": rows, "text": text}
+
+
+def model_verification(device: str = "P100", sizes=None) -> Dict:
+    """Sec. VI-D: the three kernel-time inequalities at each Fig. 8 size."""
+    sizes = sizes or FIG8_SIZES[:2]
+    rows = []
+    for size in sizes:
+        v = verify_fig8_inequalities(size, device)
+        rows.append({
+            "size": size,
+            "T_BRLT-ScanRow": v.t_brlt_scanrow,
+            "T_ScanRow-BRLT": v.t_scanrow_brlt,
+            "T_ScanRow": v.t_scanrow,
+            "T_ScanColumn": v.t_scancolumn,
+            "(1) ScanCol<BRLT-SR": v.check1_scancol_lt_brlt_scanrow,
+            "(2) BRLT pays": v.check2_brlt_pays_off,
+            "(3) serial wins": v.check3_serial_beats_parallel,
+        })
+    return {"rows": rows, "text": format_table(
+        rows, title=f"Sec. VI-D model verification on {device}")}
+
+
+def headline(runner: Optional[Runner] = None, devices=("P100", "V100")) -> Dict:
+    """The abstract's claim: max speedup over OpenCV and over NPP."""
+    runner = runner or Runner()
+    rows = []
+    for device in devices:
+        best_cv, best_npp = 0.0, 0.0
+        arg_cv = arg_npp = ""
+        for pair in FIG67_PAIRS:
+            for size in FIG67_SIZES:
+                ours = runner.measure("brlt_scanrow", pair, device, size).time_us
+                cv = runner.measure("opencv", pair, device, size).time_us
+                if cv / ours > best_cv:
+                    best_cv, arg_cv = cv / ours, f"{pair}@{size}"
+                if pair in NPP_SUPPORTED_PAIRS:
+                    npp = runner.measure("npp", pair, device, size).time_us
+                    if npp / ours > best_npp:
+                        best_npp, arg_npp = npp / ours, f"{pair}@{size}"
+        rows.append({
+            "device": device,
+            "max speedup vs OpenCV": best_cv,
+            "at": arg_cv,
+            "max speedup vs NPP": best_npp,
+            "at ": arg_npp,
+        })
+    text = format_table(rows, title="Headline speedups (paper: 2.3x OpenCV, 3.2x NPP)")
+    return {"rows": rows, "text": text}
+
+
+def ablation_scan_variant(runner: Optional[Runner] = None, device: str = "P100",
+                          sizes=None, pair: str = "32f32f") -> Dict:
+    """Sec. VI-C1: Kogge-Stone vs. LF-scan (and the other warp scans)."""
+    runner = runner or Runner()
+    sizes = sizes or [1024, 4096]
+    rows = []
+    for scan in ("kogge_stone", "ladner_fischer", "brent_kung", "han_carlson"):
+        for size in sizes:
+            pt = runner.measure("scanrow_brlt", pair, device, size, scan=scan)
+            rows.append({"scan": scan, "size": size, "time_us": pt.time_us})
+    text = format_series(rows, x="size", series="scan", y="time_us",
+                         title=f"Warp-scan variant ablation (ScanRow-BRLT, {pair}, {device})")
+    return {"rows": rows, "text": text}
+
+
+def ablation_brlt_stride(runner: Optional[Runner] = None, device: str = "P100",
+                         sizes=None, pair: str = "32f32f") -> Dict:
+    """Alg. 5 line 2: stride-33 (conflict-free) vs stride-32 staging."""
+    runner = runner or Runner()
+    sizes = sizes or [1024, 4096]
+    rows = []
+    for stride in (33, 32):
+        for size in sizes:
+            pt = runner.measure("brlt_scanrow", pair, device, size,
+                                brlt_stride=stride)
+            replays = sum(s.counters.smem_bank_conflict_replays for s in pt.launches)
+            rows.append({
+                "stride": stride,
+                "size": size,
+                "time_us": pt.time_us,
+                "bank_conflict_replays": replays,
+            })
+    return {"rows": rows, "text": format_table(
+        rows, title=f"BRLT staging-stride ablation ({pair}, {device})")}

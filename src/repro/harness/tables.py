@@ -1,0 +1,60 @@
+"""Plain-text table and series formatting for the experiment reports.
+
+The paper reports figures (speedup / time vs. size curves) and tables;
+the benchmarks print the same content as aligned ASCII so the rows can be
+compared against the paper directly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "pivot_series", "format_series"]
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None,
+                 floatfmt: str = "{:.2f}", title: str = "") -> str:
+    """Align a list of dict rows into a monospaced table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    grid = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(g[i]) for g in grid)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(" | ".join(v.rjust(w) for v, w in zip(g, widths)) for g in grid)
+    out = f"{header}\n{sep}\n{body}"
+    return f"{title}\n{out}" if title else out
+
+
+def pivot_series(rows: Sequence[dict], x: str, series: str, y: str) -> Dict[str, List]:
+    """Pivot flat rows into ``{series_value: [(x, y), ...]}`` curves."""
+    out: Dict[str, List] = {}
+    for r in rows:
+        out.setdefault(str(r[series]), []).append((r[x], r[y]))
+    for curve in out.values():
+        curve.sort()
+    return out
+
+
+def format_series(rows: Sequence[dict], x: str, series: str, y: str,
+                  floatfmt: str = "{:.2f}", title: str = "") -> str:
+    """Print curves as one row per series and one column per x value —
+    the textual equivalent of one subplot of Figs. 6-8."""
+    curves = pivot_series(rows, x, series, y)
+    xs = sorted({r[x] for r in rows})
+    table_rows = []
+    for name, pts in curves.items():
+        by_x = dict(pts)
+        row = {series: name}
+        for xv in xs:
+            row[str(xv)] = by_x.get(xv, float("nan"))
+        table_rows.append(row)
+    return format_table(table_rows, columns=[series] + [str(v) for v in xs],
+                        floatfmt=floatfmt, title=title)

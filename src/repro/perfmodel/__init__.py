@@ -1,0 +1,19 @@
+"""Sec.-V analytic performance model and its verification."""
+
+from .equations import WarpTileModel
+from .verification import (
+    Fig8Verification,
+    WarpTileCounts,
+    measure_warp_tile,
+    verify_fig8_inequalities,
+    verify_warp_tile_counts,
+)
+
+__all__ = [
+    "WarpTileModel",
+    "Fig8Verification",
+    "WarpTileCounts",
+    "measure_warp_tile",
+    "verify_fig8_inequalities",
+    "verify_warp_tile_counts",
+]

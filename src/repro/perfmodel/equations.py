@@ -1,0 +1,224 @@
+"""Closed forms of the Sec.-V performance model (Eqs. 3-15).
+
+Every quantity the paper derives by hand for a single warp processing one
+32x32 register matrix, as explicit functions of the device constants, so
+the model-verification benchmarks can print the paper's numbers next to
+the simulator's measured counters:
+
+=====================  =============================  =============
+quantity               formula                        P100 value
+=====================  =============================  =============
+N_trans_smem           32*32 stores + 32*32 loads     1024 + 1024
+L_transpose (Eq. 3)    64 stages * smem latency       2304 clk
+N_scan_row_stage       log2(32) * C                   160
+N_KoggeStone_add       (31+30+28+24+16) * C           4128
+N_LF_add               16*5 * 32                      2560
+N_scan_row_sfl         = N_scan_row_stage             160
+L_scan_row (Eq. 4)     160 * (33 + 6)                 6240 clk
+N_scan_col_stage       C - 1                          31
+N_scan_col_add         32 * 31                        992
+L_scan_col (Eq. 5)     31 * 6                         186 clk
+=====================  =============================  =============
+
+plus the throughput-side Eqs. 10-13 and the two conclusions
+(Eq. 6: ``L_transpose + L_scan_col << L_scan_row``; Eqs. 14-15: the
+transpose-plus-serial-scan time is far below either parallel scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec, P100
+
+__all__ = [
+    "C",
+    "WARP_SIZE",
+    "n_trans_store_smem",
+    "n_trans_load_smem",
+    "transpose_stages",
+    "latency_transpose",
+    "n_scan_row_stage",
+    "n_kogge_stone_add",
+    "n_lf_add",
+    "n_lf_and",
+    "n_scan_row_sfl",
+    "latency_scan_row",
+    "n_scan_col_stage",
+    "n_scan_col_add",
+    "latency_scan_col",
+    "time_transpose",
+    "time_scan_col_add",
+    "time_shuffle",
+    "time_kogge_stone_add",
+    "time_lf_add",
+    "WarpTileModel",
+]
+
+#: Elements cached per thread (Sec. IV-1).
+C = 32
+#: Threads per warp, constant across all Nvidia generations.
+WARP_SIZE = 32
+
+
+# --- operation counts (Sec. V-B) ------------------------------------------
+
+
+def n_trans_store_smem() -> int:
+    """Shared-memory stores to stage one 32x32 register matrix: 1024."""
+    return 32 * 32
+
+
+def n_trans_load_smem() -> int:
+    """Shared-memory loads to read the transposed matrix back: 1024."""
+    return 32 * 32
+
+
+def transpose_stages() -> int:
+    """``N_stages = C + C = 64`` (store phase + load phase)."""
+    return C + C
+
+
+def latency_transpose(device: DeviceSpec = P100) -> float:
+    """Eq. 3: ``64 * smem latency`` (2304 clk on P100, 1728 on V100)."""
+    return transpose_stages() * device.shared_mem_latency
+
+
+def n_scan_row_stage() -> int:
+    """``log2(WarpSize) * C = 160`` parallel-scan stages for 32 rows."""
+    return 5 * C
+
+
+def n_kogge_stone_add() -> int:
+    """``(31+30+28+24+16) * C = 4128`` additions (Sec. V-B2)."""
+    return (31 + 30 + 28 + 24 + 16) * C
+
+
+def n_lf_add() -> int:
+    """``(16+16+16+16+16) * 32 = 2560`` additions for LF-scan."""
+    return (16 * 5) * 32
+
+
+def n_lf_and() -> int:
+    """``WarpSize * stages-per-row * C = 5120`` boolean guards (Alg. 4)."""
+    return (WARP_SIZE * 5) * C
+
+
+def n_scan_row_sfl() -> int:
+    """One shuffle per stage: 160."""
+    return n_scan_row_stage()
+
+
+def latency_scan_row(device: DeviceSpec = P100) -> float:
+    """Eq. 4: ``160 * (shuffle latency + add latency)`` = 6240 clk on P100."""
+    return n_scan_row_stage() * (device.shuffle_latency + device.add_latency)
+
+
+def n_scan_col_stage() -> int:
+    """``C - 1 = 31`` serial-scan stages (Alg. 2)."""
+    return C - 1
+
+
+def n_scan_col_add() -> int:
+    """``WarpSize * 31 = 992`` concurrent additions, zero divergence."""
+    return WARP_SIZE * n_scan_col_stage()
+
+
+def latency_scan_col(device: DeviceSpec = P100) -> float:
+    """Eq. 5: ``31 * add latency`` = 186 clk on P100."""
+    return n_scan_col_stage() * device.add_latency
+
+
+# --- throughput-side times (Eqs. 10-13), in clocks per SM -----------------
+
+
+def time_transpose(device: DeviceSpec = P100, elem_size: int = 4) -> float:
+    """Eq. 10: staging bytes over the per-SM shared-memory bandwidth."""
+    total_bytes = (n_trans_store_smem() + n_trans_load_smem()) * elem_size
+    return total_bytes / device.shared_bw_per_sm_clock
+
+
+def time_scan_col_add(device: DeviceSpec = P100) -> float:
+    """Eq. 11: serial-scan additions over the add pipeline."""
+    return n_scan_col_add() / device.add_throughput
+
+
+def time_shuffle(device: DeviceSpec = P100) -> float:
+    """Eq. 12: scan-row shuffles over the shuffle pipeline.
+
+    The paper counts warp-level shuffle instructions against the
+    32-op/clock pipeline (one warp instruction per clock).
+    """
+    return n_scan_row_sfl() * WARP_SIZE / device.shuffle_throughput
+
+
+def time_kogge_stone_add(device: DeviceSpec = P100) -> float:
+    """Eq. 13: Kogge-Stone additions over the add pipeline."""
+    return n_kogge_stone_add() / device.add_throughput
+
+
+def time_lf_add(device: DeviceSpec = P100) -> float:
+    """LF-scan additions plus its boolean guards (Eq. 15 numerator)."""
+    return n_lf_add() / device.add_throughput + n_lf_and() / device.bool_throughput
+
+
+@dataclass(frozen=True)
+class WarpTileModel:
+    """All Sec.-V quantities for one device, bundled for reporting."""
+
+    device: DeviceSpec
+
+    @property
+    def l_transpose(self) -> float:
+        return latency_transpose(self.device)
+
+    @property
+    def l_scan_row(self) -> float:
+        return latency_scan_row(self.device)
+
+    @property
+    def l_scan_col(self) -> float:
+        return latency_scan_col(self.device)
+
+    @property
+    def t_transpose(self) -> float:
+        return time_transpose(self.device)
+
+    @property
+    def t_scan_col_add(self) -> float:
+        return time_scan_col_add(self.device)
+
+    @property
+    def t_shuffle(self) -> float:
+        return time_shuffle(self.device)
+
+    @property
+    def t_kogge_stone_add(self) -> float:
+        return time_kogge_stone_add(self.device)
+
+    @property
+    def t_lf_add(self) -> float:
+        return time_lf_add(self.device)
+
+    def eq6_holds(self) -> bool:
+        """Eq. 6: ``L_transpose + L_scan_col << L_scan_row`` (latency side).
+
+        "Much less" is read as at most half; on P100 the ratio is
+        (2304 + 186) / 6240 = 0.40.
+        """
+        return self.eq6_ratio() < 0.5
+
+    def eq6_ratio(self) -> float:
+        return (self.l_transpose + self.l_scan_col) / self.l_scan_row
+
+    def eq14_holds(self) -> bool:
+        """Eq. 14: ``T_KS_add + T_shuffle >> T_trans + T_scan_col_add``."""
+        return (self.t_kogge_stone_add + self.t_shuffle) > (
+            self.t_transpose + self.t_scan_col_add
+        )
+
+    def eq15_holds(self) -> bool:
+        """Eq. 15: same conclusion for the LF-scan variant."""
+        return (self.t_lf_add + self.t_shuffle) > (
+            self.t_transpose + self.t_scan_col_add
+        )

@@ -1,0 +1,32 @@
+"""The paper's contribution: register-cache SAT algorithms (Sec. IV)."""
+
+from .api import ALGORITHMS, BASELINE_ALGORITHMS, PAPER_ALGORITHMS, integral, sat
+from .box_filter import box_filter, rect_mean, rect_sum, rect_sums
+from .brlt import alloc_brlt_smem, brlt_staging_batches, brlt_transpose
+from .brlt_scanrow import sat_brlt_scanrow
+from .common import SatRun
+from .naive import exclusive_from_inclusive, sat_reference, sat_serial_literal
+from .scan_row_column import sat_scan_row_column
+from .scanrow_brlt import sat_scanrow_brlt
+
+__all__ = [
+    "ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "integral",
+    "sat",
+    "box_filter",
+    "rect_mean",
+    "rect_sum",
+    "rect_sums",
+    "alloc_brlt_smem",
+    "brlt_staging_batches",
+    "brlt_transpose",
+    "sat_brlt_scanrow",
+    "SatRun",
+    "exclusive_from_inclusive",
+    "sat_reference",
+    "sat_serial_literal",
+    "sat_scan_row_column",
+    "sat_scanrow_brlt",
+]

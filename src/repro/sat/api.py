@@ -1,0 +1,111 @@
+"""Public SAT API: one entry point over every algorithm and baseline.
+
+>>> import numpy as np
+>>> from repro import sat
+>>> img = np.random.randint(0, 256, (480, 640)).astype(np.uint8)
+>>> run = sat(img, pair="8u32s", algorithm="brlt_scanrow", device="P100")
+>>> run.output.shape
+(480, 640)
+>>> run.time_us  # modeled GPU time                       # doctest: +SKIP
+
+``ALGORITHMS`` is the registry the benchmarks sweep over; every entry has
+the same signature ``(image, pair=..., device=..., **opts) -> SatRun``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..baselines.bilgic import sat_bilgic
+from ..baselines.cpu import sat_cpu_numpy, sat_cpu_serial
+from ..baselines.npp_sat import sat_npp
+from ..baselines.opencv_sat import sat_opencv
+from ..dtypes import parse_pair
+from .brlt_scanrow import sat_brlt_scanrow
+from .common import SatRun
+from .naive import exclusive_from_inclusive
+from .scan_row_column import sat_scan_row_column
+from .scanrow_brlt import sat_scanrow_brlt
+
+__all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "BASELINE_ALGORITHMS", "sat", "integral"]
+
+#: The paper's three contributions (Sec. IV).
+PAPER_ALGORITHMS: Dict[str, Callable[..., SatRun]] = {
+    "brlt_scanrow": sat_brlt_scanrow,
+    "scanrow_brlt": sat_scanrow_brlt,
+    "scan_row_column": sat_scan_row_column,
+}
+
+#: The comparison systems (Sec. VI).
+BASELINE_ALGORITHMS: Dict[str, Callable[..., SatRun]] = {
+    "opencv": sat_opencv,
+    "npp": sat_npp,
+    "bilgic": sat_bilgic,
+    "cpu_numpy": sat_cpu_numpy,
+    "cpu_serial": sat_cpu_serial,
+}
+
+ALGORITHMS: Dict[str, Callable[..., SatRun]] = {**PAPER_ALGORITHMS, **BASELINE_ALGORITHMS}
+
+
+def sat(
+    image: np.ndarray,
+    pair: Optional[str] = None,
+    algorithm: str = "brlt_scanrow",
+    device: str = "P100",
+    exclusive: bool = False,
+    **opts,
+) -> SatRun:
+    """Compute the inclusive Summed Area Table of ``image``.
+
+    Parameters
+    ----------
+    image:
+        2-D input matrix.  Any shape; internally zero-padded to the
+        algorithm's tile multiples and cropped back.
+    pair:
+        Input/output type pair in the paper's spelling (``"8u32s"``,
+        ``"32f32f"``...).  Defaults to the identity pair of ``image``'s
+        dtype, except 8u input which defaults to the common ``8u32s``.
+    algorithm:
+        Key into :data:`ALGORITHMS` — one of the paper's three kernels or
+        a baseline.
+    device:
+        Simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
+    exclusive:
+        Return the exclusive table of Eq. 2 (zero first row/column)
+        instead of the inclusive one.  The conversion is the host-side
+        shift the paper calls "easy" (Sec. III-A).
+    **opts:
+        Algorithm-specific options, e.g. ``scan="ladner_fischer"`` for the
+        parallel-warp-scan kernels, or ``brlt_stride=32`` for the
+        bank-conflict ablation.
+
+    Returns
+    -------
+    SatRun
+        Output matrix plus per-kernel launch statistics and modeled time.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"SAT input must be 2-D, got shape {image.shape}")
+    if pair is None:
+        tp = parse_pair("8u32s") if image.dtype == np.uint8 else parse_pair(image.dtype)
+    else:
+        tp = parse_pair(pair)
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    run = fn(image, pair=tp, device=device, **opts)
+    if exclusive:
+        run.output = exclusive_from_inclusive(run.output)
+    return run
+
+
+def integral(image: np.ndarray, **kwargs) -> np.ndarray:
+    """OpenCV-style convenience wrapper: returns just the SAT matrix."""
+    return sat(image, **kwargs).output

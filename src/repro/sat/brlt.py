@@ -1,0 +1,83 @@
+"""Alg. 5 — Block-Register-Local-Transpose (BRLT).
+
+The paper's core novelty: transposing the 32x32 *register matrix* each
+warp holds, through a small shared-memory staging buffer, so that a prefix
+sum along the awkward dimension becomes a per-thread serial loop.
+
+Mechanics (Alg. 5):
+
+* each warp owns 32 registers x 32 lanes;
+* ``S = 32 / sizeof(T)`` warps stage concurrently through a
+  ``__shared__ T sMem[S][32][33]`` buffer (the batching keeps the buffer
+  within the SM's shared memory);
+* the stride-33 padding staggers the column read across all 32 banks —
+  with stride 32 the read-back would be a 32-way bank conflict
+  (Sec. IV-2; the stride ablation benchmark measures both);
+* a barrier separates batches because consecutive batches reuse the
+  staging slots.
+
+Per warp: 32 stores + 32 loads = 64 shared-memory transactions, the
+``N_trans`` of Eq. 3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+from ..gpusim.shared_mem import SharedMem
+
+__all__ = ["brlt_staging_batches", "alloc_brlt_smem", "brlt_transpose"]
+
+
+def brlt_staging_batches(elem_size: int) -> int:
+    """``S = 32 / sizeof(T)`` concurrent staging warps (Sec. IV-2)."""
+    return max(1, 32 // elem_size)
+
+
+def alloc_brlt_smem(
+    ctx: KernelContext, dtype, stride: int = 33, name: str = "sMemBRLT"
+) -> SharedMem:
+    """Allocate the ``[S][32][stride]`` staging buffer of Alg. 5 line 2.
+
+    ``stride`` defaults to the paper's conflict-free 33; the ablation
+    benchmark passes 32 to measure the conflict penalty.
+    """
+    s = brlt_staging_batches(np.dtype(dtype).itemsize)
+    return ctx.alloc_shared((s, 32, stride), dtype, name=name)
+
+
+def brlt_transpose(
+    ctx: KernelContext, regs: List[RegArray], smem: SharedMem
+) -> List[RegArray]:
+    """Transpose each warp's 32x32 register matrix in place (Alg. 5).
+
+    On return ``regs[j]`` holds what lane ``j`` previously held in register
+    ``laneId``: ``new[j][lane] == old[lane][j]`` within every warp.
+    """
+    s_batches = smem.shape[0]
+    warp_count = ctx.warps_per_block
+    wid = ctx.warp_id()
+    lane = ctx.lane_id()
+
+    for i in range(0, warp_count, s_batches):
+        active = (wid >= i) & (wid < i + s_batches)
+        with ctx.only_warps(active):
+            k = np.clip(wid - i, 0, s_batches - 1)
+            for j in range(32):
+                smem.store((k, j, lane), regs[j])
+            # Pipeline drain: the first read-back must wait for the last
+            # store to land (one shared-memory latency, Sec. V-A).
+            ctx._chain(float(ctx.device.shared_mem_latency))
+            for j in range(32):
+                # Inactive warps keep their registers (they run in a
+                # different batch); select_active models the predicate.
+                regs[j] = ctx.select_active(smem.load((k, lane, j)), regs[j])
+            # Drain of the read phase before the registers are consumed.
+            ctx._chain(float(ctx.device.shared_mem_latency))
+        if i + s_batches < warp_count:
+            ctx.syncthreads()
+    return regs

@@ -1,0 +1,63 @@
+"""Alg. 1 — the naive serial inclusive SAT, and host references.
+
+``sat_reference`` is the golden reference every GPU algorithm is checked
+against: two accumulating passes in the output element type, wrapping on
+integer overflow exactly like 32-bit CUDA arithmetic (the paper notes
+overflow is possible and out of scope; we make the *semantics* match so
+comparisons are bit-exact).
+
+``sat_serial_literal`` transcribes Alg. 1 loop-for-loop; the property
+tests use it to validate the vectorised reference, and it doubles as the
+``2*H*W``-addition CPU baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import TypePair, parse_pair
+
+__all__ = ["sat_reference", "sat_serial_literal", "exclusive_from_inclusive"]
+
+
+def sat_reference(image: np.ndarray, pair="32f32f") -> np.ndarray:
+    """Inclusive SAT of ``image`` under type pair ``pair`` (Eq. 1).
+
+    Accumulation happens in the output type with wrap-around integer
+    semantics, matching what the device kernels produce.
+    """
+    tp: TypePair = parse_pair(pair)
+    acc = image.astype(tp.output.np_dtype, copy=False)
+    with np.errstate(over="ignore"):
+        rows = np.cumsum(acc, axis=1, dtype=tp.output.np_dtype)
+        return np.cumsum(rows, axis=0, dtype=tp.output.np_dtype)
+
+
+def sat_serial_literal(image: np.ndarray, pair="32f32f") -> np.ndarray:
+    """Line-for-line transcription of Alg. 1 (naive serial inclusive SAT)."""
+    tp: TypePair = parse_pair(pair)
+    h, w = image.shape
+    i_mat = image.astype(tp.output.np_dtype, copy=False)
+    j_mat = np.zeros((h, w), dtype=tp.output.np_dtype)
+    with np.errstate(over="ignore"):
+        j_mat[0][0] = i_mat[0][0]
+        for i in range(1, w):
+            j_mat[0][i] = i_mat[0][i] + j_mat[0][i - 1]
+        for j in range(1, h):
+            s = tp.output.np_dtype.type(0)
+            for i in range(0, w):
+                s = s + i_mat[j][i]
+                j_mat[j][i] = j_mat[j - 1][i] + s
+    return j_mat
+
+
+def exclusive_from_inclusive(sat: np.ndarray) -> np.ndarray:
+    """Convert an inclusive SAT into the exclusive form of Eq. 2.
+
+    The exclusive table is the inclusive one shifted down-right by one,
+    with a zero first row and column — the transformation the paper notes
+    is "easy" (Sec. III-A).
+    """
+    out = np.zeros_like(sat)
+    out[1:, 1:] = sat[:-1, :-1]
+    return out

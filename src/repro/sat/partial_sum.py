@@ -1,0 +1,86 @@
+"""Fig. 3c — aggregating per-warp partial sums across a CUDA block.
+
+After each warp has scanned its own 32x32 tile, the tiles of one block
+still miss the contribution of the tiles to their left (handled by warps
+with a smaller ``warpId``).  The paper's three steps:
+
+1. every warp stores its per-row tile totals (the last row of its
+   register matrix) into a ``WarpCount x WarpSize`` shared matrix;
+2. the partial sums are scanned *in shared memory* along the warp axis
+   (warp 0 walks the matrix serially — ``WarpCount`` is at most 32, so
+   this is cheap and divergence-free);
+3. each warp fetches the exclusive prefix for its slot and adds it to all
+   of its cached values.
+
+The same helper also returns the block-wide total per row so the caller
+can carry it into the next strip of a wide matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+from ..gpusim.shared_mem import SharedMem
+
+__all__ = ["alloc_partial_sum_smem", "block_prefix_offsets"]
+
+
+def alloc_partial_sum_smem(ctx: KernelContext, dtype, name: str = "sMemPartial") -> SharedMem:
+    """Allocate the ``WarpCount x WarpSize`` partial-sum matrix."""
+    return ctx.alloc_shared((ctx.warps_per_block, ctx.warp_size), dtype, name=name)
+
+
+def block_prefix_offsets(
+    ctx: KernelContext, tile_totals: RegArray, smem: SharedMem
+) -> Tuple[RegArray, RegArray]:
+    """Cross-warp exclusive offsets and the block total (Fig. 3c).
+
+    Parameters
+    ----------
+    tile_totals:
+        Per-lane tile totals of each warp (the last row of the register
+        matrix after the tile scan).
+    smem:
+        The ``WarpCount x WarpSize`` staging matrix.
+
+    Returns
+    -------
+    (offsets, block_total):
+        ``offsets`` is zero for warp 0 and the sum of all lower-``warpId``
+        totals otherwise; ``block_total`` is the per-lane sum over every
+        warp of the block (the carry for the next strip).
+    """
+    wid = ctx.warp_id()
+    lane = ctx.lane_id()
+    wc = ctx.warps_per_block
+
+    # Step 1: populate the WarpCount x WarpSize matrix.  Single-warp
+    # blocks need no barrier (warp-synchronous).
+    smem.store((wid, lane), tile_totals)
+    if wc > 1:
+        ctx.syncthreads()
+
+    # Step 2: scan along the warp axis.  Warp 0's lanes each own one
+    # column; the serial walk is conflict-free (row-major rows).
+    if wc > 1:
+        first_warp = wid == 0
+        with ctx.only_warps(first_warp):
+            acc = smem.load((0, lane))
+            for w in range(1, wc):
+                acc = acc + smem.load((w, lane))
+                smem.store((w, lane), acc)
+        ctx.syncthreads()
+
+    # Step 3: fetch the exclusive prefix for this warp's slot.
+    if wc > 1:
+        prev = np.clip(wid - 1, 0, wc - 1)
+        offsets = smem.load((prev, lane))
+        offsets = offsets.where(np.broadcast_to(wid > 0, offsets.a.shape), 0)
+    else:
+        offsets = ctx.const(0, tile_totals.dtype)
+    block_total = smem.load((wc - 1, lane))
+    return offsets, block_total

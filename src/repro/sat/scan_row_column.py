@@ -1,0 +1,169 @@
+"""Sec. IV-C — the Register-based ScanRowColumn algorithm.
+
+Two *different* kernels, no transpose anywhere:
+
+* **ScanRow** (Sec. IV-C1, Fig. 4): one warp per matrix row.  Each thread
+  caches ``C = 32`` elements, so a warp covers 1024 consecutive row
+  elements per step; every 32-element chunk is scanned with a parallel
+  warp-scan, and the chunk's last value is carried into the next chunk's
+  first lane through a shuffle.
+* **ScanColumn** (Sec. IV-C2): blocks of 32x32 threads walk 32-column
+  stripes downwards.  Lanes map to adjacent columns, so the loads stay
+  coalesced while every thread runs the *serial* scan down its column —
+  the orientation where the serial scan is "perfect" (Sec. V-B3).  Warp
+  partial sums are aggregated with the Fig.-3c shared-memory fix-up and
+  carried across 1024-row bands.
+
+Fig. 8 plots both kernels individually; ``2 * T_BRLT-ScanRow <
+T_ScanRow + T_ScanColumn`` (Sec. VI-D item 2) is what justifies BRLT.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import List
+
+import numpy as np
+
+from ..dtypes import parse_pair
+from ..gpusim.device import get_device
+from ..gpusim.global_mem import GlobalArray
+from ..gpusim.launch import launch_kernel
+from ..scan import WARP_SCANS
+from ..scan.serial import serial_scan_registers
+from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
+from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
+
+__all__ = [
+    "scanrow_kernel",
+    "scancolumn_kernel",
+    "scanrow_pass",
+    "scancolumn_pass",
+    "sat_scan_row_column",
+]
+
+
+def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone"):
+    """Row-prefix kernel: one warp per row, 32-element chunks with carry."""
+    h, w = src.shape
+    acc = dst.dtype
+    warp_scan = WARP_SCANS[scan_name]
+    lane = ctx.lane_id()
+    wid = ctx.warp_id()
+    by = ctx.block_idx("y")
+    row = by * ctx.warps_per_block + wid
+
+    n_chunks = w // 32
+    carry = ctx.const(0, acc)
+    c = 0
+    while c < n_chunks:
+        # Cache up to C=32 chunks (1024 elements per warp) in registers.
+        batch = min(32, n_chunks - c)
+        data: List = [
+            src.load(ctx, row, (c + j) * 32 + lane).astype(acc) for j in range(batch)
+        ]
+        for j in range(batch):
+            # Inject the running carry into lane 0; the scan propagates it.
+            data[j] = data[j].add_where(lane == 0, carry)
+            data[j] = warp_scan(ctx, data[j])
+            carry = ctx.shfl(data[j], 31)
+        for j in range(batch):
+            dst.store(ctx, row, (c + j) * 32 + lane, value=data[j])
+        c += batch
+
+
+def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray):
+    """Column-prefix kernel: 32-column stripes, serial scan per thread."""
+    h, w = src.shape
+    acc = dst.dtype
+    lane = ctx.lane_id()
+    wid = ctx.warp_id()
+    bx = ctx.block_idx("x")
+    col = bx * 32 + lane
+
+    smem_p = alloc_partial_sum_smem(ctx, acc)
+    band_h = ctx.warps_per_block * 32
+    n_bands = (h + band_h - 1) // band_h
+    carry = ctx.const(0, acc)
+
+    for band in range(n_bands):
+        row0 = band * band_h + wid * 32
+        partial = (band + 1) * band_h > h
+        scope = ctx.only_warps(row0 < h) if partial else nullcontext()
+        with scope:
+            # Coalesced loads: lanes walk adjacent columns.
+            data: List = [src.load(ctx, row0 + j, col).astype(acc) for j in range(32)]
+            # Serial scan straight down the column (Alg. 2).
+            data = serial_scan_registers(ctx, data)
+            # Cross-warp fix-up within the band + running band carry.
+            ctx.syncthreads()
+            offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+            offs = offs + carry
+            data = [d + offs for d in data]
+            carry = carry + total
+            for j in range(32):
+                dst.store(ctx, row0 + j, col, value=data[j])
+        if band + 1 < n_bands:
+            ctx.syncthreads()
+
+
+def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
+                 scan: str = "kogge_stone") -> tuple:
+    """Launch the ScanRow kernel; returns ``(dst, stats)``."""
+    dev = get_device(device)
+    h, w = src.shape
+    threads = block_threads(acc, dev)
+    # One warp per row; h is padded to a multiple of 32, so wpb divides h.
+    wpb = min(threads // 32, h)
+    dst = GlobalArray.empty((h, w), acc.np_dtype, name=f"{name}_out")
+    stats = launch_kernel(
+        scanrow_kernel,
+        device=dev,
+        grid=(1, (h + wpb - 1) // wpb, 1),
+        block=(wpb * 32, 1, 1),
+        regs_per_thread=regs_per_thread(acc),
+        args=(src, dst, scan),
+        name=name,
+        mlp=32,  # 32 independent tile loads in flight per warp
+    )
+    return dst, stats
+
+
+def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn") -> tuple:
+    """Launch the ScanColumn kernel; returns ``(dst, stats)``."""
+    dev = get_device(device)
+    h, w = src.shape
+    threads = block_threads(acc, dev)
+    wpb = min(threads // 32, max(1, h // 32))
+    dst = GlobalArray.empty((h, w), acc.np_dtype, name=f"{name}_out")
+    stats = launch_kernel(
+        scancolumn_kernel,
+        device=dev,
+        grid=(w // 32, 1, 1),
+        block=(32, wpb, 1),
+        regs_per_thread=regs_per_thread(acc),
+        args=(src, dst),
+        name=name,
+        mlp=32,  # 32 independent tile loads in flight per warp
+    )
+    return dst, stats
+
+
+def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
+                        scan: str = "kogge_stone", **_opts) -> SatRun:
+    """Full SAT via ScanRow then ScanColumn (Sec. IV-C, Fig. 5)."""
+    tp = parse_pair(pair)
+    dev = get_device(device)
+    orig = image.shape
+    padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
+
+    src = GlobalArray(padded, "input")
+    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan)
+    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output)
+    return SatRun(
+        output=crop(out.to_host(), orig),
+        launches=[s1, s2],
+        algorithm="scan_row_column",
+        device=dev.name,
+        pair=tp.name,
+    )

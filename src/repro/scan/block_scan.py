@@ -1,0 +1,62 @@
+"""Block-level shared-memory scan (the scratchpad pattern, Sec. II).
+
+The conventional GPU scan the paper positions against: a Hillis-Steele
+scan across a whole thread block, staged through shared memory with a
+barrier per stage.  Both library baselines are built on it — OpenCV's
+generic ``horisontal_pass`` and NPP's ``scanRow``/``scanCol`` — so it
+lives here as a shared, tested component.
+
+Cost profile per ``n``-element chunk: ``log2 n`` stages, each a dependent
+shared-memory read + predicated add + write + two barriers — the latency-
+and scratchpad-traffic budget that register-cache kernels eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+from ..gpusim.shared_mem import SharedMem
+
+__all__ = ["alloc_block_scan_smem", "block_scan_with_carry"]
+
+
+def alloc_block_scan_smem(ctx: KernelContext, dtype, name: str = "sMemScan") -> SharedMem:
+    """One shared-memory word per thread of the block."""
+    return ctx.alloc_shared((ctx.threads_per_block,), dtype, name=name)
+
+
+def block_scan_with_carry(
+    ctx: KernelContext,
+    smem: SharedMem,
+    x: RegArray,
+    tid: np.ndarray,
+    carry: RegArray,
+) -> Tuple[RegArray, RegArray]:
+    """Inclusive Hillis-Steele scan of one value per thread, plus carry.
+
+    ``carry`` (the running total of previous chunks) is injected into
+    thread 0 before the scan and propagates with it; the new carry (the
+    block total) is broadcast back from the last slot.
+
+    Returns ``(scanned, new_carry)``.
+    """
+    n = ctx.threads_per_block
+    x = x.add_where(tid == 0, carry)
+    smem.store((tid,), x)
+    ctx.syncthreads()
+    d = 1
+    while d < n:
+        # Each stage's read depends on the previous stage's writes from
+        # other warps: full shared-memory latency on the chain.
+        val = smem.load((np.clip(tid - d, 0, n - 1),), dependent=True)
+        ctx.syncthreads()
+        x = x.add_where(tid >= d, val)
+        smem.store((tid,), x)
+        ctx.syncthreads()
+        d *= 2
+    new_carry = smem.load((np.full_like(tid, n - 1),))
+    return x, new_carry

@@ -1,0 +1,41 @@
+"""Brent-Kung warp scan (Sec. III-C2 reference pattern [48], [49]).
+
+The work-efficient tree scan: an up-sweep builds power-of-two partial
+sums, an inclusive down-sweep distributes them.  ``2 log2 N - 1`` stages
+and ``2N - 2 - log2 N`` additions — fewer adds than Kogge-Stone but twice
+the depth, which is why shuffle-latency-bound warp scans usually prefer
+Kogge-Stone.  Included as one of the CUDA-optimised scan patterns of
+Dieguez et al. [44] that the paper positions against.
+
+Lane predicates are pre-computed index masks (the hardware would fold
+them into the instruction predicate); additions are counted per active
+lane via ``add_where``.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+
+__all__ = ["brent_kung_scan"]
+
+
+def brent_kung_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> RegArray:
+    """Inclusive Brent-Kung scan of one register across the warp's lanes."""
+    lane = ctx.lane_id() % width
+
+    # Up-sweep: lanes k*2d-1 accumulate the partial sum d lanes below.
+    d = 1
+    while d < width:
+        val = ctx.shfl_up(data, d, width)
+        data = data.add_where((lane & (2 * d - 1)) == (2 * d - 1), val)
+        d *= 2
+
+    # Inclusive down-sweep: lanes k*2d + d - 1 (k >= 1) pick up the tree
+    # sum ending d lanes below.
+    d = width // 4
+    while d >= 1:
+        val = ctx.shfl_up(data, d, width)
+        data = data.add_where(((lane & (2 * d - 1)) == (d - 1)) & (lane >= d), val)
+        d //= 2
+    return data

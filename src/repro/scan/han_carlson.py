@@ -1,0 +1,37 @@
+"""Han-Carlson warp scan (Sec. III-C2 reference pattern [51]).
+
+The Brent-Kung / Kogge-Stone hybrid: one pairing stage, a Kogge-Stone
+scan over the odd lanes, and one final fix-up stage for the even lanes.
+``log2 N + 1`` stages with roughly half of Kogge-Stone's additions.
+Included as one of the CUDA-optimised scan patterns of Dieguez et al.
+[44]; the SAT drivers accept it anywhere a parallel warp scan is used.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+
+__all__ = ["han_carlson_scan"]
+
+
+def han_carlson_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> RegArray:
+    """Inclusive Han-Carlson scan of one register across the warp's lanes."""
+    lane = ctx.lane_id() % width
+    odd = (lane & 1) == 1
+
+    # Pairing stage: odd lanes absorb their left neighbour.
+    val = ctx.shfl_up(data, 1, width)
+    data = data.add_where(odd, val)
+
+    # Kogge-Stone among odd lanes (distances 2, 4, ..., width/2).
+    d = 2
+    while d < width:
+        val = ctx.shfl_up(data, d, width)
+        data = data.add_where(odd & (lane >= d), val)
+        d *= 2
+
+    # Fix-up: even lanes (except 0) add the inclusive sum one lane below.
+    val = ctx.shfl_up(data, 1, width)
+    data = data.add_where((~odd) & (lane >= 1), val)
+    return data

@@ -1,0 +1,30 @@
+"""Alg. 3 — Kogge-Stone warp scan via ``shfl_up``.
+
+The widely adopted shuffle-based parallel warp scan: ``log2 N`` stages; at
+stage ``i`` every lane with ``laneId >= i`` adds the value ``i`` lanes
+below.  For a 32-wide warp that is ``31+30+28+24+16 = 129`` additions and
+5 shuffles per scanned row (Sec. V-B2).
+
+(The paper's listing guards with ``laneId > i``; the classic algorithm —
+and the arithmetic in Sec. V-B2, which counts ``N - 2^k`` active lanes per
+stage — uses ``>=``.  We implement ``>=``; tests check the scan against
+``np.cumsum`` and the add count against the Sec.-V formula.)
+"""
+
+from __future__ import annotations
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+
+__all__ = ["kogge_stone_scan"]
+
+
+def kogge_stone_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> RegArray:
+    """Inclusive Kogge-Stone scan of one register across the warp's lanes."""
+    lane = ctx.lane_id() % width
+    i = 1
+    while i < width:
+        val = ctx.shfl_up(data, i, width)
+        data = data.add_where(lane >= i, val)
+        i *= 2
+    return data

@@ -1,0 +1,34 @@
+"""Alg. 4 — Ladner-Fischer (Sklansky) warp scan via segmented ``shfl``.
+
+The minimum-depth scan: ``log2 N`` stages and ``N/2`` additions per stage
+(``16 * 5 = 80`` adds for a 32-wide warp — the paper's
+``N_LF_add = (16+16+16+16+16) * 32`` counts 32 rows).  Each stage ``i``
+broadcasts lane ``i-1`` of every ``2i``-wide segment to the segment's
+upper half, guarded by the boolean test ``(laneId & (2i - 1)) >= i`` —
+the extra AND traffic Eq. ``N_LF_and`` accounts for.
+
+The paper is the first to apply LF-scan to SAT; Sec. VI-C1 finds it ties
+Kogge-Stone end-to-end because the workload is memory-bound, which the
+ablation benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray
+
+__all__ = ["ladner_fischer_scan"]
+
+
+def ladner_fischer_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> RegArray:
+    """Inclusive LF-scan of one register across the warp's lanes."""
+    lane_reg = ctx.from_array(ctx.lane_id() % width)
+    i = 1
+    while i < width:
+        # Broadcast the top of each segment's lower half to the whole segment.
+        val = ctx.shfl(data, i - 1, 2 * i)
+        # Boolean guard from Alg. 4 line 4 (counted on the AND pipeline).
+        in_upper_half = (lane_reg & (2 * i - 1)) >= i
+        data = data.add_where(in_upper_half, val)
+        i *= 2
+    return data

@@ -1,0 +1,111 @@
+"""Host-side scan references and the closed-form operation counts.
+
+:func:`inclusive_scan` / :func:`exclusive_scan` are the numpy golden
+references every device scan is tested against (with wrap-around integer
+semantics matching CUDA arithmetic).
+
+The ``*_stages`` / ``*_adds`` functions are the closed forms quoted in
+Secs. III-C and V-B: e.g. a Kogge-Stone warp scan takes ``log2 N`` stages
+and ``sum(N - 2^k)`` additions, a serial scan ``N - 1`` of each, and an
+LF-scan ``log2 N`` stages of ``N/2`` additions.  The test suite asserts
+that the *measured* instruction counters of the simulated scans equal
+these formulas exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "inclusive_scan",
+    "exclusive_scan",
+    "serial_scan_stages",
+    "serial_scan_adds",
+    "kogge_stone_stages",
+    "kogge_stone_adds",
+    "ladner_fischer_stages",
+    "ladner_fischer_adds",
+    "brent_kung_adds",
+    "han_carlson_adds",
+]
+
+
+def inclusive_scan(v: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inclusive prefix sum with CUDA wrap-around semantics.
+
+    numpy promotes small integers before summing; we accumulate in the
+    input dtype so 32-bit overflow wraps exactly like device arithmetic.
+    """
+    v = np.asarray(v)
+    with np.errstate(over="ignore"):
+        return np.cumsum(v, axis=axis, dtype=v.dtype)
+
+
+def exclusive_scan(v: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Exclusive prefix sum (first element 0)."""
+    inc = inclusive_scan(v, axis=axis)
+    out = np.zeros_like(inc)
+    sl_src = [slice(None)] * inc.ndim
+    sl_dst = [slice(None)] * inc.ndim
+    sl_src[axis] = slice(None, -1)
+    sl_dst[axis] = slice(1, None)
+    out[tuple(sl_dst)] = inc[tuple(sl_src)]
+    return out
+
+
+# --- operation-count closed forms (Secs. III-C, V-B) -------------------
+
+
+def serial_scan_stages(n: int) -> int:
+    """A serial scan needs ``N - 1`` dependent stages (Sec. III-C1)."""
+    return n - 1
+
+
+def serial_scan_adds(n: int) -> int:
+    """... and ``N - 1`` additions."""
+    return n - 1
+
+
+def kogge_stone_stages(n: int) -> int:
+    """``log2 N`` stages (Alg. 3)."""
+    return int(math.log2(n))
+
+
+def kogge_stone_adds(n: int) -> int:
+    """``sum over stages of (N - 2^k)`` additions.
+
+    For ``N = 32``: ``31 + 30 + 28 + 24 + 16 = 129`` per row, matching the
+    paper's ``N_KoggeStone_add = (31+30+28+24+16) * C`` for ``C`` rows.
+    """
+    return sum(n - (1 << k) for k in range(int(math.log2(n))))
+
+
+def ladner_fischer_stages(n: int) -> int:
+    """``log2 N`` stages (Alg. 4 / Sklansky construction)."""
+    return int(math.log2(n))
+
+
+def ladner_fischer_adds(n: int) -> int:
+    """``(N/2) * log2 N`` additions — 16 per stage for a 32-wide warp."""
+    return (n // 2) * int(math.log2(n))
+
+
+def brent_kung_adds(n: int) -> int:
+    """``2N - 2 - log2 N`` additions (up-sweep plus inclusive down-sweep)."""
+    return 2 * n - 2 - int(math.log2(n))
+
+
+def han_carlson_adds(n: int) -> int:
+    """Pair stage + Kogge-Stone over odd lanes + final even fix-up."""
+    half = n // 2
+    # pair stage: n/2 adds; KS over odds at distances 2,4,...,n/2 counts the
+    # odd lanes >= d; final stage: n/2 - 1 adds.
+    total = half
+    d = 2
+    while d < n:
+        total += sum(1 for lane in range(1, n, 2) if lane >= d)
+        d *= 2
+    total += half - 1
+    return total

@@ -1,0 +1,17 @@
+"""Deterministic synthetic workloads for tests, examples and benchmarks."""
+
+from .generators import (
+    blob_scene,
+    checkerboard,
+    gradient_image,
+    random_matrix,
+    synthetic_document,
+)
+
+__all__ = [
+    "blob_scene",
+    "checkerboard",
+    "gradient_image",
+    "random_matrix",
+    "synthetic_document",
+]

@@ -1,0 +1,92 @@
+"""Synthetic workload generators.
+
+The paper evaluates on matrices of given sizes and element types; SAT cost
+is data-independent, so synthetic data is a faithful substitute for image
+corpora (DESIGN.md substitution table).  Generators are deterministic
+given a seed so every experiment is reproducible, and produce values in
+ranges that exercise the dtype semantics (8u saturating the full byte
+range, signed ints crossing zero, floats with negative mass).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import DType, parse_dtype
+
+__all__ = [
+    "random_matrix",
+    "gradient_image",
+    "synthetic_document",
+    "blob_scene",
+    "checkerboard",
+]
+
+
+def random_matrix(shape: Tuple[int, int], dtype="8u", seed: int = 0) -> np.ndarray:
+    """Uniform random matrix in the natural range of ``dtype``."""
+    dt: DType = parse_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    h, w = shape
+    if dt.is_integer:
+        info = np.iinfo(dt.np_dtype)
+        lo = 0 if info.min == 0 else -100
+        hi = min(int(info.max), 255) + 1 if info.min == 0 else 100
+        return rng.integers(lo, hi, size=(h, w)).astype(dt.np_dtype)
+    return rng.standard_normal((h, w)).astype(dt.np_dtype)
+
+
+def gradient_image(shape: Tuple[int, int], dtype="8u") -> np.ndarray:
+    """Smooth diagonal gradient — catches index-transposition bugs."""
+    dt: DType = parse_dtype(dtype)
+    h, w = shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    g = (ys / max(h - 1, 1) + xs / max(w - 1, 1)) / 2.0
+    if dt.is_integer:
+        return (g * 255).astype(dt.np_dtype)
+    return g.astype(dt.np_dtype)
+
+
+def synthetic_document(shape: Tuple[int, int] = (480, 640), seed: int = 0) -> np.ndarray:
+    """A fake scanned page: bright background, dark "text" strokes, uneven
+    illumination — the adaptive-thresholding workload (Bradley-Roth [7])."""
+    rng = np.random.default_rng(seed)
+    h, w = shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    # Illumination falls off towards one corner.
+    illum = 200 - 90 * (xs / w) * (ys / h)
+    page = illum + rng.normal(0, 4, size=(h, w))
+    # Horizontal "text lines" of random dark strokes.
+    for line in range(8, h - 8, 24):
+        n_strokes = rng.integers(10, 30)
+        for _ in range(n_strokes):
+            x0 = int(rng.integers(4, max(5, w - 24)))
+            ln = int(rng.integers(4, 20))
+            page[line:line + 10, x0:x0 + ln] -= rng.integers(90, 140)
+    return np.clip(page, 0, 255).astype(np.uint8)
+
+
+def blob_scene(shape: Tuple[int, int] = (256, 256), n_blobs: int = 6,
+               seed: int = 0, blob_value: int = 200,
+               blob_size: Optional[Tuple[int, int]] = None) -> np.ndarray:
+    """Dark scene with bright rectangular blobs — template-matching and
+    Haar-feature workloads."""
+    rng = np.random.default_rng(seed)
+    h, w = shape
+    img = rng.integers(0, 40, size=(h, w)).astype(np.int64)
+    bh, bw = blob_size if blob_size else (h // 10, w // 10)
+    for _ in range(n_blobs):
+        y = int(rng.integers(0, max(1, h - bh)))
+        x = int(rng.integers(0, max(1, w - bw)))
+        img[y:y + bh, x:x + bw] = blob_value + rng.integers(-20, 20, size=(bh, bw))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def checkerboard(shape: Tuple[int, int], tile: int = 8) -> np.ndarray:
+    """Alternating tiles — worst case for compression-style assumptions,
+    handy for pooling tests with exactly computable answers."""
+    h, w = shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    return (((ys // tile) + (xs // tile)) % 2 * 255).astype(np.uint8)

@@ -1,0 +1,169 @@
+"""Application workloads vs. brute-force references."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    STANDARD_FEATURES,
+    adaptive_threshold,
+    adaptive_threshold_reference,
+    average_pool,
+    average_pool_reference,
+    best_match,
+    box_blur,
+    box_blur_reference,
+    box_convolve,
+    evaluate_feature,
+    integral_histogram,
+    match_template,
+    match_template_reference,
+    sliding_window_features,
+)
+from repro.sat.naive import sat_reference
+from repro.workloads import blob_scene, checkerboard, synthetic_document
+
+
+class TestBoxBlur:
+    def test_matches_bruteforce(self):
+        img = blob_scene((48, 56), seed=1)
+        np.testing.assert_allclose(box_blur(img, 3), box_blur_reference(img, 3),
+                                   rtol=1e-10)
+
+    def test_radius_one(self):
+        img = blob_scene((32, 32), seed=2)
+        np.testing.assert_allclose(box_blur(img, 1), box_blur_reference(img, 1),
+                                   rtol=1e-10)
+
+    def test_blur_reduces_variance(self):
+        img = blob_scene((64, 64), seed=3)
+        assert box_blur(img, 5).var() < img.astype(float).var()
+
+    def test_constant_image_unchanged(self):
+        img = np.full((40, 40), 123, dtype=np.uint8)
+        np.testing.assert_allclose(box_blur(img, 4), 123.0)
+
+
+class TestAdaptiveThreshold:
+    def test_matches_bruteforce(self):
+        doc = synthetic_document((72, 96), seed=1)
+        got = adaptive_threshold(doc, window=11)
+        want = adaptive_threshold_reference(doc, window=11)
+        np.testing.assert_array_equal(got, want)
+
+    def test_finds_dark_strokes(self):
+        doc = synthetic_document((96, 128), seed=2)
+        mask = adaptive_threshold(doc, window=15)
+        # Text pixels are a minority but present.
+        assert 0.01 < mask.mean() < 0.5
+
+    def test_uniform_page_has_no_foreground(self):
+        page = np.full((48, 48), 200, dtype=np.uint8)
+        assert not adaptive_threshold(page, window=9).any()
+
+    def test_requires_8bit(self):
+        with pytest.raises(TypeError):
+            adaptive_threshold(np.zeros((32, 32), dtype=np.float32))
+
+
+class TestHaar:
+    def test_five_standard_prototypes(self):
+        assert len(STANDARD_FEATURES) == 5
+        names = {f.name for f in STANDARD_FEATURES}
+        assert "edge_horizontal" in names and "four_rectangle" in names
+
+    def test_feature_weights_balance(self):
+        """Every prototype has zero response on constant input."""
+        img = np.full((64, 64), 100, dtype=np.uint8)
+        table = sat_reference(img, "8u64f")
+        for feat in STANDARD_FEATURES:
+            assert evaluate_feature(table, feat, 8, 8, 24) == pytest.approx(0.0)
+
+    def test_edge_feature_detects_contrast(self):
+        img = np.zeros((64, 64), dtype=np.uint8)
+        img[:32, :] = 200  # bright top half
+        table = sat_reference(img, "8u64f")
+        edge = STANDARD_FEATURES[0]  # top-minus-bottom
+        assert evaluate_feature(table, edge, 16, 16, 32) > 0
+
+    def test_sliding_window_shape(self):
+        img = blob_scene((64, 80), seed=4)
+        fmap = sliding_window_features(img, window=24, stride=8)
+        assert fmap.shape == ((64 - 24) // 8 + 1, (80 - 24) // 8 + 1, 5)
+
+    def test_sliding_window_matches_pointwise(self):
+        img = blob_scene((48, 48), seed=5)
+        fmap = sliding_window_features(img, window=16, stride=16)
+        table = sat_reference(img, "8u64f")
+        for fi, feat in enumerate(STANDARD_FEATURES):
+            assert fmap[1, 1, fi] == pytest.approx(
+                evaluate_feature(table, feat, 16, 16, 16))
+
+
+class TestTemplateMatching:
+    def test_matches_bruteforce(self):
+        scene = blob_scene((60, 60), n_blobs=2, seed=6)
+        tpl = scene[10:22, 10:22]
+        got = match_template(scene, tpl)
+        want = match_template_reference(scene, tpl)
+        np.testing.assert_allclose(got, want, atol=1e-8)
+
+    def test_finds_planted_template(self):
+        scene = blob_scene((80, 80), n_blobs=1, seed=3, blob_size=(12, 12))
+        ys, xs = np.where(scene > 150)
+        ty, tx = int(ys.min()), int(xs.min())
+        resp = match_template(scene, scene[ty:ty + 12, tx:tx + 12])
+        assert best_match(resp) == (ty, tx)
+        assert resp.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_response_bounded(self):
+        scene = blob_scene((50, 50), seed=7)
+        resp = match_template(scene, scene[5:15, 5:15])
+        assert resp.max() <= 1.0 + 1e-9 and resp.min() >= -1.0 - 1e-9
+
+
+class TestPooling:
+    def test_matches_reference(self, rng):
+        act = rng.standard_normal((64, 64)).astype(np.float32)
+        np.testing.assert_allclose(average_pool(act, 4),
+                                   average_pool_reference(act, 4), atol=1e-4)
+
+    def test_overlapping_stride(self, rng):
+        act = rng.standard_normal((32, 32)).astype(np.float32)
+        np.testing.assert_allclose(average_pool(act, 8, stride=4),
+                                   average_pool_reference(act, 8, stride=4),
+                                   atol=1e-4)
+
+    def test_output_shape(self, rng):
+        act = rng.standard_normal((64, 96)).astype(np.float32)
+        assert average_pool(act, 4).shape == (16, 24)
+
+    def test_checkerboard_pools_to_half(self):
+        img = checkerboard((32, 32), tile=8).astype(np.float32)
+        pooled = average_pool(img, 16)
+        np.testing.assert_allclose(pooled, 127.5)
+
+    def test_box_convolve_scales_pooling(self, rng):
+        act = rng.standard_normal((32, 32)).astype(np.float32)
+        conv = box_convolve(act, 4)
+        pool = average_pool(act, 4, stride=1)
+        np.testing.assert_allclose(conv, pool * 16, rtol=1e-5)
+
+
+class TestIntegralHistogram:
+    def test_region_histogram_sums_to_area(self):
+        img = blob_scene((64, 64), seed=8)
+        ih = integral_histogram(img, n_bins=8)
+        hist = ih.region_histogram(10, 10, 41, 41)
+        assert hist.sum() == 32 * 32
+
+    def test_matches_numpy_histogram(self):
+        img = blob_scene((48, 48), seed=9)
+        ih = integral_histogram(img, n_bins=4)
+        hist = ih.region_histogram(0, 0, 47, 47)
+        expect, _ = np.histogram(img, bins=ih.edges)
+        np.testing.assert_array_equal(hist, expect)
+
+    def test_checkerboard_two_bins(self):
+        ih = integral_histogram(checkerboard((32, 32)), n_bins=2)
+        hist = ih.region_histogram(0, 0, 31, 31)
+        np.testing.assert_array_equal(hist, [512, 512])

@@ -1,0 +1,77 @@
+"""SURF box-filter Hessian (Bay et al. [5])."""
+
+import numpy as np
+import pytest
+
+from repro.apps.surf import det_hessian, find_interest_points, hessian_responses
+from repro.sat.naive import sat_reference
+from repro.workloads import blob_scene, gradient_image
+
+
+@pytest.fixture
+def blob_table():
+    img = blob_scene((64, 64), n_blobs=1, seed=4, blob_size=(10, 10))
+    return img, sat_reference(img, "8u64f")
+
+
+class TestResponses:
+    def test_shapes(self, blob_table):
+        _, table = blob_table
+        d_xx, d_yy, d_xy = hessian_responses(table, lobe=3)
+        assert d_xx.shape == table.shape
+        assert d_yy.shape == table.shape
+        assert d_xy.shape == table.shape
+
+    def test_constant_image_zero_response(self):
+        img = np.full((48, 48), 77, dtype=np.uint8)
+        table = sat_reference(img, "8u64f")
+        d_xx, d_yy, d_xy = hessian_responses(table, lobe=3)
+        interior = np.s_[10:-10, 10:-10]
+        np.testing.assert_allclose(d_xx[interior], 0)
+        np.testing.assert_allclose(d_yy[interior], 0)
+        np.testing.assert_allclose(d_xy[interior], 0)
+
+    def test_dxx_dyy_symmetry_under_transpose(self):
+        img = gradient_image((48, 64), "8u")
+        t = sat_reference(img, "8u64f")
+        tt = sat_reference(img.T.copy(), "8u64f")
+        d_xx, d_yy, _ = hessian_responses(t, lobe=3)
+        d_xx_t, d_yy_t, _ = hessian_responses(tt, lobe=3)
+        interior = np.s_[10:-10, 10:-10]
+        np.testing.assert_allclose(d_xx[interior], d_yy_t.T[interior])
+
+    def test_horizontal_stripe_excites_dyy(self):
+        img = np.zeros((48, 48), dtype=np.uint8)
+        img[22:26, :] = 200  # bright horizontal bar
+        table = sat_reference(img, "8u64f")
+        d_xx, d_yy, _ = hessian_responses(table, lobe=3)
+        y, x = 24, 24
+        assert abs(d_yy[y, x]) > abs(d_xx[y, x])
+
+
+class TestDetection:
+    def test_points_land_on_blobs(self):
+        scene = blob_scene((96, 96), n_blobs=3, seed=4, blob_size=(10, 10))
+        resp = det_hessian(scene, lobe=3)
+        pts = find_interest_points(resp, float(np.percentile(resp, 99.8)))
+        assert pts, "no interest points found"
+        bright = scene > 150
+        for y, x in pts:
+            assert bright[max(0, y - 6):y + 6, max(0, x - 6):x + 6].any()
+
+    def test_flat_scene_has_no_points(self):
+        img = np.full((64, 64), 90, dtype=np.uint8)
+        resp = det_hessian(img, lobe=3)
+        assert find_interest_points(resp, threshold=1.0) == []
+
+    def test_nms_is_local_max(self):
+        scene = blob_scene((64, 64), n_blobs=2, seed=5)
+        resp = det_hessian(scene, lobe=3)
+        pts = find_interest_points(resp, float(np.percentile(resp, 99.5)))
+        for y, x in pts:
+            assert resp[y, x] == resp[y - 1:y + 2, x - 1:x + 2].max()
+
+    def test_larger_lobe_runs(self):
+        scene = blob_scene((96, 96), n_blobs=2, seed=6)
+        resp5 = det_hessian(scene, lobe=5)
+        assert resp5.shape == scene.shape

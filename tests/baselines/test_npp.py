@@ -1,0 +1,84 @@
+"""NPP model: Table II fidelity, bordered output, uncoalesced scanCol."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.npp_sat import (
+    NPP_KERNEL_TABLE,
+    NPP_SUPPORTED_PAIRS,
+    sat_npp,
+)
+from repro.sat.naive import sat_reference
+
+from tests.helpers import assert_sat_equal, make_image
+
+
+class TestTableII:
+    def test_scanrow_row(self):
+        row = NPP_KERNEL_TABLE[0]
+        assert row["kernel"] == "scanRow"
+        assert row["blockSize"] == (256, 1, 1)
+        assert row["Regs"] == 20
+
+    def test_scancol_row(self):
+        row = NPP_KERNEL_TABLE[1]
+        assert row["blockSize"] == (1, 256, 1)
+        assert row["Regs"] == 18
+
+    def test_launch_config_matches_table(self):
+        img = make_image((64, 300), "8u32s")
+        run = sat_npp(img, pair="8u32s")
+        scanrow, scancol = run.launches
+        assert scanrow.block == (256, 1, 1)
+        assert scanrow.grid[1] == 64  # (1, H, 1)
+        assert scancol.block == (1, 256, 1)
+        assert scancol.grid[0] == 512 + 1  # (W+1, 1, 1) after padding to 256
+        assert scanrow.regs_per_thread == 20
+        assert scancol.regs_per_thread == 18
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pair", sorted(NPP_SUPPORTED_PAIRS))
+    def test_supported_pairs(self, pair):
+        img = make_image((70, 90), pair, seed=1)
+        run = sat_npp(img, pair=pair)
+        assert_sat_equal(run.output, sat_reference(img, pair), pair)
+
+    def test_multi_chunk_column(self):
+        img = make_image((600, 64), "8u32s", seed=2)
+        run = sat_npp(img, pair="8u32s")
+        assert_sat_equal(run.output, sat_reference(img, "8u32s"), "8u32s")
+
+    def test_unsupported_pair_raises(self):
+        # Sec. VI-B1: NPP ships only 8u32s and 8u32f.
+        with pytest.raises(ValueError, match="NPP provides only"):
+            sat_npp(make_image((32, 32), "32f32f"), pair="32f32f")
+
+
+class TestUncoalescedScanCol:
+    def test_scancol_wastes_bandwidth(self):
+        """Each 4-byte element rides its own 32-byte sector."""
+        img = make_image((256, 256), "8u32s")
+        run = sat_npp(img, pair="8u32s")
+        scancol = run.launches[1].counters
+        useful = scancol.gmem_load_bytes + scancol.gmem_store_bytes
+        moved = scancol.gmem_sectors * 32
+        assert moved / useful > 6  # ~8x before edge effects
+
+    def test_scanrow_is_coalesced(self):
+        img = make_image((256, 256), "8u32s")
+        run = sat_npp(img, pair="8u32s")
+        scanrow = run.launches[0].counters
+        useful = scanrow.gmem_load_bytes + scanrow.gmem_store_bytes
+        assert scanrow.gmem_sectors * 32 < 1.6 * useful
+
+    def test_npp_slowest_of_the_libraries(self):
+        from repro.baselines.opencv_sat import sat_opencv
+        from repro.sat.brlt_scanrow import sat_brlt_scanrow
+        img = make_image((1024, 1024), "8u32s")
+        t_npp = sat_npp(img, pair="8u32s").time_us
+        t_cv = sat_opencv(img, pair="8u32s").time_us
+        t_ours = sat_brlt_scanrow(img, pair="8u32s").time_us
+        assert t_ours < t_cv
+        assert t_ours < t_npp
+        assert 1.5 < t_npp / t_ours < 4.0  # paper: up to 3.2x

@@ -1,0 +1,101 @@
+"""Extensions: BRLT-based Haar DWT and multi-device tiled SAT."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    haar_dwt2_brlt,
+    haar_dwt2_reference,
+    multi_tile_sat,
+)
+from repro.sat.naive import sat_reference
+
+from tests.helpers import make_image
+
+
+class TestHaarDWT:
+    def test_matches_reference(self, rng):
+        img = rng.standard_normal((64, 96)).astype(np.float32)
+        run = haar_dwt2_brlt(img)
+        np.testing.assert_allclose(run.output, haar_dwt2_reference(img),
+                                   atol=1e-5)
+
+    def test_quadrant_layout(self, rng):
+        img = rng.standard_normal((64, 64)).astype(np.float32)
+        out = haar_dwt2_brlt(img).output
+        # LL quadrant approximates a 2x2 mean.
+        ll = out[:32, :32]
+        expect = img.reshape(32, 2, 32, 2).mean(axis=(1, 3))
+        np.testing.assert_allclose(ll, expect, atol=1e-5)
+
+    def test_constant_image_has_zero_details(self):
+        img = np.full((32, 32), 3.0, dtype=np.float32)
+        out = haar_dwt2_brlt(img).output
+        np.testing.assert_allclose(out[:16, :16], 3.0, atol=1e-6)
+        np.testing.assert_allclose(out[16:, :], 0.0, atol=1e-6)
+        np.testing.assert_allclose(out[:, 16:], 0.0, atol=1e-6)
+
+    def test_energy_preserved_up_to_scaling(self, rng):
+        """Orthogonal transform up to the 0.5 normalisation: reconstruct."""
+        img = rng.standard_normal((32, 32)).astype(np.float32)
+        out = haar_dwt2_brlt(img).output
+        ll, hl = out[:16, :16], out[:16, 16:]
+        lh, hh = out[16:, :16], out[16:, 16:]
+        rec = np.zeros((32, 32), dtype=np.float64)
+        rec[0::2, 0::2] = ll + hl + lh + hh
+        rec[0::2, 1::2] = ll - hl + lh - hh
+        rec[1::2, 0::2] = ll + hl - lh - hh
+        rec[1::2, 1::2] = ll - hl - lh + hh
+        np.testing.assert_allclose(rec, img, atol=1e-5)
+
+    def test_two_kernel_launches(self, rng):
+        run = haar_dwt2_brlt(rng.standard_normal((32, 32)).astype(np.float32))
+        assert len(run.launches) == 2
+
+    def test_invalid_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            haar_dwt2_brlt(rng.standard_normal((32, 1056)).astype(np.float32))
+
+
+class TestMultiTile:
+    @pytest.mark.parametrize("grid", [(1, 2), (2, 1), (2, 2), (4, 2)])
+    def test_matches_single_device(self, grid):
+        img = make_image((128, 128), "32f32f", seed=1)
+        res = multi_tile_sat(img, grid=grid, pair="32f32f")
+        np.testing.assert_allclose(res.output, sat_reference(img, "32f32f"),
+                                   rtol=1e-4, atol=1e-2)
+
+    def test_integer_exact(self):
+        img = make_image((96, 64), "8u32s", seed=2)
+        res = multi_tile_sat(img, grid=(2, 2), pair="8u32s")
+        np.testing.assert_array_equal(res.output, sat_reference(img, "8u32s"))
+
+    def test_uneven_split_rejected(self):
+        img = make_image((100, 100), "32f32f")
+        with pytest.raises(ValueError):
+            multi_tile_sat(img, grid=(3, 3))
+
+    def test_one_run_per_tile(self):
+        img = make_image((128, 128), "32f32f")
+        res = multi_tile_sat(img, grid=(2, 2))
+        assert len(res.tile_runs) == 4
+
+    def test_comm_volume_is_edges_only(self):
+        img = make_image((128, 128), "32f32f")
+        res = multi_tile_sat(img, grid=(2, 2), pair="32f32f")
+        # O(H + W) vectors, far below the O(H*W) matrix.
+        assert 0 < res.comm_bytes < img.nbytes / 4
+
+    def test_scaling_model_reports(self):
+        img = make_image((128, 128), "32f32f")
+        res = multi_tile_sat(img, grid=(2, 2))
+        assert res.per_device_time_s > 0
+        assert res.total_time_s >= res.per_device_time_s
+
+    def test_tiles_faster_than_whole(self):
+        """Per-device kernel time shrinks with the tile (weak check)."""
+        from repro.sat.brlt_scanrow import sat_brlt_scanrow
+        img = make_image((1024, 1024), "32f32f")
+        whole = sat_brlt_scanrow(img, pair="32f32f").time_s
+        res = multi_tile_sat(img, grid=(2, 2), pair="32f32f")
+        assert res.per_device_time_s < whole

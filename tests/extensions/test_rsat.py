@@ -1,0 +1,76 @@
+"""Rotated SAT (Lienhart's tilted integral image)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.extensions.rsat import (
+    rsat,
+    rsat_reference,
+    tilted_rect_sum,
+    tilted_rect_sum_reference,
+    tilted_region_mask,
+)
+
+
+class TestRecurrence:
+    def test_matches_bruteforce_cones(self, rng):
+        img = rng.integers(0, 50, (12, 15)).astype(np.float64)
+        np.testing.assert_allclose(rsat(img), rsat_reference(img))
+
+    def test_delta_image_cone(self):
+        img = np.zeros((5, 7))
+        img[1, 3] = 1.0
+        t = rsat(img)
+        # Cones of all (y, x) with |3 - x| <= y - 1 contain the delta.
+        assert t[1, 3] == 1 and t[2, 2] == 1 and t[2, 4] == 1
+        assert t[2, 1] == 0 and t[1, 2] == 0
+
+    def test_left_border_cone_not_truncated(self):
+        img = np.zeros((6, 6))
+        img[0, 0] = 1.0
+        t = rsat(img)
+        # (3, 2): |0-2| = 2 <= 3 - 0: inside the cone despite the border.
+        assert t[3, 2] == 1
+
+    def test_bottom_row_is_near_total(self):
+        img = np.ones((4, 9))
+        t = rsat(img)
+        # Centre of the last row covers the full upward cone.
+        assert t[3, 4] == rsat_reference(img)[3, 4]
+
+    def test_tall_thin_image(self, rng):
+        img = rng.integers(0, 10, (20, 4)).astype(np.float64)
+        np.testing.assert_allclose(rsat(img), rsat_reference(img))
+
+
+class TestTiltedRectangles:
+    @pytest.mark.parametrize("rect", [(2, 6, 2, 2), (1, 8, 3, 2),
+                                      (3, 5, 1, 4), (0, 7, 2, 3)])
+    def test_four_lookup_formula(self, rng, rect):
+        img = rng.integers(0, 20, (16, 16)).astype(np.float64)
+        t = rsat(img)
+        assert tilted_rect_sum(t, *rect) == pytest.approx(
+            tilted_rect_sum_reference(img, *rect))
+
+    def test_mask_is_binary_with_2wh_pixels(self):
+        mask = tilted_region_mask((20, 20), 3, 9, 3, 2)
+        assert set(np.unique(mask)) <= {0, 1}
+        assert mask.sum() == 2 * 3 * 2
+
+    def test_out_of_range_corner_raises(self, rng):
+        img = rng.integers(0, 20, (10, 10)).astype(np.float64)
+        with pytest.raises(ValueError):
+            tilted_rect_sum(rsat(img), 8, 5, 3, 3)
+
+    def test_uniform_image_sum_is_area(self):
+        img = np.ones((20, 20))
+        t = rsat(img)
+        assert tilted_rect_sum(t, 2, 10, 2, 3) == 2 * 2 * 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(img=hnp.arrays(np.uint8, (10, 12)))
+def test_property_recurrence_equals_cones(img):
+    np.testing.assert_allclose(rsat(img), rsat_reference(img))

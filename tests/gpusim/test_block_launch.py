@@ -1,0 +1,151 @@
+"""KernelContext + launch_kernel: identities, predication, stats."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.gpusim.global_mem import GlobalArray
+from repro.gpusim.launch import launch_kernel
+
+
+class TestIdentities:
+    def test_lane_and_warp_shapes(self):
+        ctx = KernelContext(P100, grid=(2, 3, 1), block=(128, 1, 1))
+        assert ctx.shape == (6, 4, 32)
+        assert ctx.lane_id().shape == (1, 1, 32)
+        assert ctx.warp_id().shape == (1, 4, 1)
+
+    def test_block_idx_linearisation(self):
+        ctx = KernelContext(P100, grid=(2, 3, 1), block=32)
+        bx = ctx.block_idx("x")[:, 0, 0]
+        by = ctx.block_idx("y")[:, 0, 0]
+        np.testing.assert_array_equal(bx, [0, 1, 0, 1, 0, 1])
+        np.testing.assert_array_equal(by, [0, 0, 1, 1, 2, 2])
+
+    def test_thread_idx_1d_block(self):
+        ctx = KernelContext(P100, grid=1, block=(64, 1, 1))
+        tx = ctx.thread_idx("x")
+        assert tx[0, 1, 0] == 32  # warp 1 lane 0 -> thread 32
+
+    def test_thread_idx_2d_block(self):
+        # (32, 32): warp == threadIdx.y, lane == threadIdx.x.
+        ctx = KernelContext(P100, grid=1, block=(32, 32, 1))
+        assert ctx.thread_idx("y")[0, 5, 0] == 5
+        assert ctx.thread_idx("x")[0, 5, 17] == 17
+
+    def test_thread_idx_npp_scancol_block(self):
+        # (1, 256): lanes map to consecutive y -- the uncoalesced geometry.
+        ctx = KernelContext(P100, grid=1, block=(1, 256, 1))
+        ty = ctx.thread_idx("y")
+        assert ty[0, 0, 5] == 5
+        assert ty[0, 1, 0] == 32
+
+
+class TestValidation:
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            KernelContext(P100, grid=1, block=2048)
+
+    def test_non_warp_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            KernelContext(P100, grid=1, block=48)
+
+
+class TestPredication:
+    def test_only_warps_masks_counting(self):
+        ctx = KernelContext(P100, grid=1, block=128)
+        wid = ctx.warp_id()
+        with ctx.only_warps(wid < 2):
+            a = ctx.const(1, np.int32)
+            _ = a + 1
+        assert ctx.counters.adds == 2 * 32
+
+    def test_nested_scopes_intersect(self):
+        ctx = KernelContext(P100, grid=1, block=128)
+        wid = ctx.warp_id()
+        with ctx.only_warps(wid < 3):
+            with ctx.only_warps(wid >= 2):
+                _ = ctx.const(1, np.int32) + 1
+        assert ctx.counters.adds == 32  # only warp 2
+
+    def test_scope_restores_on_exit(self):
+        ctx = KernelContext(P100, grid=1, block=128)
+        with ctx.only_warps(ctx.warp_id() < 1):
+            pass
+        assert ctx.active is None
+
+    def test_select_active_merges(self):
+        ctx = KernelContext(P100, grid=1, block=64)
+        old = ctx.const(1, np.int32)
+        new = ctx.const(2, np.int32)
+        with ctx.only_warps(ctx.warp_id() == 0):
+            merged = ctx.select_active(new, old)
+        assert merged.a[0, 0, 0] == 2
+        assert merged.a[0, 1, 0] == 1
+
+    def test_select_active_unmasked_passthrough(self):
+        ctx = KernelContext(P100, grid=1, block=64)
+        new = ctx.const(2, np.int32)
+        assert ctx.select_active(new, ctx.const(1, np.int32)) is new
+
+
+class TestLaunch:
+    def test_launch_runs_and_reports(self):
+        def k(ctx, g):
+            v = g.load(ctx, ctx.lane_id())
+            g.store(ctx, ctx.lane_id(), value=v + 1)
+
+        g = GlobalArray(np.zeros(32, dtype=np.int32))
+        stats = launch_kernel(k, device=P100, grid=1, block=32,
+                              regs_per_thread=16, args=(g,))
+        assert np.all(g.data == 1)
+        assert stats.time_s > 0
+        assert stats.counters.adds == 32
+        assert stats.grid == (1, 1, 1)
+
+    def test_launch_name_defaults_to_function(self):
+        def my_kernel(ctx):
+            pass
+
+        stats = launch_kernel(my_kernel, device="P100", grid=1, block=32,
+                              regs_per_thread=8)
+        assert stats.name == "my_kernel"
+
+    def test_syncthreads_counted(self):
+        def k(ctx):
+            ctx.syncthreads()
+            ctx.syncthreads()
+
+        stats = launch_kernel(k, device=P100, grid=4, block=64, regs_per_thread=8)
+        assert stats.counters.sync_count == 2
+
+    def test_retime_recomputes(self):
+        def k(ctx, g):
+            g.load(ctx, ctx.lane_id())
+
+        g = GlobalArray(np.zeros(32, dtype=np.float32))
+        stats = launch_kernel(k, device=P100, grid=1, block=32,
+                              regs_per_thread=16, args=(g,))
+        t0 = stats.time_s
+        stats.counters.gmem_load_sectors *= 1e6
+        assert stats.retime().time_s > t0
+
+
+class TestWarpHelpers:
+    def test_ballot_any(self):
+        from repro.gpusim.warp import ballot_any
+        assert ballot_any(np.array([False, True]))
+        assert not ballot_any(np.zeros(4, dtype=bool))
+
+    def test_lane_ids_shape_and_range(self):
+        from repro.gpusim.warp import lane_ids
+        ids = lane_ids(32)
+        assert ids.shape == (1, 1, 32)
+        assert ids.min() == 0 and ids.max() == 31
+
+    def test_block_ids_cover_grid(self):
+        from repro.gpusim.warp import block_ids
+        bx, by, bz = block_ids((2, 2, 2))
+        assert bx.shape == (8, 1, 1)
+        assert bz[:, 0, 0].tolist() == [0, 0, 0, 0, 1, 1, 1, 1]

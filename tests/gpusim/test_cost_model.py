@@ -1,0 +1,110 @@
+"""Kernel-time model: roofline components, MLP bandwidth, L2 reuse."""
+
+import pytest
+
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.cost.model import effective_gmem_bw, kernel_time
+from repro.gpusim.device import P100, V100
+
+
+def make_counters(**kw):
+    return CostCounters(**kw)
+
+
+class TestGmemComponent:
+    def test_bandwidth_floor(self):
+        # 1 GB of sectors at full bandwidth, high parallelism.
+        c = make_counters(gmem_load_sectors=2 ** 25, gmem_load_instructions=2 ** 22)
+        t = kernel_time(P100, c, n_blocks=4096, threads_per_block=256,
+                        regs_per_thread=16, smem_per_block=0, mlp=32)
+        expect = 2 ** 25 * 32 / P100.global_bw
+        assert t.t_gmem == pytest.approx(expect, rel=0.01)
+
+    def test_low_parallelism_reduces_bandwidth(self):
+        c = make_counters(gmem_load_sectors=2 ** 20, gmem_load_instructions=2 ** 18)
+        few = kernel_time(P100, c, n_blocks=2, threads_per_block=64,
+                          regs_per_thread=16, smem_per_block=0, mlp=2)
+        many = kernel_time(P100, c, n_blocks=1024, threads_per_block=256,
+                           regs_per_thread=16, smem_per_block=0, mlp=32)
+        assert few.t_gmem > many.t_gmem
+
+    def test_l2_reuse_divides_traffic(self):
+        c = make_counters(gmem_load_sectors=2 ** 22, gmem_load_instructions=2 ** 18)
+        base = kernel_time(P100, c, n_blocks=1024, threads_per_block=256,
+                           regs_per_thread=16, smem_per_block=0, mlp=32)
+        reused = kernel_time(P100, c, n_blocks=1024, threads_per_block=256,
+                             regs_per_thread=16, smem_per_block=0, mlp=32,
+                             l2_sector_reuse=2.0)
+        assert reused.t_gmem == pytest.approx(base.t_gmem / 2)
+
+    def test_effective_bw_never_exceeds_peak(self):
+        c = make_counters(gmem_load_sectors=1e6, gmem_load_instructions=1e3)
+        assert effective_gmem_bw(P100, c, 10 ** 6, 64) == P100.global_bw
+
+    def test_effective_bw_without_loads_is_peak(self):
+        assert effective_gmem_bw(P100, make_counters(), 0, 8) == P100.global_bw
+
+
+class TestComputeComponents:
+    def test_exec_uses_pipeline_throughputs(self):
+        c = make_counters(adds=64 * 1000 * 56)
+        t = kernel_time(P100, c, n_blocks=56, threads_per_block=1024,
+                        regs_per_thread=16, smem_per_block=0)
+        # 1000 clocks of adds per SM plus the pipeline-fill constant.
+        clocks = t.t_exec * P100.clock_hz
+        assert clocks == pytest.approx(1000 + P100.global_latency, rel=0.01)
+
+    def test_f64_half_rate(self):
+        c32 = make_counters(adds=10 ** 6)
+        c64 = make_counters(adds_f64=10 ** 6)
+        kw = dict(n_blocks=56, threads_per_block=1024,
+                  regs_per_thread=16, smem_per_block=0)
+        t32 = kernel_time(P100, c32, **kw).t_exec
+        t64 = kernel_time(P100, c64, **kw).t_exec
+        assert t64 > t32
+
+    def test_latency_scales_with_waves(self):
+        # 48 regs/thread on a 1024-thread block: one resident block per SM.
+        c = make_counters(chain_clocks=1000)
+        one = kernel_time(P100, c, n_blocks=56, threads_per_block=1024,
+                          regs_per_thread=48, smem_per_block=0)
+        two = kernel_time(P100, c, n_blocks=112, threads_per_block=1024,
+                          regs_per_thread=48, smem_per_block=0)
+        assert one.waves == 1 and two.waves == 2
+        assert two.t_latency > one.t_latency
+
+    def test_smem_bandwidth_component(self):
+        c = make_counters(smem_load_transactions=10 ** 6)
+        t = kernel_time(P100, c, n_blocks=56, threads_per_block=256,
+                        regs_per_thread=16, smem_per_block=1024)
+        assert t.t_smem == pytest.approx(10 ** 6 * 128 / P100.shared_bw)
+
+
+class TestTotal:
+    def test_total_at_least_dominant(self):
+        c = make_counters(gmem_load_sectors=2 ** 20, gmem_load_instructions=2 ** 16,
+                          adds=1000, chain_clocks=100)
+        t = kernel_time(P100, c, n_blocks=256, threads_per_block=256,
+                        regs_per_thread=16, smem_per_block=0, mlp=32)
+        assert t.total >= max(t.t_gmem, t.t_exec, t.t_latency, t.t_smem)
+
+    def test_low_occupancy_exposes_more_overlap(self):
+        c = make_counters(gmem_load_sectors=2 ** 20, gmem_load_instructions=2 ** 16,
+                          adds=10 ** 7, chain_clocks=100)
+        hi = kernel_time(P100, c, n_blocks=256, threads_per_block=256,
+                         regs_per_thread=16, smem_per_block=0, mlp=32)
+        lo = kernel_time(P100, c, n_blocks=256, threads_per_block=512,
+                         regs_per_thread=80, smem_per_block=40000, mlp=32)
+        assert lo.overlap_exposed_fraction > hi.overlap_exposed_fraction
+
+    def test_bound_label(self):
+        c = make_counters(gmem_load_sectors=2 ** 24, gmem_load_instructions=2 ** 20)
+        t = kernel_time(P100, c, n_blocks=1024, threads_per_block=256,
+                        regs_per_thread=16, smem_per_block=0, mlp=32)
+        assert t.bound == "gmem"
+
+    def test_v100_faster_than_p100_when_bandwidth_bound(self):
+        c = make_counters(gmem_load_sectors=2 ** 24, gmem_load_instructions=2 ** 20)
+        kw = dict(n_blocks=2048, threads_per_block=256,
+                  regs_per_thread=16, smem_per_block=0, mlp=32)
+        assert kernel_time(V100, c, **kw).total < kernel_time(P100, c, **kw).total

@@ -1,0 +1,60 @@
+"""CostCounters: merge, scale, copy semantics."""
+
+from repro.gpusim.counters import CostCounters
+
+
+def test_default_zero():
+    c = CostCounters()
+    assert c.adds == 0 and c.gmem_sectors == 0 and c.chain_clocks == 0
+
+
+def test_merge_adds_everything():
+    a = CostCounters(adds=10, shuffles=5, chain_clocks=100)
+    b = CostCounters(adds=1, smem_bytes=64, chain_clocks=7)
+    a.merge(b)
+    assert a.adds == 11
+    assert a.shuffles == 5
+    assert a.smem_bytes == 64
+    assert a.chain_clocks == 107
+
+
+def test_scaled_multiplies_throughput_counters():
+    c = CostCounters(adds=10, gmem_load_sectors=4, smem_bytes=32)
+    s = c.scaled(3.0)
+    assert s.adds == 30
+    assert s.gmem_load_sectors == 12
+    assert s.smem_bytes == 96
+
+
+def test_scaled_keeps_chain_unscaled():
+    c = CostCounters(chain_clocks=500, adds=1)
+    s = c.scaled(10.0)
+    assert s.chain_clocks == 500
+    assert s.adds == 10
+
+
+def test_scaled_does_not_mutate_original():
+    c = CostCounters(adds=10)
+    c.scaled(2.0)
+    assert c.adds == 10
+
+
+def test_copy_independent():
+    c = CostCounters(adds=1)
+    d = c.copy()
+    d.adds = 99
+    assert c.adds == 1
+
+
+def test_derived_totals():
+    c = CostCounters(gmem_load_sectors=3, gmem_store_sectors=4,
+                     smem_load_transactions=5, smem_store_transactions=6)
+    assert c.gmem_sectors == 7
+    assert c.smem_transactions == 11
+
+
+def test_as_dict_roundtrip():
+    c = CostCounters(adds=2, bools=3)
+    d = c.as_dict()
+    assert d["adds"] == 2 and d["bools"] == 3
+    assert "chain_clocks" in d

@@ -1,0 +1,81 @@
+"""Device registry: Table I data and spec invariants."""
+
+import pytest
+
+from repro.gpusim.device import DEVICES, M40, P100, V100, get_device
+
+
+class TestTableI:
+    """The capacities Table I reports, verbatim."""
+
+    def test_p100_shared_memory_per_sm(self):
+        assert P100.shared_mem_per_sm == 64 * 1024
+
+    def test_v100_shared_memory_per_sm(self):
+        assert V100.shared_mem_per_sm == 96 * 1024
+
+    def test_register_file_is_256kb_on_all(self):
+        for dev in (M40, P100, V100):
+            assert dev.registers_per_sm_bytes == 256 * 1024
+
+    def test_sm_counts(self):
+        assert M40.sm_count == 24
+        assert P100.sm_count == 56
+        assert V100.sm_count == 80
+
+    def test_register_file_at_least_2_7x_shared(self):
+        # Sec. II-B3: "more than 2.7 times larger than shared memory".
+        assert P100.registers_per_sm_bytes / V100.shared_mem_per_sm >= 2.66
+
+
+class TestSecVAConstants:
+    """The micro-benchmarked latencies of Sec. V-A."""
+
+    def test_p100_latencies(self):
+        assert P100.shared_mem_latency == 36
+        assert P100.shuffle_latency == 33
+        assert P100.add_latency == 6
+
+    def test_v100_latencies(self):
+        assert V100.shared_mem_latency == 27
+        assert V100.shuffle_latency == 39
+        assert V100.add_latency == 4
+
+    def test_shared_bandwidths_from_jia(self):
+        assert P100.shared_bw == pytest.approx(9519e9)
+        assert V100.shared_bw == pytest.approx(13800e9)
+
+    def test_issue_throughputs_from_cuda_manual(self):
+        for dev in (P100, V100):
+            assert dev.shuffle_throughput == 32
+            assert dev.add_throughput == 64
+            assert dev.bool_throughput == 64
+
+
+class TestSpecSanity:
+    def test_warp_size_universal(self):
+        for dev in DEVICES.values():
+            assert dev.warp_size == 32
+
+    def test_warps_per_sm(self):
+        assert P100.warps_per_sm == 64
+
+    def test_clock_conversion(self):
+        assert P100.clocks_to_seconds(P100.clock_hz) == pytest.approx(1.0)
+
+    def test_shared_bw_per_sm_clock_is_about_128_bytes(self):
+        # 9519 GB/s over 56 SMs at 1.328 GHz ~ one 128B transaction/clock.
+        assert 100 < P100.shared_bw_per_sm_clock < 160
+
+
+class TestLookup:
+    def test_get_device_by_name(self):
+        assert get_device("p100") is P100
+        assert get_device("V100") is V100
+
+    def test_get_device_passthrough(self):
+        assert get_device(P100) is P100
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("K80")

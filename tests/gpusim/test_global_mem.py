@@ -1,0 +1,134 @@
+"""Global memory: sector coalescing model, vector accesses, data movement."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.gpusim.global_mem import GlobalArray, sector_count
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(P100, grid=1, block=32)
+
+
+class TestSectorCount:
+    def test_coalesced_float32_is_4_sectors(self):
+        addrs = (np.arange(32) * 4).reshape(1, 32)
+        assert sector_count(addrs, None, 4) == 4
+
+    def test_coalesced_bytes_is_1_sector(self):
+        addrs = np.arange(32).reshape(1, 32)
+        assert sector_count(addrs, None, 1) == 1
+
+    def test_strided_column_walk_is_32_sectors(self):
+        # NPP scanCol: 32 lanes, one element per row of a 4KB-wide matrix.
+        addrs = (np.arange(32) * 4096).reshape(1, 32)
+        assert sector_count(addrs, None, 4) == 32
+
+    def test_float64_straddle_counts_both_sectors(self):
+        addrs = np.array([[28]])  # 8-byte element crossing a 32B boundary
+        assert sector_count(addrs, None, 8) == 2
+
+    def test_coalesced_float64_is_8_sectors(self):
+        addrs = (np.arange(32) * 8).reshape(1, 32)
+        assert sector_count(addrs, None, 8) == 8
+
+    def test_masked_lanes_excluded(self):
+        addrs = (np.arange(32) * 4096).reshape(1, 32)
+        mask = np.zeros((1, 32), dtype=bool)
+        mask[0, :3] = True
+        assert sector_count(addrs, mask, 4) == 3
+
+    def test_waste_ratio_for_uncoalesced(self):
+        # 128 useful bytes but 32*32 = 1024 moved: the 8x NPP penalty.
+        addrs = (np.arange(32) * 4096).reshape(1, 32)
+        useful = 32 * 4
+        moved = sector_count(addrs, None, 4) * 32
+        assert moved / useful == 8
+
+
+class TestGlobalArray:
+    def test_load_roundtrip_2d(self, ctx):
+        g = GlobalArray(np.arange(64, dtype=np.int32).reshape(2, 32))
+        v = g.load(ctx, 1, ctx.lane_id())
+        np.testing.assert_array_equal(v.a[0, 0], np.arange(32, 64))
+
+    def test_store_2d(self, ctx):
+        g = GlobalArray.empty((2, 32), np.int32)
+        g.store(ctx, 0, ctx.lane_id(), value=ctx.const(7, np.int32))
+        assert np.all(g.data[0] == 7) and np.all(g.data[1] == 0)
+
+    def test_flat_indexing(self, ctx):
+        g = GlobalArray(np.arange(32, dtype=np.int32))
+        v = g.load(ctx, ctx.lane_id())
+        np.testing.assert_array_equal(v.a[0, 0], np.arange(32))
+
+    def test_load_counts_sectors_and_bytes(self, ctx):
+        g = GlobalArray(np.zeros((4, 32), dtype=np.float32))
+        g.load(ctx, 0, ctx.lane_id())
+        assert ctx.counters.gmem_load_sectors == 4
+        assert ctx.counters.gmem_load_bytes == 128
+        assert ctx.counters.gmem_load_instructions == 1
+
+    def test_store_counts(self, ctx):
+        g = GlobalArray.empty((4, 32), np.float32)
+        g.store(ctx, 0, ctx.lane_id(), value=ctx.const(0.0, np.float32))
+        assert ctx.counters.gmem_store_sectors == 4
+        assert ctx.counters.gmem_store_bytes == 128
+
+    def test_masked_load_zero_fills(self, ctx):
+        g = GlobalArray(np.full((1, 32), 9, dtype=np.int32))
+        lane = ctx.lane_id()
+        v = g.load(ctx, 0, lane, lane_mask=np.broadcast_to(lane < 4, ctx.shape))
+        assert v.a[0, 0, 0] == 9 and v.a[0, 0, 10] == 0
+
+    def test_masked_store_partial(self, ctx):
+        g = GlobalArray.empty((1, 32), np.int32)
+        lane = ctx.lane_id()
+        g.store(ctx, 0, lane, value=ctx.const(3, np.int32),
+                lane_mask=np.broadcast_to(lane >= 30, ctx.shape))
+        assert g.data[0, 31] == 3 and g.data[0, 0] == 0
+
+    def test_dependent_load_adds_dram_latency(self, ctx):
+        g = GlobalArray(np.zeros(64, dtype=np.int32))
+        before = ctx.counters.chain_clocks
+        g.load(ctx, ctx.lane_id(), dependent=True)
+        assert ctx.counters.chain_clocks - before == P100.global_latency
+
+    def test_wrong_arity_raises(self, ctx):
+        g = GlobalArray(np.zeros((2, 2, 2), dtype=np.int32))
+        with pytest.raises(IndexError):
+            g.load(ctx, 0, 0)
+
+
+class TestVectorAccess:
+    def test_load_vector_values(self, ctx):
+        g = GlobalArray(np.arange(512, dtype=np.uint8))
+        regs = g.load_vector(ctx, ctx.lane_id() * 16, count=16)
+        assert len(regs) == 16
+        assert regs[0].a[0, 0, 1] == 16
+        assert regs[15].a[0, 0, 0] == 15
+
+    def test_load_vector_is_one_instruction(self, ctx):
+        g = GlobalArray(np.zeros(512, dtype=np.uint8))
+        g.load_vector(ctx, ctx.lane_id() * 16, count=16)
+        assert ctx.counters.gmem_load_instructions == 1
+        # 512 contiguous bytes = 16 sectors, no overcount.
+        assert ctx.counters.gmem_load_sectors == 16
+
+    def test_store_vector_is_one_instruction(self, ctx):
+        g = GlobalArray.empty(512, np.int32)
+        vals = [ctx.const(i, np.int32) for i in range(4)]
+        g.store_vector(ctx, ctx.lane_id() * 16, values=vals)
+        assert ctx.counters.warp_instructions == 1
+        assert g.data[16] == 0 and g.data[17] == 1
+
+    def test_store_vector_sector_efficiency(self, ctx):
+        # 32 lanes x 4 int32 at stride 16: 512B footprint spread over
+        # lane*64B starts -> half of each sector used.
+        g = GlobalArray.empty(1024, np.int32)
+        vals = [ctx.const(0, np.int32) for _ in range(4)]
+        g.store_vector(ctx, ctx.lane_id() * 16, values=vals)
+        assert ctx.counters.gmem_store_sectors == 32

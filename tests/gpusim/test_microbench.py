@@ -1,0 +1,48 @@
+"""Micro-benchmarks must recover the Sec. V-A constants exactly."""
+
+import pytest
+
+from repro.gpusim.device import P100, V100
+from repro.gpusim.microbench import measure_latencies, measure_throughputs
+
+
+class TestLatencies:
+    def test_p100_matches_paper(self):
+        lat = measure_latencies("P100")
+        assert lat.shared_mem == pytest.approx(36)
+        assert lat.shuffle == pytest.approx(33)
+        assert lat.add == pytest.approx(6)
+        assert lat.bool_and == pytest.approx(6)
+
+    def test_v100_matches_paper(self):
+        lat = measure_latencies("V100")
+        assert lat.shared_mem == pytest.approx(27)
+        assert lat.shuffle == pytest.approx(39)
+        assert lat.add == pytest.approx(4)
+
+    def test_global_latency_matches_spec(self):
+        assert measure_latencies("P100").global_mem == pytest.approx(
+            P100.global_latency)
+        assert measure_latencies("V100").global_mem == pytest.approx(
+            V100.global_latency)
+
+    def test_report_dict(self):
+        d = measure_latencies("P100").as_dict()
+        assert set(d) == {"shared_mem", "shuffle", "add", "bool_and", "global_mem"}
+
+
+class TestThroughputs:
+    def test_p100_pipeline_rates(self):
+        tp = measure_throughputs("P100")
+        # CUDA-manual figures the paper quotes: 64 / 64 / 32 ops per clock.
+        assert tp.add_ops_per_clock == pytest.approx(64, rel=0.05)
+        assert tp.bool_ops_per_clock == pytest.approx(64, rel=0.05)
+        assert tp.shuffle_ops_per_clock == pytest.approx(32, rel=0.05)
+
+    def test_p100_smem_bandwidth(self):
+        tp = measure_throughputs("P100")
+        assert tp.shared_bw == pytest.approx(9519e9, rel=0.01)
+
+    def test_v100_smem_bandwidth(self):
+        tp = measure_throughputs("V100")
+        assert tp.shared_bw == pytest.approx(13800e9, rel=0.01)

@@ -1,0 +1,84 @@
+"""Occupancy calculator: Eqs. 7-8 and the paper's kernel configurations."""
+
+import pytest
+
+from repro.gpusim.cost.occupancy import occupancy
+from repro.gpusim.device import P100, V100
+
+
+class TestEq7:
+    def test_warps_per_block(self):
+        occ = occupancy(P100, 1024, 32, 0)
+        assert occ.warps_per_block == 32  # Eq. 7
+
+    def test_warps_per_block_512(self):
+        assert occupancy(P100, 512, 32, 0).warps_per_block == 16
+
+
+class TestLimits:
+    def test_register_limit(self):
+        # 64 regs/thread: 65536 / (64*32) = 32 warps per SM.
+        occ = occupancy(P100, 1024, 64, 0)
+        assert occ.warps_limit_regs == 32
+        assert occ.blocks_per_sm == 1
+
+    def test_smem_limit(self):
+        # 33 KB/block on 64 KB/SM -> 1 block.
+        occ = occupancy(P100, 1024, 24, 33 * 1024)
+        assert occ.warps_limit_smem == 32
+        assert occ.blocks_per_sm == 1
+
+    def test_thread_limit(self):
+        occ = occupancy(P100, 256, 16, 0)
+        # 2048 threads / 256 = 8 blocks by threads.
+        assert occ.blocks_per_sm == 8
+
+    def test_block_slot_limit(self):
+        occ = occupancy(P100, 32, 16, 0)
+        assert occ.blocks_per_sm == 32  # max blocks per SM
+
+    def test_unlaunchable_raises(self):
+        with pytest.raises(ValueError):
+            occupancy(P100, 1024, 200, 0)  # 200*1024 regs >> 65536
+
+
+class TestPaperConfigurations:
+    def test_brlt_scanrow_32f(self):
+        """1024 threads, 48 regs, ~38KB smem: one block per P100 SM."""
+        occ = occupancy(P100, 1024, 48, 33792 + 4096)
+        assert occ.blocks_per_sm == 1
+        assert occ.warps_per_sm == 32
+        assert occ.occupancy_fraction == 0.5
+
+    def test_brlt_scanrow_64f_register_pressure(self):
+        """512 threads, 80 regs (32 doubles + overhead): 25% occupancy."""
+        occ = occupancy(P100, 512, 80, 33792 + 8192)
+        assert occ.warps_per_sm == 16
+        assert occ.occupancy_fraction == 0.25
+
+    def test_npp_scanrow_full_occupancy(self):
+        """Table II: 256 threads, 20 regs, 2.25KB: thread-limited."""
+        occ = occupancy(P100, 256, 20, 2304)
+        assert occ.blocks_per_sm == 8
+        assert occ.occupancy_fraction == 1.0
+
+    def test_eq8_scales_with_sm_count(self):
+        p = occupancy(P100, 256, 20, 2304)
+        v = occupancy(V100, 256, 20, 2304)
+        assert v.active_warps / p.active_warps == V100.sm_count / P100.sm_count
+
+    def test_eq8_warp_granular_at_least_block_granular(self):
+        occ = occupancy(P100, 1024, 48, 33792)
+        assert occ.active_warps_eq8 >= occ.active_warps
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("regs", [16, 32, 48, 64, 96, 128])
+    def test_more_registers_never_increase_occupancy(self, regs):
+        base = occupancy(P100, 256, 16, 0).warps_per_sm
+        assert occupancy(P100, 256, regs, 0).warps_per_sm <= base
+
+    @pytest.mark.parametrize("smem", [0, 4096, 16384, 32768, 49152])
+    def test_more_smem_never_increases_occupancy(self, smem):
+        base = occupancy(P100, 256, 16, 0).warps_per_sm
+        assert occupancy(P100, 256, 16, smem).warps_per_sm <= base

@@ -1,0 +1,88 @@
+"""Tile-homogeneous projection: projected counters == fully executed ones."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import parse_pair
+from repro.gpusim.cost.projection import PassScaling, project_stats
+from repro.gpusim.global_mem import GlobalArray
+from repro.sat.brlt_scanrow import brlt_scanrow_pass
+from repro.sat.scan_row_column import scancolumn_pass, scanrow_pass
+
+SCALED = ["adds", "shuffles", "gmem_load_sectors", "gmem_store_sectors",
+          "smem_load_transactions", "smem_store_transactions", "smem_bytes"]
+
+
+def run_pass(passfn, size, pair="32s32s", **kw):
+    tp = parse_pair(pair)
+    img = np.ones(size, dtype=tp.input.np_dtype)
+    src = GlobalArray(img, "in")
+    _, stats = passfn(src, device="P100", acc=tp.output, name="k", **kw)
+    return stats
+
+
+class TestProjectionMatchesExecution:
+    # Projection is valid when the launch geometry matches, i.e. both
+    # sizes use full 32-warp blocks (>= 1024 wide) -- the harness's
+    # calibration floor.
+    @pytest.mark.parametrize("target", [(1024, 2048), (2048, 1024), (2048, 2048)])
+    def test_brlt_scanrow_pass(self, target):
+        base = run_pass(brlt_scanrow_pass, (1024, 1024))
+        full = run_pass(brlt_scanrow_pass, target)
+        proj = project_stats(base, (1024, 1024), target,
+                             PassScaling(blocks_along="H", chain_along="W",
+                                         grid_axis="y"))
+        for f in SCALED:
+            assert getattr(proj.counters, f) == pytest.approx(
+                getattr(full.counters, f)), f
+        assert proj.grid == full.grid
+        # Chain projection ignores strip-boundary constants (syncs between
+        # strips); sub-0.1%% effect on the modeled time.
+        assert proj.time_s == pytest.approx(full.time_s, rel=1e-3)
+
+    def test_scanrow_pass(self):
+        base = run_pass(scanrow_pass, (1024, 1024), pair="32f32f")
+        full = run_pass(scanrow_pass, (2048, 2048), pair="32f32f")
+        proj = project_stats(base, (1024, 1024), (2048, 2048),
+                             PassScaling(blocks_along="H", chain_along="W",
+                                         grid_axis="y"))
+        for f in SCALED:
+            assert getattr(proj.counters, f) == pytest.approx(
+                getattr(full.counters, f)), f
+        assert proj.counters.chain_clocks == pytest.approx(
+            full.counters.chain_clocks, rel=0.02)
+
+    def test_scancolumn_pass(self):
+        base = run_pass(scancolumn_pass, (1024, 1024), pair="32f32f")
+        full = run_pass(scancolumn_pass, (1024, 2048), pair="32f32f")
+        proj = project_stats(base, (1024, 1024), (1024, 2048),
+                             PassScaling(blocks_along="W", chain_along="H",
+                                         grid_axis="x"))
+        for f in SCALED:
+            assert getattr(proj.counters, f) == pytest.approx(
+                getattr(full.counters, f)), f
+
+
+class TestProjectionMechanics:
+    def test_identity_projection_is_same_object(self):
+        base = run_pass(brlt_scanrow_pass, (64, 64))
+        assert project_stats(base, (64, 64), (64, 64),
+                             PassScaling("H", "W")) is base
+
+    def test_const_chain_scaling(self):
+        base = run_pass(brlt_scanrow_pass, (64, 64))
+        proj = project_stats(base, (64, 64), (128, 128),
+                             PassScaling("HW", "const", grid_axis="x"))
+        assert proj.counters.chain_clocks == base.counters.chain_clocks
+        gx = proj.grid[0]
+        assert gx == base.grid[0] * 4
+
+    def test_unknown_dim_raises(self):
+        base = run_pass(brlt_scanrow_pass, (64, 64))
+        with pytest.raises(ValueError):
+            project_stats(base, (64, 64), (128, 128), PassScaling("Q", "W"))
+
+    def test_projection_preserves_mlp(self):
+        base = run_pass(brlt_scanrow_pass, (64, 64))
+        proj = project_stats(base, (64, 64), (128, 64), PassScaling("H", "W"))
+        assert proj.mlp == base.mlp

@@ -1,0 +1,115 @@
+"""RegArray: arithmetic semantics, instruction counting, predication."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(P100, grid=(2, 1, 1), block=(64, 1, 1))
+
+
+LANES = 2 * 2 * 32  # blocks * warps * lanes
+
+
+def test_add_counts_lane_ops(ctx):
+    a = ctx.const(1, np.int32)
+    b = ctx.const(2, np.int32)
+    c = a + b
+    assert np.all(c.a == 3)
+    assert ctx.counters.adds == LANES
+    assert ctx.counters.warp_instructions == 4
+
+
+def test_scalar_add(ctx):
+    a = ctx.const(5, np.int32)
+    assert np.all((a + 7).a == 12)
+    assert np.all((7 + a).a == 12)
+
+
+def test_sub_and_rsub(ctx):
+    a = ctx.const(5, np.int32)
+    assert np.all((a - 2).a == 3)
+    assert np.all((10 - a).a == 5)
+    assert ctx.counters.adds == 2 * LANES
+
+
+def test_mul_counts_on_mul_pipeline(ctx):
+    a = ctx.const(3, np.int32)
+    _ = a * 4
+    assert ctx.counters.muls == LANES
+    assert ctx.counters.adds == 0
+
+
+def test_float64_routes_to_f64_pipeline(ctx):
+    a = ctx.const(1.0, np.float64)
+    _ = a + 1.0
+    assert ctx.counters.adds_f64 == LANES
+    assert ctx.counters.adds == 0
+
+
+def test_bitwise_counts_bool_pipeline(ctx):
+    a = ctx.const(7, np.int32)
+    assert np.all((a & 3).a == 3)
+    assert np.all((a | 8).a == 15)
+    assert ctx.counters.bools == 2 * LANES
+
+
+def test_shifts(ctx):
+    a = ctx.const(4, np.int32)
+    assert np.all((a >> 1).a == 2)
+    assert np.all((a << 2).a == 16)
+
+
+def test_comparisons_return_plain_masks(ctx):
+    a = ctx.from_array(ctx.lane_id())
+    m = a >= 16
+    assert isinstance(m, np.ndarray)
+    assert m.dtype == bool
+    assert m.sum() == 16  # half of each warp
+
+
+def test_add_where_counts_active_lanes_only(ctx):
+    lane = ctx.lane_id()
+    a = ctx.const(0, np.int32)
+    a = a.add_where(np.broadcast_to(lane >= 24, ctx.shape), 1)
+    # 8 active lanes per warp, 4 warps.
+    assert ctx.counters.adds == 8 * 4
+    assert a.a.sum() == 8 * 4
+
+
+def test_add_where_preserves_inactive(ctx):
+    lane = ctx.lane_id()
+    a = ctx.const(10, np.int32)
+    a = a.add_where(np.broadcast_to(lane == 0, ctx.shape), 5)
+    assert a.a[0, 0, 0] == 15
+    assert a.a[0, 0, 1] == 10
+
+
+def test_where_select(ctx):
+    lane = ctx.lane_id()
+    a = ctx.const(1, np.int32)
+    sel = a.where(np.broadcast_to(lane < 16, ctx.shape), 0)
+    assert sel.a[0, 0, 0] == 1 and sel.a[0, 0, 31] == 0
+
+
+def test_astype_converts_and_counts(ctx):
+    a = ctx.const(200, np.uint8)
+    b = a.astype(np.int32)
+    assert b.a.dtype == np.int32
+    assert ctx.counters.adds == LANES
+
+
+def test_copy_is_free(ctx):
+    a = ctx.const(1, np.int32)
+    _ = a.copy()
+    assert ctx.counters.adds == 0
+
+
+def test_integer_overflow_wraps(ctx):
+    a = ctx.const(2**31 - 1, np.int32)
+    b = a + 1
+    assert np.all(b.a == -(2**31))

@@ -1,0 +1,124 @@
+"""Shared memory: bank-conflict model, data movement, allocation limits."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.gpusim.shared_mem import bank_transactions
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(P100, grid=1, block=32)
+
+
+class TestBankTransactions:
+    def test_conflict_free_row(self):
+        words = np.arange(32).reshape(1, 32)
+        trans, replays = bank_transactions(words, None)
+        assert trans == 1 and replays == 0
+
+    def test_stride_32_column_is_32_way(self):
+        words = (np.arange(32) * 32).reshape(1, 32)
+        trans, replays = bank_transactions(words, None)
+        assert trans == 32 and replays == 31
+
+    def test_stride_33_column_is_conflict_free(self):
+        words = (np.arange(32) * 33).reshape(1, 32)
+        trans, replays = bank_transactions(words, None)
+        assert trans == 1 and replays == 0
+
+    def test_broadcast_same_word_counts_once(self):
+        words = np.zeros((1, 32), dtype=np.int64)
+        trans, replays = bank_transactions(words, None)
+        assert trans == 1 and replays == 0
+
+    def test_two_way_conflict(self):
+        # Lanes pair up on 16 words spaced a full bank cycle apart.
+        words = np.concatenate([np.arange(16), np.arange(16) + 32]).reshape(1, 32)
+        trans, replays = bank_transactions(words, None)
+        assert trans == 2 and replays == 1
+
+    def test_masked_lanes_excluded(self):
+        words = (np.arange(32) * 32).reshape(1, 32)
+        mask = np.zeros((1, 32), dtype=bool)
+        mask[0, :4] = True
+        trans, replays = bank_transactions(words, mask)
+        assert trans == 4 and replays == 3
+
+    def test_fully_masked_warp_is_free(self):
+        words = np.arange(32).reshape(1, 32)
+        trans, replays = bank_transactions(words, np.zeros((1, 32), dtype=bool))
+        assert trans == 0 and replays == 0
+
+    def test_multi_warp_sums(self):
+        words = np.stack([np.arange(32), np.arange(32) * 32])
+        trans, _ = bank_transactions(words, None)
+        assert trans == 1 + 32
+
+
+class TestSharedMemArray:
+    def test_store_load_roundtrip(self, ctx):
+        sm = ctx.alloc_shared((64,), np.int32)
+        lane = ctx.lane_id()
+        sm.store((lane,), ctx.from_array(np.broadcast_to(lane, ctx.shape) * 2))
+        out = sm.load((lane,))
+        np.testing.assert_array_equal(out.a[0, 0], np.arange(32) * 2)
+
+    def test_2d_indexing_strides(self, ctx):
+        sm = ctx.alloc_shared((4, 33), np.float32)
+        lane = ctx.lane_id()
+        sm.store((2, lane), ctx.const(5.0, np.float32))
+        assert sm.data[0, 2 * 33] == 5.0
+
+    def test_wrong_index_arity_raises(self, ctx):
+        sm = ctx.alloc_shared((4, 33), np.float32)
+        with pytest.raises(IndexError):
+            sm.load((0,))
+
+    def test_bytes_counted(self, ctx):
+        sm = ctx.alloc_shared((32,), np.float32)
+        sm.store((ctx.lane_id(),), ctx.const(0.0, np.float32))
+        assert ctx.counters.smem_bytes == 32 * 4
+
+    def test_64f_counts_double_transactions(self, ctx):
+        sm = ctx.alloc_shared((32,), np.float64)
+        sm.store((ctx.lane_id(),), ctx.const(0.0, np.float64))
+        assert ctx.counters.smem_store_transactions == 2
+
+    def test_dependent_load_charges_latency(self, ctx):
+        sm = ctx.alloc_shared((32,), np.int32)
+        before = ctx.counters.chain_clocks
+        sm.load((ctx.lane_id(),), dependent=True)
+        assert ctx.counters.chain_clocks - before == P100.shared_mem_latency
+
+    def test_independent_access_charges_issue_slot(self, ctx):
+        sm = ctx.alloc_shared((32,), np.int32)
+        before = ctx.counters.chain_clocks
+        sm.load((ctx.lane_id(),))
+        assert ctx.counters.chain_clocks - before == 1.0
+
+    def test_alloc_tracks_footprint(self, ctx):
+        ctx.alloc_shared((8, 32, 33), np.float32)
+        assert ctx.smem_bytes_per_block == 8 * 32 * 33 * 4
+
+    def test_over_allocation_raises(self, ctx):
+        with pytest.raises(MemoryError):
+            ctx.alloc_shared((64 * 1024,), np.float32)
+
+    def test_masked_store_leaves_other_slots(self, ctx):
+        sm = ctx.alloc_shared((32,), np.int32)
+        sm.fill(7)
+        lane = ctx.lane_id()
+        sm.store((lane,), ctx.const(1, np.int32),
+                 lane_mask=np.broadcast_to(lane < 4, ctx.shape))
+        assert sm.data[0, 0] == 1
+        assert sm.data[0, 10] == 7
+
+    def test_masked_load_returns_zero_for_inactive(self, ctx):
+        sm = ctx.alloc_shared((32,), np.int32)
+        sm.fill(9)
+        lane = ctx.lane_id()
+        out = sm.load((lane,), lane_mask=np.broadcast_to(lane < 2, ctx.shape))
+        assert out.a[0, 0, 0] == 9 and out.a[0, 0, 5] == 0

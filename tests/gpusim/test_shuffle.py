@@ -1,0 +1,92 @@
+"""Warp shuffle intrinsics: hardware semantics and counting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(P100, grid=1, block=32)
+
+
+@pytest.fixture
+def lane_reg(ctx):
+    return ctx.from_array(np.broadcast_to(ctx.lane_id(), ctx.shape).copy())
+
+
+def lanes(reg):
+    return reg.a[0, 0]
+
+
+def test_shfl_up_shifts(ctx, lane_reg):
+    out = ctx.shfl_up(lane_reg, 1)
+    assert lanes(out)[5] == 4
+
+
+def test_shfl_up_low_lanes_keep_own_value(ctx, lane_reg):
+    # __shfl_up_sync: lanes below delta receive their own value.
+    out = ctx.shfl_up(lane_reg, 4)
+    np.testing.assert_array_equal(lanes(out)[:4], np.arange(4))
+    assert lanes(out)[4] == 0
+
+
+def test_shfl_up_segmented(ctx, lane_reg):
+    out = ctx.shfl_up(lane_reg, 1, width=8)
+    # Lane 8 is the base of its segment: keeps its own value.
+    assert lanes(out)[8] == 8
+    assert lanes(out)[9] == 8
+
+
+def test_shfl_down(ctx, lane_reg):
+    out = ctx.shfl_down(lane_reg, 2)
+    assert lanes(out)[0] == 2
+    # Top lanes keep their own value.
+    assert lanes(out)[31] == 31
+    assert lanes(out)[30] == 30
+
+
+def test_shfl_broadcast(ctx, lane_reg):
+    out = ctx.shfl(lane_reg, 31)
+    assert np.all(lanes(out) == 31)
+
+
+def test_shfl_segmented_broadcast(ctx, lane_reg):
+    # LF-scan pattern: shfl(data, i-1, 2i) broadcasts the top of each
+    # segment's lower half.
+    out = ctx.shfl(lane_reg, 3, width=8)
+    np.testing.assert_array_equal(lanes(out)[:8], np.full(8, 3))
+    np.testing.assert_array_equal(lanes(out)[8:16], np.full(8, 11))
+
+
+def test_shfl_src_modulo_width(ctx, lane_reg):
+    out = ctx.shfl(lane_reg, 9, width=8)
+    # 9 % 8 == 1 within each segment.
+    assert lanes(out)[0] == 1
+    assert lanes(out)[8] == 9
+
+
+def test_shfl_xor_butterfly(ctx, lane_reg):
+    out = ctx.shfl_xor(lane_reg, 1)
+    np.testing.assert_array_equal(lanes(out)[:4], [1, 0, 3, 2])
+
+
+def test_shuffle_counting(ctx, lane_reg):
+    ctx.shfl_up(lane_reg, 1)
+    ctx.shfl(lane_reg, 0)
+    assert ctx.counters.shuffles == 2 * 32
+    assert ctx.counters.warp_instructions == 2
+
+
+def test_shuffle_chain_latency(ctx, lane_reg):
+    before = ctx.counters.chain_clocks
+    ctx.shfl_up(lane_reg, 1)
+    assert ctx.counters.chain_clocks - before == P100.shuffle_latency
+
+
+def test_shfl_per_lane_sources(ctx, lane_reg):
+    src = np.full(32, 7, dtype=np.int64)
+    out = ctx.shfl(lane_reg, src)
+    assert np.all(lanes(out) == 7)

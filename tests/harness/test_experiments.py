@@ -1,0 +1,110 @@
+"""Experiment entry points: structure and paper-shape assertions.
+
+These run the harness at reduced sweeps (the full Fig. 6/7 grid is the
+benchmarks' job) and assert the qualitative results the paper reports.
+"""
+
+import pytest
+
+from repro.harness import Runner, experiments as E
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(calibration=1024)
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        out = E.table1()
+        assert [r["Tesla GPU"] for r in out["rows"]] == ["M40", "P100", "V100"]
+        p100 = out["rows"][1]
+        assert p100["Shared Memory/SM (KB)"] == 64
+        assert p100["Registers/SM (KB)"] == 256
+        assert p100["SMs"] == 56
+        assert "Table I" in out["text"]
+
+    def test_table2_rows(self):
+        out = E.table2()
+        assert out["rows"][0]["kernel"] == "scanRow"
+        assert out["rows"][1]["Regs"] == 18
+
+    def test_microbench_recovers_constants(self):
+        out = E.microbench(("P100",))
+        p100 = out["rows"][0]
+        assert p100["smem latency (clk)"] == 36
+        assert p100["shuffle latency (clk)"] == 33
+
+    def test_model_equations_all_match(self):
+        out = E.model_equations(("P100",))
+        assert out["rows"][0]["Eq6 (<<)"]
+        assert all(r["match"] for r in out["count_rows"])
+
+
+class TestFigures:
+    def test_fig6_speedup_band(self, runner):
+        out = E.fig6(runner, sizes=[1024, 4096], pairs=["8u32s"])
+        ours = [r for r in out["rows"]
+                if r["algorithm"] == "brlt_scanrow"]
+        assert all(1.0 < r["speedup_vs_baseline"] < 3.5 for r in ours)
+
+    def test_fig6_speedup_declines_with_size(self, runner):
+        out = E.fig6(runner, sizes=[1024, 8192], pairs=["32f32f"])
+        ours = {r["size"]: r["speedup_vs_baseline"] for r in out["rows"]
+                if r["algorithm"] == "brlt_scanrow"}
+        assert ours[1024] > ours[8192]
+
+    def test_fig7_v100_faster_absolute(self, runner):
+        p = E.fig6(runner, sizes=[2048], pairs=["32f32f"])["rows"]
+        v = E.fig7(runner, sizes=[2048], pairs=["32f32f"])["rows"]
+        tp = [r["time_us"] for r in p if r["algorithm"] == "brlt_scanrow"][0]
+        tv = [r["time_us"] for r in v if r["algorithm"] == "brlt_scanrow"][0]
+        assert tv < tp
+
+    def test_fig8_structure(self, runner):
+        out = E.fig8(runner, sizes=[1024])
+        kernels = {r["kernel"] for r in out["rows"]}
+        assert {"BRLT-ScanRow#1", "ScanRow-BRLT#1", "ScanRow",
+                "ScanColumn"} <= kernels
+
+    def test_fig8_ordering(self, runner):
+        out = E.fig8(runner, sizes=[2048])
+        t = {r["kernel"]: r["time_us"] for r in out["rows"]}
+        assert t["ScanColumn"] < t["BRLT-ScanRow#1"]          # VI-D (1)
+        assert (t["BRLT-ScanRow#1"] + t["BRLT-ScanRow#2"]
+                < t["ScanRow"] + t["ScanColumn"])             # VI-D (2)
+        assert t["BRLT-ScanRow#1"] <= t["ScanRow-BRLT#1"]     # VI-D (3)
+
+    def test_model_verification_experiment(self):
+        out = E.model_verification("P100", sizes=[1024])
+        row = out["rows"][0]
+        assert row["(1) ScanCol<BRLT-SR"]
+        assert row["(2) BRLT pays"]
+        assert row["(3) serial wins"]
+
+
+class TestHeadline:
+    def test_headline_band(self, runner):
+        out = E.headline(runner, devices=("P100",))
+        row = out["rows"][0]
+        assert 1.8 <= row["max speedup vs OpenCV"] <= 3.0  # paper: 2.3
+        assert 2.2 <= row["max speedup vs NPP"] <= 4.0     # paper: 3.2
+
+
+class TestAblations:
+    def test_scan_variants_nearly_equal(self, runner):
+        """Sec. VI-C1: KS and LF 'achieve nearly the same efficiency'
+        because the workload is memory-bound; the gap shrinks with size
+        (LF saves adds but pays boolean guards)."""
+        out = E.ablation_scan_variant(runner, sizes=[4096],
+                                      pair="32f32f")
+        times = {r["scan"]: r["time_us"] for r in out["rows"]}
+        ks, lf = times["kogge_stone"], times["ladner_fischer"]
+        assert abs(ks - lf) / ks < 0.12
+
+    def test_stride_ablation_shows_conflicts(self, runner):
+        out = E.ablation_brlt_stride(runner, sizes=[1024], pair="32f32f")
+        by_stride = {r["stride"]: r for r in out["rows"]}
+        assert by_stride[33]["bank_conflict_replays"] == 0
+        assert by_stride[32]["bank_conflict_replays"] > 0
+        assert by_stride[32]["time_us"] > by_stride[33]["time_us"]

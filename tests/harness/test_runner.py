@@ -1,0 +1,92 @@
+"""Runner: calibration caching, projection validity, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import ALGO_SCALING, Runner
+from repro.sat.api import ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(calibration=1024)
+
+
+class TestScalingDescriptors:
+    def test_every_gpu_algorithm_has_descriptors(self):
+        for name in ("brlt_scanrow", "scanrow_brlt", "scan_row_column",
+                     "opencv", "npp", "bilgic"):
+            assert name in ALGO_SCALING
+
+    def test_bilgic_has_four_kernels(self):
+        assert len(ALGO_SCALING["bilgic"]) == 4
+
+
+class TestMeasure:
+    def test_direct_measurement_at_calibration(self, runner):
+        pt = runner.measure("brlt_scanrow", "32f32f", "P100", 1024)
+        assert not pt.projected
+        assert pt.time_us > 0
+        assert len(pt.launches) == 2
+
+    def test_projection_beyond_calibration(self, runner):
+        pt = runner.measure("brlt_scanrow", "32f32f", "P100", 4096)
+        assert pt.projected
+        assert pt.size == (4096, 4096)
+
+    def test_projection_equals_full_simulation(self, runner):
+        """The load-bearing guarantee: projection is not an approximation."""
+        proj = runner.measure("brlt_scanrow", "32f32f", "P100", 2048)
+        full = runner.measure("brlt_scanrow", "32f32f", "P100", 2048,
+                              full_sim=True)
+        assert proj.time_us == pytest.approx(full.time_us, rel=1e-3)
+
+    def test_projection_equals_full_simulation_opencv(self, runner):
+        proj = runner.measure("opencv", "32f32f", "P100", 2048)
+        full = runner.measure("opencv", "32f32f", "P100", 2048, full_sim=True)
+        assert proj.time_us == pytest.approx(full.time_us, rel=1e-2)
+
+    def test_calibration_cached(self, runner):
+        a = runner.measure("brlt_scanrow", "8u32s", "P100", 1024)
+        b = runner.measure("brlt_scanrow", "8u32s", "P100", 2048)
+        # Same underlying launches object juggled through projection.
+        assert a.launches[0] is runner._cache[
+            ("brlt_scanrow", "8u32s", "P100", (1024, 1024), ())].launches[0]
+        assert b.projected
+
+    def test_time_grows_with_size(self, runner):
+        t1 = runner.measure("brlt_scanrow", "32f32f", "P100", 1024).time_us
+        t4 = runner.measure("brlt_scanrow", "32f32f", "P100", 4096).time_us
+        t16 = runner.measure("brlt_scanrow", "32f32f", "P100", 16384).time_us
+        assert t1 < t4 < t16
+        # Large sizes scale ~linearly in area (bandwidth-bound).
+        assert t16 / t4 == pytest.approx(16, rel=0.25)
+
+    def test_validation_catches_wrong_output(self):
+        r = Runner(calibration=64)
+        ALGORITHMS["broken"] = lambda img, pair, device, **kw: ALGORITHMS[
+            "cpu_numpy"](img * 0, pair=pair, device=device)
+        ALGO_SCALING["broken"] = []
+        try:
+            with pytest.raises(AssertionError, match="wrong at calibration"):
+                r.measure("broken", "8u32s", "P100", 64)
+        finally:
+            del ALGORITHMS["broken"]
+            del ALGO_SCALING["broken"]
+
+
+class TestSweep:
+    def test_rows_structure(self, runner):
+        rows = runner.sweep(["brlt_scanrow", "opencv"], ["32f32f"],
+                            [1024, 2048], device="P100")
+        assert len(rows) == 4
+        assert {r["algorithm"] for r in rows} == {"brlt_scanrow", "opencv"}
+        assert all(r["speedup_vs_baseline"] > 0 for r in rows)
+
+    def test_baseline_speedup_is_one(self, runner):
+        rows = runner.sweep(["opencv"], ["32f32f"], [1024], device="P100")
+        assert rows[0]["speedup_vs_baseline"] == pytest.approx(1.0)
+
+    def test_npp_skipped_for_unsupported_pairs(self, runner):
+        rows = runner.sweep(["npp"], ["32f32f"], [1024], device="P100")
+        assert rows == []

@@ -1,0 +1,55 @@
+"""Table/series formatting."""
+
+import math
+
+from repro.harness.tables import format_series, format_table, pivot_series
+
+ROWS = [
+    {"size": 1024, "algorithm": "ours", "time_us": 30.0},
+    {"size": 2048, "algorithm": "ours", "time_us": 100.0},
+    {"size": 1024, "algorithm": "opencv", "time_us": 70.0},
+    {"size": 2048, "algorithm": "opencv", "time_us": 160.0},
+]
+
+
+def test_format_table_alignment():
+    out = format_table(ROWS)
+    lines = out.splitlines()
+    assert "size" in lines[0] and "algorithm" in lines[0]
+    assert len(lines) == 2 + len(ROWS)
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # perfectly aligned
+
+
+def test_format_table_title_and_floatfmt():
+    out = format_table(ROWS, title="T", floatfmt="{:.1f}")
+    assert out.startswith("T\n")
+    assert "30.0" in out
+
+
+def test_format_table_column_selection():
+    out = format_table(ROWS, columns=["algorithm", "time_us"])
+    assert "size" not in out
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")
+
+
+def test_pivot_series():
+    curves = pivot_series(ROWS, x="size", series="algorithm", y="time_us")
+    assert curves["ours"] == [(1024, 30.0), (2048, 100.0)]
+    assert curves["opencv"][1] == (2048, 160.0)
+
+
+def test_format_series_one_row_per_algorithm():
+    out = format_series(ROWS, x="size", series="algorithm", y="time_us")
+    lines = out.splitlines()
+    assert len(lines) == 2 + 2
+    assert "1024" in lines[0] and "2048" in lines[0]
+
+
+def test_format_series_missing_points_are_nan():
+    rows = ROWS + [{"size": 4096, "algorithm": "ours", "time_us": 400.0}]
+    out = format_series(rows, x="size", series="algorithm", y="time_us")
+    assert "nan" in out  # opencv has no 4096 point

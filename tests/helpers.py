@@ -1,0 +1,30 @@
+"""Shared helpers importable from any test module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import parse_pair
+
+
+def make_image(shape, pair, seed=0):
+    """Random image matching the input type of ``pair``."""
+    tp = parse_pair(pair)
+    r = np.random.default_rng(seed)
+    if tp.input.is_integer:
+        info = np.iinfo(tp.input.np_dtype)
+        lo = 0 if info.min == 0 else -100
+        hi = min(int(info.max), 255) + 1
+        return r.integers(lo, hi, size=shape).astype(tp.input.np_dtype)
+    return r.standard_normal(shape).astype(tp.input.np_dtype)
+
+
+def assert_sat_equal(got, want, pair):
+    """Bit-exact for integer accumulators, tolerant for floats."""
+    tp = parse_pair(pair)
+    assert got.shape == want.shape
+    if tp.output.is_integer:
+        np.testing.assert_array_equal(got, want)
+    else:
+        rtol = 1e-4 if tp.output.name == "32f" else 1e-10
+        np.testing.assert_allclose(got, want, rtol=rtol, atol=1e-2)

@@ -1,0 +1,88 @@
+"""Sec. V closed forms: every number the paper derives by hand."""
+
+import pytest
+
+from repro.gpusim.device import P100, V100
+from repro.perfmodel import equations as eq
+from repro.perfmodel.equations import WarpTileModel
+
+
+class TestOperationCounts:
+    def test_smem_transactions(self):
+        assert eq.n_trans_store_smem() == 1024
+        assert eq.n_trans_load_smem() == 1024
+
+    def test_transpose_stages(self):
+        assert eq.transpose_stages() == 64
+
+    def test_scan_row_stage_count(self):
+        assert eq.n_scan_row_stage() == 160
+
+    def test_kogge_stone_adds(self):
+        assert eq.n_kogge_stone_add() == 4128
+
+    def test_lf_adds(self):
+        assert eq.n_lf_add() == 2560
+
+    def test_lf_ands(self):
+        assert eq.n_lf_and() == 5120
+
+    def test_shuffle_count(self):
+        assert eq.n_scan_row_sfl() == 160
+
+    def test_scan_col_stages_and_adds(self):
+        assert eq.n_scan_col_stage() == 31
+        assert eq.n_scan_col_add() == 992
+
+
+class TestLatencies:
+    def test_eq3_p100(self):
+        assert eq.latency_transpose(P100) == 2304
+
+    def test_eq4_p100(self):
+        assert eq.latency_scan_row(P100) == 6240
+
+    def test_eq5_p100(self):
+        assert eq.latency_scan_col(P100) == 186
+
+    def test_v100_latencies(self):
+        assert eq.latency_transpose(V100) == 64 * 27
+        assert eq.latency_scan_col(V100) == 31 * 4
+
+
+class TestConclusions:
+    @pytest.mark.parametrize("dev", [P100, V100])
+    def test_eq6_transpose_plus_serial_much_less_than_parallel(self, dev):
+        m = WarpTileModel(dev)
+        assert m.eq6_holds()
+        assert m.eq6_ratio() < 0.5
+
+    @pytest.mark.parametrize("dev", [P100, V100])
+    def test_eq14_kogge_stone_side(self, dev):
+        m = WarpTileModel(dev)
+        assert m.eq14_holds()
+
+    @pytest.mark.parametrize("dev", [P100, V100])
+    def test_eq15_lf_side(self, dev):
+        m = WarpTileModel(dev)
+        assert m.eq15_holds()
+
+    def test_eq14_margin_is_large(self):
+        """The paper writes >>: require at least 2x on P100."""
+        m = WarpTileModel(P100)
+        assert (m.t_kogge_stone_add + m.t_shuffle) > 2 * (
+            m.t_transpose + m.t_scan_col_add)
+
+
+class TestThroughputTimes:
+    def test_eq11_scan_col_add_time(self):
+        # 992 adds at 64/clock = 15.5 clocks.
+        assert eq.time_scan_col_add(P100) == pytest.approx(15.5)
+
+    def test_eq13_kogge_stone_time(self):
+        assert eq.time_kogge_stone_add(P100) == pytest.approx(4128 / 64)
+
+    def test_eq10_transpose_time_small(self):
+        # 8 KB staged at ~128 B/clock -> ~64 clocks.
+        t = eq.time_transpose(P100)
+        assert 40 < t < 90

@@ -1,0 +1,64 @@
+"""Measured simulator counters vs. the Sec.-V forms; Sec. VI-D checks."""
+
+import pytest
+
+from repro.perfmodel.verification import (
+    measure_warp_tile,
+    verify_fig8_inequalities,
+    verify_warp_tile_counts,
+)
+
+
+class TestWarpTileCounts:
+    def test_all_quantities_match_paper(self):
+        report = verify_warp_tile_counts("P100")
+        assert all(v["match"] for v in report.values()), report
+
+    def test_expected_quantities_present(self):
+        report = verify_warp_tile_counts("P100")
+        assert {"N_KoggeStone_add", "N_LF_add", "N_scan_col_add",
+                "N_scan_row_sfl", "N_trans_smem",
+                "BRLT_bank_conflicts"} <= set(report)
+
+    def test_serial_scan_tile(self):
+        counts = measure_warp_tile("serial_only")
+        assert counts.adds == 992
+        assert counts.shuffles_lane == 0
+
+    def test_brlt_tile_transactions(self):
+        counts = measure_warp_tile("brlt_only")
+        assert counts.smem_transactions == 64
+        assert counts.bank_conflict_replays == 0
+
+    def test_full_brlt_serial_pipeline(self):
+        counts = measure_warp_tile("serial_after_brlt")
+        assert counts.adds == 992
+        assert counts.smem_transactions == 64
+
+
+class TestFig8Inequalities:
+    """Fig. 8 covers 1k^2 .. 4k^2; below that launch overhead (paid twice
+    by the two-kernel pipelines) skews check 2."""
+
+    @pytest.fixture(scope="class")
+    def v1k(self):
+        return verify_fig8_inequalities(1024, "P100")
+
+    def test_check1_scancolumn_cheapest(self, v1k):
+        # VI-D (1): BRLT is the overhead on top of a plain column scan.
+        assert v1k.check1_scancol_lt_brlt_scanrow
+
+    def test_check2_brlt_pays_off_end_to_end(self, v1k):
+        assert v1k.check2_brlt_pays_off
+
+    def test_check3_serial_beats_parallel(self, v1k):
+        assert v1k.check3_serial_beats_parallel
+
+    def test_all_hold_helper(self, v1k):
+        assert v1k.all_hold()
+
+    def test_holds_on_v100_too(self):
+        assert verify_fig8_inequalities(1024, "V100").all_hold()
+
+    def test_holds_at_2k(self):
+        assert verify_fig8_inequalities(2048, "P100").all_hold()

@@ -1,0 +1,132 @@
+"""The paper's three SAT algorithms vs. the Alg. 1 reference.
+
+Every algorithm, every type pair of Figs. 6/7, square and rectangular and
+non-tile-aligned shapes, single- and multi-strip widths, both devices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.api import PAPER_ALGORITHMS
+from repro.sat.naive import sat_reference
+
+from tests.helpers import assert_sat_equal, make_image
+
+ALGOS = sorted(PAPER_ALGORITHMS)
+PAIRS = ["8u32s", "8u32u", "8u32f", "32s32s", "32u32u", "32f32f", "64f64f"]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestCorrectness:
+    @pytest.mark.parametrize("pair", PAIRS)
+    def test_all_type_pairs_64x64(self, algo, pair):
+        img = make_image((64, 64), pair, seed=1)
+        run = PAPER_ALGORITHMS[algo](img, pair=pair)
+        assert_sat_equal(run.output, sat_reference(img, pair), pair)
+
+    @pytest.mark.parametrize("shape", [(32, 32), (32, 256), (256, 32),
+                                       (96, 224), (160, 96)])
+    def test_rectangular(self, algo, shape):
+        img = make_image(shape, "32s32s", seed=2)
+        run = PAPER_ALGORITHMS[algo](img, pair="32s32s")
+        assert_sat_equal(run.output, sat_reference(img, "32s32s"), "32s32s")
+
+    @pytest.mark.parametrize("shape", [(1, 1), (5, 7), (31, 33), (33, 31),
+                                       (50, 70), (100, 1)])
+    def test_padding_paths(self, algo, shape):
+        """Shapes that are not multiples of the 32x32 tile."""
+        img = make_image(shape, "8u32s", seed=3)
+        run = PAPER_ALGORITHMS[algo](img, pair="8u32s")
+        assert_sat_equal(run.output, sat_reference(img, "8u32s"), "8u32s")
+
+    def test_multi_strip_width(self, algo):
+        """Widths beyond one 1024-column block strip exercise the carry."""
+        img = make_image((64, 2080), "32s32s", seed=4)
+        run = PAPER_ALGORITHMS[algo](img, pair="32s32s")
+        assert_sat_equal(run.output, sat_reference(img, "32s32s"), "32s32s")
+
+    def test_multi_strip_height(self, algo):
+        img = make_image((2080, 64), "32s32s", seed=5)
+        run = PAPER_ALGORITHMS[algo](img, pair="32s32s")
+        assert_sat_equal(run.output, sat_reference(img, "32s32s"), "32s32s")
+
+    def test_on_v100(self, algo):
+        img = make_image((96, 96), "8u32s", seed=6)
+        run = PAPER_ALGORITHMS[algo](img, pair="8u32s", device="V100")
+        assert_sat_equal(run.output, sat_reference(img, "8u32s"), "8u32s")
+        assert run.device == "V100"
+
+    def test_int32_overflow_matches_reference(self, algo):
+        """Accumulator wrap-around must be bit-identical to Alg. 1."""
+        img = np.full((128, 128), 2 ** 28, dtype=np.int32)
+        run = PAPER_ALGORITHMS[algo](img, pair="32s32s")
+        assert_sat_equal(run.output, sat_reference(img, "32s32s"), "32s32s")
+
+    def test_zeros_input(self, algo):
+        img = np.zeros((64, 64), dtype=np.uint8)
+        run = PAPER_ALGORITHMS[algo](img, pair="8u32s")
+        assert np.all(run.output == 0)
+
+    def test_two_kernel_launches(self, algo):
+        img = make_image((64, 64), "32f32f")
+        run = PAPER_ALGORITHMS[algo](img, pair="32f32f")
+        assert len(run.launches) == 2
+        assert run.time_us > 0
+
+    def test_output_dtype_is_accumulator(self, algo):
+        img = make_image((64, 64), "8u32f")
+        run = PAPER_ALGORITHMS[algo](img, pair="8u32f")
+        assert run.output.dtype == np.float32
+
+
+class TestScanVariants:
+    @pytest.mark.parametrize("scan", ["kogge_stone", "ladner_fischer",
+                                      "brent_kung", "han_carlson"])
+    @pytest.mark.parametrize("algo", ["scanrow_brlt", "scan_row_column"])
+    def test_any_warp_scan_works(self, algo, scan):
+        img = make_image((96, 128), "32s32s", seed=8)
+        run = PAPER_ALGORITHMS[algo](img, pair="32s32s", scan=scan)
+        assert_sat_equal(run.output, sat_reference(img, "32s32s"), "32s32s")
+
+
+class TestPerformanceShape:
+    """Relations the paper reports, asserted on the modeled times."""
+
+    def test_brlt_scanrow_beats_scanrow_brlt(self):
+        # Sec. VI-D (3), corrected direction: serial scan wins.
+        img = make_image((512, 512), "32f32f")
+        t_brlt = PAPER_ALGORITHMS["brlt_scanrow"](img, pair="32f32f").time_us
+        t_srb = PAPER_ALGORITHMS["scanrow_brlt"](img, pair="32f32f").time_us
+        assert t_brlt < t_srb
+
+    def test_64f_slower_than_32f(self):
+        img32 = make_image((256, 256), "32f32f")
+        img64 = make_image((256, 256), "64f64f")
+        t32 = PAPER_ALGORITHMS["brlt_scanrow"](img32, pair="32f32f").time_us
+        t64 = PAPER_ALGORITHMS["brlt_scanrow"](img64, pair="64f64f").time_us
+        assert t64 > t32
+
+    def test_v100_faster_than_p100(self):
+        img = make_image((1024, 1024), "32f32f")
+        tp = PAPER_ALGORITHMS["brlt_scanrow"](img, pair="32f32f", device="P100").time_us
+        tv = PAPER_ALGORITHMS["brlt_scanrow"](img, pair="32f32f", device="V100").time_us
+        assert tv < tp
+
+    def test_brlt_stride_32_is_slower(self):
+        img = make_image((512, 512), "32f32f")
+        t33 = PAPER_ALGORITHMS["brlt_scanrow"](img, pair="32f32f", brlt_stride=33)
+        t32 = PAPER_ALGORITHMS["brlt_scanrow"](img, pair="32f32f", brlt_stride=32)
+        assert t32.time_us > t33.time_us
+        conf33 = sum(s.counters.smem_bank_conflict_replays for s in t33.launches)
+        conf32 = sum(s.counters.smem_bank_conflict_replays for s in t32.launches)
+        assert conf33 == 0 and conf32 > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(h=st.integers(1, 80), w=st.integers(1, 80),
+       algo=st.sampled_from(ALGOS))
+def test_property_any_shape_matches_reference(h, w, algo):
+    img = make_image((h, w), "8u32s", seed=h * 100 + w)
+    run = PAPER_ALGORITHMS[algo](img, pair="8u32s")
+    np.testing.assert_array_equal(run.output, sat_reference(img, "8u32s"))

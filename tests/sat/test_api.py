@@ -1,0 +1,103 @@
+"""Public sat() API: dispatch, defaults, errors."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, integral, sat
+from repro.sat.naive import sat_reference
+
+
+class TestDispatch:
+    def test_default_algorithm_is_brlt_scanrow(self):
+        img = np.ones((40, 40), dtype=np.float32)
+        assert sat(img).algorithm == "brlt_scanrow"
+
+    def test_registry_contains_paper_and_baselines(self):
+        for name in ("brlt_scanrow", "scanrow_brlt", "scan_row_column",
+                     "opencv", "npp", "bilgic", "cpu_numpy", "cpu_serial"):
+            assert name in ALGORITHMS
+
+    @pytest.mark.parametrize("algorithm", ["opencv", "bilgic", "cpu_numpy"])
+    def test_baselines_via_api(self, algorithm):
+        img = np.random.default_rng(0).integers(0, 256, (64, 70)).astype(np.uint8)
+        run = sat(img, pair="8u32s", algorithm=algorithm)
+        np.testing.assert_array_equal(run.output, sat_reference(img, "8u32s"))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            sat(np.ones((32, 32), dtype=np.float32), algorithm="magic")
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            sat(np.ones((2, 3, 4), dtype=np.float32))
+
+
+class TestDefaults:
+    def test_uint8_defaults_to_8u32s(self):
+        img = np.ones((32, 32), dtype=np.uint8)
+        run = sat(img)
+        assert run.pair == "8u32s"
+        assert run.output.dtype == np.int32
+
+    def test_float_defaults_to_identity_pair(self):
+        img = np.ones((32, 32), dtype=np.float32)
+        assert sat(img).pair == "32f32f"
+
+    def test_device_selection(self):
+        img = np.ones((32, 32), dtype=np.float32)
+        assert sat(img, device="V100").device == "V100"
+
+    def test_opts_forwarded(self):
+        img = np.ones((32, 32), dtype=np.float32)
+        run = sat(img, algorithm="scanrow_brlt", scan="ladner_fischer")
+        np.testing.assert_allclose(run.output, sat_reference(img, "32f32f"))
+
+
+class TestIntegralWrapper:
+    def test_returns_plain_array(self):
+        img = np.random.default_rng(1).integers(0, 256, (45, 61)).astype(np.uint8)
+        out = integral(img)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, sat_reference(img, "8u32s"))
+
+
+class TestSatRun:
+    def test_time_is_sum_of_kernels(self):
+        img = np.ones((64, 64), dtype=np.float32)
+        run = sat(img)
+        assert run.time_us == pytest.approx(
+            sum(t for _, t in run.kernel_times_us()))
+
+    def test_cpu_baseline_has_no_launches(self):
+        img = np.ones((32, 32), dtype=np.float32)
+        run = sat(img, algorithm="cpu_numpy")
+        assert run.launches == [] and run.time_us == 0
+
+
+class TestExclusiveForm:
+    def test_exclusive_option(self):
+        from repro.sat.naive import exclusive_from_inclusive
+        img = np.random.default_rng(3).integers(0, 256, (40, 50)).astype(np.uint8)
+        inc = sat(img).output
+        exc = sat(img, exclusive=True).output
+        np.testing.assert_array_equal(exc, exclusive_from_inclusive(inc))
+
+    def test_exclusive_borders_zero(self):
+        img = np.ones((33, 47), dtype=np.uint8)
+        exc = sat(img, exclusive=True).output
+        assert np.all(exc[0] == 0) and np.all(exc[:, 0] == 0)
+        assert exc[-1, -1] == 32 * 46
+
+
+class TestM40Device:
+    def test_algorithms_run_on_m40(self):
+        img = np.random.default_rng(4).integers(0, 256, (64, 96)).astype(np.uint8)
+        run = sat(img, pair="8u32s", device="M40")
+        np.testing.assert_array_equal(run.output, sat_reference(img, "8u32s"))
+        assert run.device == "M40"
+
+    def test_m40_slower_than_p100(self):
+        img = np.random.default_rng(5).integers(0, 256, (1024, 1024)).astype(np.uint8)
+        tm = sat(img, pair="8u32s", device="M40").time_us
+        tp = sat(img, pair="8u32s", device="P100").time_us
+        assert tm > tp

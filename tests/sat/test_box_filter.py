@@ -1,0 +1,124 @@
+"""Fig. 1 rectangle sums and box filtering (heavily property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sat.box_filter import box_filter, rect_mean, rect_sum, rect_sums
+from repro.sat.naive import sat_reference
+
+
+@pytest.fixture
+def image():
+    return np.random.default_rng(0).integers(0, 256, (24, 30)).astype(np.uint8)
+
+
+@pytest.fixture
+def table(image):
+    return sat_reference(image, "8u64f")
+
+
+class TestRectSum:
+    def test_full_image(self, image, table):
+        assert rect_sum(table, 0, 0, 23, 29) == image.sum()
+
+    def test_single_pixel(self, image, table):
+        assert rect_sum(table, 5, 7, 5, 7) == image[5, 7]
+
+    def test_interior_rectangle(self, image, table):
+        assert rect_sum(table, 3, 4, 10, 12) == image[3:11, 4:13].sum()
+
+    def test_touching_top_left(self, image, table):
+        assert rect_sum(table, 0, 0, 4, 4) == image[:5, :5].sum()
+
+    def test_first_row_only(self, image, table):
+        assert rect_sum(table, 0, 3, 0, 9) == image[0, 3:10].sum()
+
+    def test_first_col_only(self, image, table):
+        assert rect_sum(table, 2, 0, 8, 0) == image[2:9, 0].sum()
+
+    def test_empty_rect_raises(self, table):
+        with pytest.raises(ValueError):
+            rect_sum(table, 5, 5, 4, 5)
+
+    def test_four_lookups_three_ops(self, image, table):
+        """Fig. 1: a + d - b - c."""
+        y0, x0, y1, x1 = 2, 3, 9, 11
+        a = table[y0 - 1, x0 - 1]
+        b = table[y0 - 1, x1]
+        c = table[y1, x0 - 1]
+        d = table[y1, x1]
+        assert rect_sum(table, y0, x0, y1, x1) == d - b - c + a
+
+
+class TestRectSumsVectorised:
+    def test_matches_scalar(self, image, table):
+        y0 = np.array([0, 3, 5])
+        x0 = np.array([0, 4, 0])
+        y1 = np.array([10, 9, 5])
+        x1 = np.array([10, 20, 7])
+        got = rect_sums(table, y0, x0, y1, x1)
+        want = [rect_sum(table, *args) for args in zip(y0, x0, y1, x1)]
+        np.testing.assert_allclose(got, want)
+
+    def test_grid_of_windows(self, image, table):
+        gy, gx = np.meshgrid(np.arange(0, 16, 4), np.arange(0, 24, 6),
+                             indexing="ij")
+        got = rect_sums(table, gy, gx, gy + 3, gx + 3)
+        assert got.shape == gy.shape
+        assert got[0, 0] == image[0:4, 0:4].sum()
+
+
+class TestBoxFilter:
+    def test_constant_image(self, ):
+        img = np.full((16, 16), 9, dtype=np.uint8)
+        out = box_filter(sat_reference(img, "8u64f"), radius=3)
+        np.testing.assert_allclose(out, 9.0)
+
+    def test_interior_matches_bruteforce(self, image, table):
+        out = box_filter(table, radius=2)
+        y, x = 10, 15
+        np.testing.assert_allclose(out[y, x], image[8:13, 13:18].mean())
+
+    def test_corner_clipping(self, image, table):
+        out = box_filter(table, radius=2)
+        np.testing.assert_allclose(out[0, 0], image[:3, :3].mean())
+
+    def test_unnormalised(self, image, table):
+        out = box_filter(table, radius=1, normalize=False)
+        assert out[5, 5] == image[4:7, 4:7].sum()
+
+    def test_radius_zero_is_identity(self, image, table):
+        out = box_filter(table, radius=0)
+        np.testing.assert_allclose(out, image.astype(np.float64))
+
+
+def test_rect_mean(image, table):
+    assert rect_mean(table, 2, 2, 5, 5) == pytest.approx(image[2:6, 2:6].mean())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    img=hnp.arrays(np.uint8, (16, 16)),
+    coords=st.tuples(st.integers(0, 15), st.integers(0, 15),
+                     st.integers(0, 15), st.integers(0, 15)),
+)
+def test_property_rect_sum_equals_slice_sum(img, coords):
+    y0, x0, y1, x1 = coords
+    y0, y1 = sorted((y0, y1))
+    x0, x1 = sorted((x0, x1))
+    table = sat_reference(img, "8u64f")
+    got = rect_sum(table, y0, x0, y1, x1)
+    assert got == img[y0:y1 + 1, x0:x1 + 1].astype(np.int64).sum()
+
+
+@settings(max_examples=20, deadline=None)
+@given(img=hnp.arrays(np.uint8, (12, 12)))
+def test_property_disjoint_split_additivity(img):
+    """Sum over a rectangle equals the sum over any vertical split of it."""
+    table = sat_reference(img, "8u64f")
+    whole = rect_sum(table, 2, 1, 9, 10)
+    left = rect_sum(table, 2, 1, 9, 5)
+    right = rect_sum(table, 2, 6, 9, 10)
+    assert whole == left + right

@@ -1,0 +1,107 @@
+"""Alg. 5 BRLT: transpose semantics, batching, bank behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.sat.brlt import alloc_brlt_smem, brlt_staging_batches, brlt_transpose
+
+
+def run_brlt(n_warps=1, dtype=np.int32, stride=33, seed=0):
+    ctx = KernelContext(P100, grid=1, block=32 * n_warps)
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 1000, size=(n_warps, 32, 32))
+    regs = []
+    for j in range(32):
+        a = np.zeros(ctx.shape, dtype=dtype)
+        a[0] = vals[:, j, :]
+        regs.append(ctx.from_array(a))
+    smem = alloc_brlt_smem(ctx, dtype, stride=stride)
+    out = brlt_transpose(ctx, regs, smem)
+    got = np.stack([out[j].a[0] for j in range(32)], axis=1)  # (warps, reg, lane)
+    return ctx, vals, got
+
+
+class TestStagingBatches:
+    def test_s_is_32_over_sizeof(self):
+        # Sec. IV-2: S = 32/sizeof(T).
+        assert brlt_staging_batches(4) == 8
+        assert brlt_staging_batches(8) == 4
+        assert brlt_staging_batches(1) == 32
+
+    def test_alloc_shape(self):
+        ctx = KernelContext(P100, grid=1, block=1024)
+        sm = alloc_brlt_smem(ctx, np.float32)
+        assert sm.shape == (8, 32, 33)
+
+    def test_alloc_fits_shared_memory_for_all_types(self):
+        # The S rule exists precisely to fit the staging buffer.
+        for dt in (np.float32, np.float64, np.int32):
+            ctx = KernelContext(P100, grid=1, block=512)
+            sm = alloc_brlt_smem(ctx, dt)
+            assert sm.nbytes_per_block <= P100.shared_mem_per_block
+
+
+class TestTranspose:
+    def test_single_warp_transposes(self):
+        _, vals, got = run_brlt(1)
+        np.testing.assert_array_equal(got[0], vals[0].T)
+
+    def test_each_warp_independent(self):
+        _, vals, got = run_brlt(4)
+        for w in range(4):
+            np.testing.assert_array_equal(got[w], vals[w].T)
+
+    def test_full_block_32_warps_with_batching(self):
+        # 32 warps, S=8: four serialised batches (the Alg. 5 loop).
+        _, vals, got = run_brlt(32)
+        for w in range(32):
+            np.testing.assert_array_equal(got[w], vals[w].T)
+
+    def test_double_type_batches_of_4(self):
+        _, vals, got = run_brlt(16, dtype=np.float64)
+        for w in range(16):
+            np.testing.assert_array_equal(got[w], vals[w].T)
+
+    def test_involution(self):
+        ctx = KernelContext(P100, grid=1, block=32)
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 100, size=(32, 32))
+        regs = [ctx.from_array(np.broadcast_to(vals[j], ctx.shape).copy().astype(np.int32))
+                for j in range(32)]
+        smem = alloc_brlt_smem(ctx, np.int32)
+        once = brlt_transpose(ctx, regs, smem)
+        twice = brlt_transpose(ctx, once, smem)
+        for j in range(32):
+            np.testing.assert_array_equal(twice[j].a[0, 0], vals[j])
+
+
+class TestCosts:
+    def test_2048_lane_accesses_per_warp(self):
+        # Eq. 3's N_trans: 1024 stores + 1024 loads (lane-level) = 64
+        # warp transactions when conflict-free.
+        ctx, _, _ = run_brlt(1)
+        assert ctx.counters.smem_transactions == 64
+        assert ctx.counters.smem_bytes == 2048 * 4
+
+    def test_stride_33_no_conflicts(self):
+        ctx, _, _ = run_brlt(1, stride=33)
+        assert ctx.counters.smem_bank_conflict_replays == 0
+
+    def test_stride_32_has_32_way_conflicts(self):
+        ctx, _, _ = run_brlt(1, stride=32)
+        # The read-back hits one bank 32 times for each of 32 registers.
+        assert ctx.counters.smem_bank_conflict_replays == 32 * 31
+
+    def test_stride_32_still_correct(self):
+        _, vals, got = run_brlt(1, stride=32)
+        np.testing.assert_array_equal(got[0], vals[0].T)
+
+    def test_64f_conflict_free_with_stride_33(self):
+        ctx, _, _ = run_brlt(4, dtype=np.float64)
+        assert ctx.counters.smem_bank_conflict_replays == 0
+
+    def test_batching_serialises_via_syncthreads(self):
+        ctx, _, _ = run_brlt(32)  # S=8 -> 4 batches -> 3 inter-batch syncs
+        assert ctx.counters.sync_count == 3

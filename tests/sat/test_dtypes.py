@@ -1,0 +1,90 @@
+"""Type-pair system: parsing, sizes, register footprints, overflow."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DTYPES, TYPE_PAIRS, parse_dtype, parse_pair
+
+
+class TestDTypes:
+    def test_paper_spellings(self):
+        assert DTYPES["8u"].np_dtype == np.uint8
+        assert DTYPES["32s"].np_dtype == np.int32
+        assert DTYPES["32u"].np_dtype == np.uint32
+        assert DTYPES["32f"].np_dtype == np.float32
+        assert DTYPES["64f"].np_dtype == np.float64
+
+    def test_sizes(self):
+        assert DTYPES["8u"].size == 1
+        assert DTYPES["32f"].size == 4
+        assert DTYPES["64f"].size == 8
+
+    def test_register_footprint(self):
+        # 64f occupies two 32-bit registers; everything else one.
+        assert DTYPES["64f"].regs_per_value == 2
+        assert DTYPES["32f"].regs_per_value == 1
+        assert DTYPES["8u"].regs_per_value == 1
+
+    def test_parse_by_numpy_dtype(self):
+        assert parse_dtype(np.float32) is DTYPES["32f"]
+        assert parse_dtype("float64") is DTYPES["64f"]
+
+    def test_parse_passthrough(self):
+        assert parse_dtype(DTYPES["32s"]) is DTYPES["32s"]
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises((ValueError, TypeError)):
+            parse_dtype("13q")
+
+    def test_zeros_helper(self):
+        z = DTYPES["32s"].zeros((2, 3))
+        assert z.shape == (2, 3) and z.dtype == np.int32
+
+
+class TestTypePairs:
+    def test_compact_spelling(self):
+        tp = parse_pair("8u32s")
+        assert tp.input.name == "8u" and tp.output.name == "32s"
+        assert tp.name == "8u32s"
+
+    def test_identity_from_single_spelling(self):
+        tp = parse_pair("32f")
+        assert tp.input is tp.output
+
+    def test_tuple_form(self):
+        tp = parse_pair(("8u", np.float64))
+        assert tp.name == "8u64f"
+
+    def test_numpy_dtype_means_identity(self):
+        tp = parse_pair(np.float32)
+        assert tp.name == "32f32f"
+
+    def test_pair_passthrough(self):
+        tp = TYPE_PAIRS["8u32s"]
+        assert parse_pair(tp) is tp
+
+    def test_accumulator_is_output(self):
+        assert parse_pair("8u32f").accumulator.name == "32f"
+
+    def test_paper_pairs_present(self):
+        # The pairs Figs. 6/7 evaluate.
+        for name in ("8u32s", "8u32u", "8u32f", "32f32f", "64f64f"):
+            assert name in TYPE_PAIRS
+
+    def test_unknown_compound_split(self):
+        tp = parse_pair("16u32u")
+        assert tp.input.name == "16u" and tp.output.name == "32u"
+
+
+class TestAccumulateCast:
+    def test_wraps_to_uint8(self):
+        from repro.dtypes import accumulate_cast
+        vals = np.array([300, 256, 255], dtype=np.int64)
+        out = accumulate_cast(vals, DTYPES["8u"])
+        np.testing.assert_array_equal(out, [44, 0, 255])
+
+    def test_float_conversion(self):
+        from repro.dtypes import accumulate_cast
+        vals = np.array([1, 2, 3], dtype=np.uint8)
+        out = accumulate_cast(vals, DTYPES["32f"])
+        assert out.dtype == np.float32

@@ -1,0 +1,98 @@
+"""Alg. 1 references: vectorised vs literal, overflow, exclusive form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sat.naive import exclusive_from_inclusive, sat_reference, sat_serial_literal
+
+
+class TestAgainstLiteral:
+    @pytest.mark.parametrize("pair", ["8u32s", "8u32u", "32f32f"])
+    def test_vectorised_equals_literal(self, pair):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, (13, 17)).astype(np.uint8)
+        if pair == "32f32f":
+            img = img.astype(np.float32)
+        a = sat_reference(img, pair)
+        b = sat_serial_literal(img, pair)
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_single_element(self):
+        img = np.array([[7]], dtype=np.uint8)
+        assert sat_reference(img, "8u32s")[0, 0] == 7
+
+    def test_single_row(self):
+        img = np.arange(5, dtype=np.uint8).reshape(1, 5)
+        np.testing.assert_array_equal(sat_reference(img, "8u32s")[0],
+                                      [0, 1, 3, 6, 10])
+
+    def test_single_column(self):
+        img = np.arange(5, dtype=np.uint8).reshape(5, 1)
+        np.testing.assert_array_equal(sat_reference(img, "8u32s")[:, 0],
+                                      [0, 1, 3, 6, 10])
+
+    def test_bottom_right_is_total(self):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 256, (20, 30)).astype(np.uint8)
+        assert sat_reference(img, "8u32s")[-1, -1] == img.sum()
+
+    def test_ones_gives_area(self):
+        img = np.ones((8, 9), dtype=np.uint8)
+        sat = sat_reference(img, "8u32s")
+        assert sat[3, 4] == 4 * 5
+
+
+class TestOverflowSemantics:
+    def test_int32_wraps_like_cuda(self):
+        img = np.full((300, 300), 255, dtype=np.uint8)
+        sat = sat_reference(img, "8u32s")
+        # 300*300*255 = 22.95M < 2^31: no wrap here...
+        assert sat[-1, -1] == 300 * 300 * 255
+        # ...but a uint8 accumulator would wrap.
+        sat8 = sat_reference(img, ("8u", "8u"))
+        assert sat8.dtype == np.uint8
+        assert sat8[-1, -1] == (300 * 300 * 255) % 256
+
+    def test_literal_wraps_identically(self):
+        img = np.full((9, 9), 255, dtype=np.uint8)
+        a = sat_reference(img, ("8u", "8u"))
+        b = sat_serial_literal(img, ("8u", "8u"))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExclusiveForm:
+    def test_eq2_zero_borders(self):
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 10, (6, 7)).astype(np.int32)
+        exc = exclusive_from_inclusive(sat_reference(img, "32s32s"))
+        assert np.all(exc[0, :] == 0)
+        assert np.all(exc[:, 0] == 0)
+
+    def test_eq2_interior(self):
+        img = np.ones((4, 4), dtype=np.int32)
+        exc = exclusive_from_inclusive(sat_reference(img, "32s32s"))
+        assert exc[2, 3] == 2 * 3  # sum of rows<2, cols<3
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.uint8, hnp.array_shapes(min_dims=2, max_dims=2,
+                                             min_side=1, max_side=24)))
+def test_property_reference_equals_literal(img):
+    np.testing.assert_array_equal(
+        sat_reference(img, "8u32s"), sat_serial_literal(img, "8u32s"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.uint8, hnp.array_shapes(min_dims=2, max_dims=2,
+                                             min_side=2, max_side=24)))
+def test_property_sat_recovers_pixels(img):
+    """Differencing the SAT gives back the image:
+    I[y,x] = S[y,x] - S[y-1,x] - S[y,x-1] + S[y-1,x-1]."""
+    sat = sat_reference(img, "8u32s")
+    s = sat.astype(np.int64)
+    pad = np.zeros((s.shape[0] + 1, s.shape[1] + 1), dtype=np.int64)
+    pad[1:, 1:] = s
+    back = pad[1:, 1:] - pad[:-1, 1:] - pad[1:, :-1] + pad[:-1, :-1]
+    np.testing.assert_array_equal(back, img.astype(np.int64))

@@ -1,0 +1,69 @@
+"""Fig. 3c cross-warp partial-sum aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.sat.partial_sum import alloc_partial_sum_smem, block_prefix_offsets
+
+
+def run(n_warps, seed=0):
+    ctx = KernelContext(P100, grid=(2, 1, 1), block=32 * n_warps)
+    rng = np.random.default_rng(seed)
+    totals = rng.integers(0, 100, size=(2, n_warps, 32)).astype(np.int64)
+    reg = ctx.from_array(totals.copy())
+    smem = alloc_partial_sum_smem(ctx, np.int64)
+    offs, block_total = block_prefix_offsets(ctx, reg, smem)
+    return ctx, totals, offs.a, block_total.a
+
+
+class TestOffsets:
+    def test_warp0_offset_zero(self):
+        _, _, offs, _ = run(4)
+        assert np.all(offs[:, 0, :] == 0)
+
+    def test_exclusive_prefix_over_warps(self):
+        _, totals, offs, _ = run(4)
+        for b in range(2):
+            for w in range(1, 4):
+                np.testing.assert_array_equal(offs[b, w], totals[b, :w].sum(axis=0))
+
+    def test_block_total_is_sum_over_all_warps(self):
+        _, totals, _, tot = run(4)
+        for b in range(2):
+            np.testing.assert_array_equal(tot[b, 0], totals[b].sum(axis=0))
+
+    def test_total_identical_across_warps(self):
+        _, _, _, tot = run(8)
+        for w in range(8):
+            np.testing.assert_array_equal(tot[0, w], tot[0, 0])
+
+    def test_blocks_independent(self):
+        _, totals, offs, _ = run(3, seed=5)
+        assert not np.array_equal(totals[0], totals[1])
+        np.testing.assert_array_equal(offs[1, 2], totals[1, :2].sum(axis=0))
+
+    def test_single_warp_block(self):
+        _, totals, offs, tot = run(1)
+        assert np.all(offs == 0)
+        np.testing.assert_array_equal(tot[0, 0], totals[0, 0])
+
+    def test_full_32_warps(self):
+        _, totals, offs, _ = run(32)
+        np.testing.assert_array_equal(offs[0, 31], totals[0, :31].sum(axis=0))
+
+
+class TestCosts:
+    def test_two_barriers(self):
+        ctx, *_ = run(4)
+        assert ctx.counters.sync_count == 2
+
+    def test_single_warp_skips_scan(self):
+        ctx, *_ = run(1)
+        assert ctx.counters.sync_count == 0
+
+    def test_scan_adds_proportional_to_warp_count(self):
+        ctx4, *_ = run(4)
+        ctx16, *_ = run(16)
+        assert ctx16.counters.adds > ctx4.counters.adds

@@ -1,0 +1,89 @@
+"""Host scan references and operation-count closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scan.reference import (
+    brent_kung_adds,
+    exclusive_scan,
+    han_carlson_adds,
+    inclusive_scan,
+    kogge_stone_adds,
+    kogge_stone_stages,
+    ladner_fischer_adds,
+    ladner_fischer_stages,
+    serial_scan_adds,
+    serial_scan_stages,
+)
+
+
+class TestReferences:
+    def test_inclusive_basic(self):
+        np.testing.assert_array_equal(
+            inclusive_scan(np.array([1, 2, 3, 4])), [1, 3, 6, 10])
+
+    def test_exclusive_basic(self):
+        np.testing.assert_array_equal(
+            exclusive_scan(np.array([1, 2, 3, 4])), [0, 1, 3, 6])
+
+    def test_inclusive_keeps_dtype_and_wraps(self):
+        v = np.full(4, 2 ** 30, dtype=np.int32)
+        out = inclusive_scan(v)
+        assert out.dtype == np.int32
+        assert out[3] == 0  # 4 * 2^30 wraps to 0 in int32
+
+    def test_axis_argument(self):
+        m = np.ones((2, 3), dtype=np.int32)
+        np.testing.assert_array_equal(inclusive_scan(m, axis=0)[-1], [2, 2, 2])
+
+    def test_exclusive_2d(self):
+        m = np.ones((2, 4), dtype=np.int32)
+        out = exclusive_scan(m, axis=1)
+        np.testing.assert_array_equal(out[0], [0, 1, 2, 3])
+
+
+class TestClosedForms:
+    def test_paper_values_n32(self):
+        # The exact numbers quoted in Secs. III-C and V-B.
+        assert serial_scan_stages(32) == 31
+        assert serial_scan_adds(32) == 31
+        assert kogge_stone_stages(32) == 5
+        assert kogge_stone_adds(32) == 31 + 30 + 28 + 24 + 16
+        assert ladner_fischer_stages(32) == 5
+        assert ladner_fischer_adds(32) == 80
+
+    def test_v_b2_per_tile_numbers(self):
+        # Sec. V-B2 multiplies by C = 32 rows.
+        assert kogge_stone_adds(32) * 32 == 4128
+        assert ladner_fischer_adds(32) * 32 == 2560
+
+    def test_lf_is_half_n_log_n(self):
+        for n in (8, 16, 32, 64):
+            assert ladner_fischer_adds(n) == n * int(np.log2(n)) // 2
+
+    def test_brent_kung_formula(self):
+        for n in (8, 16, 32):
+            assert brent_kung_adds(n) == 2 * n - 2 - int(np.log2(n))
+
+    def test_han_carlson_between_bk_and_ks(self):
+        for n in (16, 32):
+            assert brent_kung_adds(n) <= han_carlson_adds(n) <= kogge_stone_adds(n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-10 ** 9, 10 ** 9), min_size=1, max_size=200))
+def test_property_exclusive_shifts_inclusive(values):
+    v = np.array(values, dtype=np.int64)
+    inc = inclusive_scan(v)
+    exc = exclusive_scan(v)
+    assert exc[0] == 0
+    np.testing.assert_array_equal(exc[1:], inc[:-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=2, max_size=64))
+def test_property_scan_is_monotone_for_nonnegative(values):
+    v = np.array(values, dtype=np.int64)
+    inc = inclusive_scan(v)
+    assert np.all(np.diff(inc) >= 0)

@@ -1,0 +1,113 @@
+"""All warp-scan variants: correctness vs cumsum, exact operation counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.device import P100
+from repro.gpusim.global_mem import GlobalArray
+from repro.gpusim.launch import launch_kernel
+from repro.scan import (
+    WARP_SCANS,
+    brent_kung_adds,
+    han_carlson_adds,
+    kogge_stone_adds,
+    ladner_fischer_adds,
+)
+
+COUNTS = {
+    "kogge_stone": kogge_stone_adds,
+    "ladner_fischer": ladner_fischer_adds,
+    "brent_kung": brent_kung_adds,
+    "han_carlson": han_carlson_adds,
+}
+
+
+def run_scan(vals: np.ndarray, name: str, width: int = 32):
+    fn = WARP_SCANS[name]
+    src = GlobalArray(vals.copy(), "v")
+    dst = GlobalArray.empty(32, vals.dtype, "o")
+
+    def k(ctx, s, d):
+        lane = ctx.lane_id()
+        x = s.load(ctx, lane)
+        x = fn(ctx, x, width)
+        d.store(ctx, lane, value=x)
+
+    stats = launch_kernel(k, device=P100, grid=1, block=32,
+                          regs_per_thread=16, args=(src, dst))
+    return dst.to_host().ravel(), stats
+
+
+@pytest.mark.parametrize("name", sorted(WARP_SCANS))
+class TestAllScans:
+    def test_matches_cumsum(self, name):
+        rng = np.random.default_rng(7)
+        v = rng.integers(-1000, 1000, 32).astype(np.int64)
+        out, _ = run_scan(v, name)
+        np.testing.assert_array_equal(out, np.cumsum(v))
+
+    def test_float_input(self, name):
+        rng = np.random.default_rng(8)
+        v = rng.standard_normal(32).astype(np.float64)
+        out, _ = run_scan(v, name)
+        np.testing.assert_allclose(out, np.cumsum(v), rtol=1e-12)
+
+    def test_add_count_matches_closed_form(self, name):
+        v = np.ones(32, dtype=np.int32)
+        _, stats = run_scan(v, name)
+        assert stats.counters.adds == COUNTS[name](32)
+
+    def test_segmented_width_16(self, name):
+        rng = np.random.default_rng(9)
+        v = rng.integers(0, 100, 32).astype(np.int64)
+        out, _ = run_scan(v, name, width=16)
+        expect = np.concatenate([np.cumsum(v[:16]), np.cumsum(v[16:])])
+        np.testing.assert_array_equal(out, expect)
+
+    def test_all_ones_gives_lane_plus_one(self, name):
+        out, _ = run_scan(np.ones(32, dtype=np.int32), name)
+        np.testing.assert_array_equal(out, np.arange(1, 33))
+
+    def test_int32_overflow_wraps(self, name):
+        v = np.full(32, 2 ** 30, dtype=np.int32)
+        out, _ = run_scan(v, name)
+        with np.errstate(over="ignore"):
+            expect = np.cumsum(v, dtype=np.int32)
+        np.testing.assert_array_equal(out, expect)
+
+
+class TestOperationCountRelations:
+    """Sec. III-C / V-B: the ordering the paper's argument leans on."""
+
+    def test_lf_has_fewest_parallel_adds_in_theory(self):
+        assert ladner_fischer_adds(32) < kogge_stone_adds(32)
+
+    def test_brent_kung_is_work_efficient(self):
+        assert brent_kung_adds(32) < ladner_fischer_adds(32)
+
+    def test_serial_beats_all_in_work(self):
+        from repro.scan import serial_scan_adds
+        assert serial_scan_adds(32) < brent_kung_adds(32)
+
+    def test_kogge_stone_5_shuffles(self):
+        _, stats = run_scan(np.ones(32, dtype=np.int32), "kogge_stone")
+        assert stats.counters.shuffles / 32 == 5
+
+    def test_lf_boolean_guard_traffic(self):
+        _, stats = run_scan(np.ones(32, dtype=np.int32), "ladner_fischer")
+        # Two boolean lane-ops (AND + compare) per lane per stage.
+        assert stats.counters.bools == 2 * 32 * 5
+
+    def test_kogge_stone_no_boolean_ops(self):
+        _, stats = run_scan(np.ones(32, dtype=np.int32), "kogge_stone")
+        assert stats.counters.bools == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-10 ** 6, 10 ** 6), min_size=32, max_size=32),
+       st.sampled_from(sorted(WARP_SCANS)))
+def test_property_scan_equals_cumsum(values, name):
+    v = np.array(values, dtype=np.int64)
+    out, _ = run_scan(v, name)
+    np.testing.assert_array_equal(out, np.cumsum(v))

@@ -1,0 +1,56 @@
+"""The ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_sat_command(capsys):
+    assert main(["sat", "--size", "128", "--pair", "8u32s"]) == 0
+    out = capsys.readouterr().out
+    assert "BRLT-ScanRow#1" in out
+    assert "total" in out and "checksum" in out
+
+
+def test_sat_command_other_algorithm(capsys):
+    assert main(["sat", "--size", "128", "--algorithm", "opencv"]) == 0
+    assert "horisontal" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--size", "256", "--pair", "32f32f"]) == 0
+    out = capsys.readouterr().out
+    assert "brlt_scanrow" in out and "opencv" in out
+    # NPP must be absent: it has no 32f input path.
+    assert "npp" not in out
+
+
+def test_devices_command(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "P100" in out and "256" in out
+
+
+def test_experiment_command_table(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "scanCol" in capsys.readouterr().out
+
+
+def test_experiment_registry_complete():
+    assert {"table1", "table2", "fig6", "fig7", "fig8", "headline",
+            "microbench", "model-equations", "model-verification",
+            "ablation-scan", "ablation-stride"} <= set(EXPERIMENTS)
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_seed_changes_checksum(capsys):
+    main(["sat", "--size", "64", "--seed", "1"])
+    a = capsys.readouterr().out
+    main(["sat", "--size", "64", "--seed", "2"])
+    b = capsys.readouterr().out
+    assert a.splitlines()[-1] != b.splitlines()[-1]

@@ -1,0 +1,43 @@
+"""Every example script runs to completion (the quickstart contract)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: performance_tour sweeps the full harness (minutes); compile-check only.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "face_detection_features.py",
+    "document_binarization.py",
+    "deep_learning_pooling.py",
+    "template_search.py",
+    "multi_gpu_sat.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_compile():
+    for script in EXAMPLES.glob("*.py"):
+        compile(script.read_text(), str(script), "exec")
+
+
+def test_quickstart_reports_all_algorithms():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    for name in ("brlt_scanrow", "opencv", "npp"):
+        assert name in proc.stdout

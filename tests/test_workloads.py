@@ -1,0 +1,66 @@
+"""Synthetic workload generators: determinism, ranges, structure."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    blob_scene,
+    checkerboard,
+    gradient_image,
+    random_matrix,
+    synthetic_document,
+)
+
+
+class TestRandomMatrix:
+    def test_deterministic(self):
+        a = random_matrix((16, 16), "8u", seed=3)
+        b = random_matrix((16, 16), "8u", seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = random_matrix((16, 16), "8u", seed=3)
+        b = random_matrix((16, 16), "8u", seed=4)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("dtype,np_dtype", [("8u", np.uint8),
+                                                ("32s", np.int32),
+                                                ("32f", np.float32),
+                                                ("64f", np.float64)])
+    def test_dtypes(self, dtype, np_dtype):
+        m = random_matrix((8, 8), dtype)
+        assert m.dtype == np_dtype
+
+    def test_8u_uses_full_range(self):
+        m = random_matrix((64, 64), "8u")
+        assert m.min() < 30 and m.max() > 220
+
+    def test_signed_crosses_zero(self):
+        m = random_matrix((64, 64), "32s")
+        assert m.min() < 0 < m.max()
+
+
+class TestStructuredImages:
+    def test_gradient_monotone(self):
+        g = gradient_image((32, 32), "32f")
+        assert g[0, 0] == 0
+        assert np.all(np.diff(g[0]) >= 0)
+        assert np.all(np.diff(g[:, 0]) >= 0)
+
+    def test_gradient_not_symmetric_under_transpose_mismatch(self):
+        g = gradient_image((16, 32), "32f")
+        assert g.shape == (16, 32)
+
+    def test_document_is_8bit_with_dark_text(self):
+        doc = synthetic_document((96, 128), seed=0)
+        assert doc.dtype == np.uint8
+        assert doc.min() < 120 and doc.max() > 150
+
+    def test_blob_scene_contains_bright_blobs(self):
+        img = blob_scene((64, 64), n_blobs=3, seed=1)
+        assert (img > 150).sum() > 50
+
+    def test_checkerboard_alternates(self):
+        c = checkerboard((16, 16), tile=4)
+        assert c[0, 0] == 0 and c[0, 4] == 255 and c[4, 0] == 255
+        assert c.mean() == pytest.approx(127.5)
