@@ -3,13 +3,45 @@
 Wall-clock cost of simulating one BRLT-ScanRow SAT at the calibration
 size — the quantity that bounds how fast the Fig. 6/7 sweeps regenerate.
 pytest-benchmark's statistics apply directly here.
+
+Each run also appends a row to ``BENCH_simulator.json`` at the repo root
+(fused fast path vs the legacy per-register path, plus the speedup), so
+the simulator's own performance history survives across commits and the
+CI smoke run can track regressions.
 """
+
+import json
+import pathlib
+import time
 
 import numpy as np
 
 from repro.sat.brlt_scanrow import sat_brlt_scanrow
 from repro.sat.naive import sat_reference
 from repro.workloads import random_matrix
+
+BENCH_LOG = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def _append_bench_entry(entry: dict) -> None:
+    history = []
+    if BENCH_LOG.exists():
+        try:
+            history = json.loads(BENCH_LOG.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    BENCH_LOG.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    fn()  # warm-up (caches, numpy buffers)
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def test_simulate_512_brlt_scanrow(benchmark):
@@ -18,6 +50,19 @@ def test_simulate_512_brlt_scanrow(benchmark):
         lambda: sat_brlt_scanrow(img, pair="32f32f"), rounds=3, iterations=1)
     np.testing.assert_allclose(run.output, sat_reference(img, "32f32f"),
                                rtol=1e-4, atol=1e-2)
+
+    fused_s = _best_of(lambda: sat_brlt_scanrow(img, pair="32f32f", fused=True))
+    legacy_s = _best_of(lambda: sat_brlt_scanrow(img, pair="32f32f", fused=False))
+    _append_bench_entry({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "test": "test_simulate_512_brlt_scanrow",
+        "size": [512, 512],
+        "pair": "32f32f",
+        "device": "P100",
+        "fused_s": round(fused_s, 6),
+        "legacy_s": round(legacy_s, 6),
+        "speedup_fused_vs_legacy": round(legacy_s / fused_s, 3),
+    })
 
 
 def test_host_reference_1k(benchmark):

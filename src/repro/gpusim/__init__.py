@@ -10,12 +10,13 @@ with the paper's own micro-benchmarked constants.
 """
 
 from .block import KernelContext
+from .config import bounds_check_enabled, fused_enabled
 from .counters import CostCounters
 from .device import DEVICES, DeviceSpec, M40, P100, V100, get_device
-from .global_mem import GlobalArray
+from .global_mem import GlobalArray, clear_sector_pattern_cache, sector_count
 from .launch import LaunchStats, launch_kernel
-from .regfile import RegArray
-from .shared_mem import SharedMem
+from .regfile import RegArray, RegBank
+from .shared_mem import SharedMem, clear_bank_pattern_cache
 from .cost import KernelTiming, Occupancy, PassScaling, kernel_time, occupancy, project_stats
 
 __all__ = [
@@ -31,7 +32,13 @@ __all__ = [
     "LaunchStats",
     "launch_kernel",
     "RegArray",
+    "RegBank",
     "SharedMem",
+    "sector_count",
+    "clear_sector_pattern_cache",
+    "clear_bank_pattern_cache",
+    "fused_enabled",
+    "bounds_check_enabled",
     "KernelTiming",
     "Occupancy",
     "PassScaling",

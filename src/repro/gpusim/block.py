@@ -29,7 +29,7 @@ import numpy as np
 
 from .counters import CostCounters
 from .device import DeviceSpec
-from .regfile import RegArray
+from .regfile import RegArray, RegBank
 from .shared_mem import SharedMem
 from . import shuffle as _shuffle
 from . import warp as _warp
@@ -89,6 +89,8 @@ class KernelContext:
         self._active_stack: list = [None]
         self.smem_bytes_per_block = 0
         self._smem_allocs: list = []
+        #: Kernel name, set by ``launch_kernel`` (used in debug diagnostics).
+        self.kernel_name = "<kernel>"
 
     # -- identities ------------------------------------------------------
     def lane_id(self) -> np.ndarray:
@@ -174,6 +176,17 @@ class KernelContext:
         full = np.broadcast_to(mask, np.broadcast_shapes(new.a.shape, old.a.shape, self.shape))
         return RegArray(self, np.where(full, new.a, old.a))
 
+    def select_active_bank(self, new: RegBank, old: RegBank) -> RegBank:
+        """Bank-wide :meth:`select_active` (one predicate over all registers)."""
+        mask = self.active
+        if mask is None:
+            return new
+        full = np.broadcast_to(
+            np.asarray(mask)[..., None],
+            np.broadcast_shapes(new.a.shape, old.a.shape),
+        )
+        return RegBank(self, np.where(full, new.a, old.a))
+
     def active_lane_count(self, mask: Optional[np.ndarray]) -> float:
         if mask is None:
             return float(np.prod(self.shape))
@@ -189,31 +202,42 @@ class KernelContext:
         self.counters.chain_clocks += clocks
 
     def _count_alu(
-        self, pipeline: str, dtype: np.dtype, lane_mask: Optional[np.ndarray] = None
+        self,
+        pipeline: str,
+        dtype: np.dtype,
+        lane_mask: Optional[np.ndarray] = None,
+        repeat: int = 1,
     ) -> None:
+        """Count ``repeat`` identical ALU instructions under one predicate.
+
+        ``repeat > 1`` is the fused register-bank path: the counter and
+        chain totals are exactly ``repeat`` times the single-instruction
+        amounts, i.e. bit-identical to issuing the instructions one by one
+        (all quantities are integer-valued floats well below 2**53).
+        """
         mask = self._combine_mask(lane_mask)
-        lanes = self.active_lane_count(mask)
+        lanes = self.active_lane_count(mask) * repeat
         c = self.counters
         if pipeline in ("adds", "muls") and np.dtype(dtype) == np.float64:
             c.adds_f64 += lanes
-            self._chain(self.device.add_latency)
+            self._chain(self.device.add_latency * repeat)
         elif pipeline == "bools":
             c.bools += lanes
-            self._chain(self.device.bool_latency)
+            self._chain(self.device.bool_latency * repeat)
         elif pipeline == "muls":
             c.muls += lanes
-            self._chain(self.device.add_latency)
+            self._chain(self.device.add_latency * repeat)
         else:
             c.adds += lanes
-            self._chain(self.device.add_latency)
-        c.warp_instructions += self.active_warp_count(mask)
+            self._chain(self.device.add_latency * repeat)
+        c.warp_instructions += self.active_warp_count(mask) * repeat
 
-    def _count_shuffle(self) -> None:
+    def _count_shuffle(self, repeat: int = 1) -> None:
         mask = self._combine_mask(None)
         c = self.counters
-        c.shuffles += self.active_lane_count(mask)
-        c.warp_instructions += self.active_warp_count(mask)
-        self._chain(self.device.shuffle_latency)
+        c.shuffles += self.active_lane_count(mask) * repeat
+        c.warp_instructions += self.active_warp_count(mask) * repeat
+        self._chain(self.device.shuffle_latency * repeat)
 
     # -- intrinsics -----------------------------------------------------------
     def shfl(self, reg: RegArray, src_lane, width: int = 32) -> RegArray:
@@ -227,6 +251,10 @@ class KernelContext:
 
     def shfl_xor(self, reg: RegArray, lane_mask: int, width: int = 32) -> RegArray:
         return _shuffle.shfl_xor(self, reg, lane_mask, width)
+
+    def shfl_up_bank(self, bank: RegBank, delta: int, width: int = 32) -> RegBank:
+        """Fused ``shfl_up`` of every register in a bank (counts ``n_regs``)."""
+        return _shuffle.shfl_up_bank(self, bank, delta, width)
 
     def syncthreads(self) -> None:
         """Block-wide barrier; in lock-step simulation only the cost matters."""

@@ -1,0 +1,44 @@
+"""Runtime switches for the simulator, read from the environment.
+
+Two debug/compat knobs exist:
+
+* ``REPRO_GPUSIM_FUSED`` (default on) — selects the fused register-bank
+  execution path in the SAT kernels (tile-granular loads/stores, fused
+  BRLT transpose and serial scan).  The fused path is **bit-identical**
+  to the per-register path in data, counters and modeled timings; the
+  flag exists so regression tests can compare both and so a bisection
+  can fall back to the slow path.
+* ``REPRO_GPUSIM_BOUNDS_CHECK`` (default off) — opt-in debug mode: global
+  memory accesses with out-of-range flat indices raise ``IndexError``
+  naming the kernel and the offending lane coordinates instead of the
+  default clip-(loads)/wrap-(stores) behavior that can mask kernel bugs.
+
+Values ``"0"``, ``"false"``, ``"no"``, ``""`` (case-insensitive) disable;
+anything else enables.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_flag", "fused_enabled", "bounds_check_enabled"]
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Read a boolean flag from the environment."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def fused_enabled() -> bool:
+    """Whether kernels default to the fused register-bank path."""
+    return env_flag("REPRO_GPUSIM_FUSED", True)
+
+
+def bounds_check_enabled() -> bool:
+    """Whether global-memory accesses validate flat indices (debug mode)."""
+    return env_flag("REPRO_GPUSIM_BOUNDS_CHECK", False)

@@ -92,8 +92,9 @@ def launch_kernel(
     """Execute ``fn(ctx, *args)`` over the whole grid and model its time."""
     dev = get_device(device)
     ctx = KernelContext(dev, grid, block)
-    fn(ctx, *args)
     kname = name or getattr(fn, "__name__", "kernel")
+    ctx.kernel_name = kname
+    fn(ctx, *args)
     timing = kernel_time(
         dev,
         ctx.counters,

@@ -5,6 +5,14 @@ small static array of them, as in ``T data[32]`` from Alg. 5): one value per
 *lane*, vectorised across every warp and block of the launch, stored as a
 numpy array of shape ``(blocks, warps_per_block, warp_size)``.
 
+A :class:`RegBank` additionally vectorises over the *register index*: a
+thread's whole ``T data[32]`` cache lives in one ndarray of shape
+``(blocks, warps_per_block, warp_size, n_regs)``, so a 32-register tile
+operation costs one numpy dispatch instead of 32.  Every fused operation
+counts exactly what the equivalent per-register loop would have counted
+(same lane-op totals, warp instructions and dependency-chain clocks), so
+the cost model cannot tell the two apart.
+
 Arithmetic on a ``RegArray`` goes through operator overloading so that every
 operation is counted against the launch's :class:`~repro.gpusim.counters.
 CostCounters` (lane ops, warp instructions, dependency-chain clocks) with no
@@ -19,14 +27,14 @@ Sec. V-B (e.g. ``N_KoggeStone_add = (31+30+28+24+16) * C``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, List, Sequence, Union
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from .block import KernelContext
 
-__all__ = ["RegArray"]
+__all__ = ["RegArray", "RegBank"]
 
 Scalar = Union[int, float]
 
@@ -143,3 +151,89 @@ class RegArray:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RegArray(shape={self.a.shape}, dtype={self.a.dtype})"
+
+
+class RegBank:
+    """A thread's whole register array as one ``(B, W, L, R)`` ndarray.
+
+    ``bank.a[..., j]`` is register ``j`` of every thread; :meth:`reg`
+    exposes it as a zero-copy :class:`RegArray` view for the few spots
+    (cross-warp partial sums, carry chains) that still need per-register
+    access.  Fused arithmetic counts ``n_regs`` instructions — identical
+    to the per-register loop it replaces.
+    """
+
+    __slots__ = ("ctx", "a")
+
+    def __init__(self, ctx: "KernelContext", a: np.ndarray):
+        self.ctx = ctx
+        self.a = a
+
+    # -- construction / deconstruction ----------------------------------
+    @classmethod
+    def from_regs(cls, ctx: "KernelContext", regs: Sequence[RegArray]) -> "RegBank":
+        """Stack a register list (register index becomes the last axis)."""
+        full = [np.broadcast_to(r.a, ctx.shape) for r in regs]
+        return cls(ctx, np.stack(full, axis=-1))
+
+    def to_regs(self) -> List[RegArray]:
+        """Views of every register, in index order (free, like moves)."""
+        return [RegArray(self.ctx, self.a[..., j]) for j in range(self.nregs)]
+
+    def reg(self, j: int) -> RegArray:
+        """Zero-copy view of register ``j``."""
+        return RegArray(self.ctx, self.a[..., j])
+
+    def set_reg(self, j: int, reg: RegArray) -> None:
+        """Write register ``j`` back (a register move: not counted)."""
+        self.a[..., j] = np.broadcast_to(reg.a, self.a.shape[:-1])
+
+    def copy(self) -> "RegBank":
+        """Bank-wide register-to-register move (free: not counted)."""
+        return RegBank(self.ctx, self.a.copy())
+
+    # -- properties ------------------------------------------------------
+    @property
+    def nregs(self) -> int:
+        return self.a.shape[-1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.a.dtype
+
+    # -- fused arithmetic ------------------------------------------------
+    def astype(self, dtype) -> "RegBank":
+        """Convert all registers; counted as ``n_regs`` ALU ops per lane."""
+        self.ctx._count_alu("adds", self.a.dtype, repeat=self.nregs)
+        return RegBank(self.ctx, self.a.astype(dtype))
+
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, (RegArray, RegBank)):
+            rhs = other.a
+            if isinstance(other, RegArray):
+                rhs = rhs[..., None]  # broadcast one register over the bank
+            return rhs
+        return other
+
+    def __add__(self, other) -> "RegBank":
+        """Add ``other`` to every register (``n_regs`` counted adds)."""
+        out = np.add(self.a, self._coerce(other))
+        self.ctx._count_alu("adds", out.dtype, repeat=self.nregs)
+        return RegBank(self.ctx, out)
+
+    __radd__ = __add__
+
+    def add_where(self, mask: np.ndarray, other) -> "RegBank":
+        """Predicated ``bank += other`` — the fused ``RegArray.add_where``.
+
+        ``mask`` is a lane predicate broadcastable to ``(B, W, L)``; only
+        active lanes execute (and are counted), for all registers at once.
+        """
+        rhs = self._coerce(other)
+        m = np.asarray(mask, dtype=bool)
+        out = np.where(m[..., None], self.a + rhs, self.a)
+        self.ctx._count_alu("adds", out.dtype, lane_mask=m, repeat=self.nregs)
+        return RegBank(self.ctx, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegBank(shape={self.a.shape}, dtype={self.a.dtype})"

@@ -23,14 +23,26 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .regfile import RegArray
+from .regfile import RegArray, RegBank
 
 if TYPE_CHECKING:  # pragma: no cover
     from .block import KernelContext
 
-__all__ = ["SharedMem", "bank_transactions"]
+__all__ = ["SharedMem", "bank_transactions", "clear_bank_pattern_cache"]
 
 Index = Union[int, np.ndarray]
+
+#: Memoised ``(transactions, replays)`` per exact access pattern.  Kernels
+#: replay the same few staging patterns thousands of times (every strip,
+#: block row and pass reuse them), so caching the full pattern is both
+#: exact — same input, same output — and a large constant-factor win.
+_BANK_PATTERN_CACHE: dict = {}
+_BANK_PATTERN_CACHE_MAX = 4096
+
+
+def clear_bank_pattern_cache() -> None:
+    """Drop the memoised shared-memory conflict analyses (for tests)."""
+    _BANK_PATTERN_CACHE.clear()
 
 
 def bank_transactions(
@@ -134,18 +146,37 @@ class SharedMem:
             off = off + np.asarray(comp, dtype=np.int64) * stride
         return off
 
-    def _account(
-        self,
-        off: np.ndarray,
-        lane_mask: Optional[np.ndarray],
-        store: bool,
-        dependent: bool = False,
-    ) -> None:
+    def _transactions(
+        self, full: np.ndarray, mask: Optional[np.ndarray]
+    ) -> Tuple[float, float]:
+        """Transactions and replays of ONE warp access at offsets ``full``."""
         ctx = self.ctx
-        mask = ctx._combine_mask(lane_mask)
-        full = ctx.broadcast_full(off)
         itemsize = self.dtype.itemsize
         banks = ctx.device.shared_mem_banks
+        full = np.ascontiguousarray(full)
+        key = (
+            full.shape,
+            full.tobytes(),
+            None if mask is None else (mask.shape, np.ascontiguousarray(mask).tobytes()),
+            itemsize,
+            banks,
+        )
+        hit = _BANK_PATTERN_CACHE.get(key)
+        if hit is not None:
+            return hit
+        result = self._transactions_uncached(full, mask, itemsize, banks)
+        if len(_BANK_PATTERN_CACHE) >= _BANK_PATTERN_CACHE_MAX:
+            _BANK_PATTERN_CACHE.clear()
+        _BANK_PATTERN_CACHE[key] = result
+        return result
+
+    def _transactions_uncached(
+        self,
+        full: np.ndarray,
+        mask: Optional[np.ndarray],
+        itemsize: int,
+        banks: int,
+    ) -> Tuple[float, float]:
         if itemsize == 8:
             # The hardware serves 8-byte accesses as two half-warp phases,
             # each covering both words of 16 lanes; stride-1 (and the
@@ -161,27 +192,84 @@ class SharedMem:
                 words[..., :half], None if m2 is None else m2[..., :half], banks)
             t2, r2 = bank_transactions(
                 words[..., half:], None if m2 is None else m2[..., half:], banks)
-            trans, replays = t1 + t2, r1 + r2
+            return t1 + t2, r1 + r2
+        if itemsize == 4:
+            words = full
         else:
-            if itemsize == 4:
-                words = full
-            else:
-                # Sub-word (8/16-bit) accesses share words; word granularity.
-                words = (full * itemsize) // 4
-            trans, replays = bank_transactions(words, mask, banks)
+            # Sub-word (8/16-bit) accesses share words; word granularity.
+            words = (full * itemsize) // 4
+        return bank_transactions(words, mask, banks)
+
+    def _apply_account(
+        self,
+        trans: float,
+        replays: float,
+        mask: Optional[np.ndarray],
+        store: bool,
+        dependent: bool,
+        repeat: int = 1,
+    ) -> None:
+        """Record ``repeat`` access instructions of ``trans`` transactions each."""
+        ctx = self.ctx
         c = ctx.counters
         if store:
-            c.smem_store_transactions += trans
+            c.smem_store_transactions += trans * repeat
         else:
-            c.smem_load_transactions += trans
-        c.smem_bank_conflict_replays += replays
-        c.smem_bytes += float(ctx.active_lane_count(mask)) * itemsize
-        c.warp_instructions += ctx.active_warp_count(mask)
+            c.smem_load_transactions += trans * repeat
+        c.smem_bank_conflict_replays += replays * repeat
+        c.smem_bytes += float(ctx.active_lane_count(mask)) * self.dtype.itemsize * repeat
+        c.warp_instructions += ctx.active_warp_count(mask) * repeat
         # Independent accesses pipeline: one issue slot on the dependency
         # chain.  A load that feeds the next instruction (``dependent=True``,
         # e.g. the stage reads of a Hillis-Steele shared-memory scan) pays
         # the full micro-benchmarked latency of Sec. V-A.
-        ctx._chain(float(ctx.device.shared_mem_latency) if dependent else 1.0)
+        ctx._chain(
+            (float(ctx.device.shared_mem_latency) if dependent else 1.0) * repeat
+        )
+
+    def _account(
+        self,
+        off: np.ndarray,
+        lane_mask: Optional[np.ndarray],
+        store: bool,
+        dependent: bool = False,
+    ) -> None:
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        full = ctx.broadcast_full(off)
+        trans, replays = self._transactions(full, mask)
+        self._apply_account(trans, replays, mask, store, dependent)
+
+    def _account_tile(
+        self,
+        off0: np.ndarray,
+        count: int,
+        reg_stride: int,
+        lane_mask: Optional[np.ndarray],
+        store: bool,
+        dependent: bool,
+    ) -> None:
+        """Account ``count`` accesses at ``off0 + j * reg_stride`` exactly.
+
+        Translating every lane's offset by a constant permutes the banks
+        cyclically and keeps distinct words distinct, so the transaction
+        and replay counts of access ``j`` equal those of access 0 — one
+        analysis covers the whole tile.  The only exception is sub-word
+        element types whose per-register byte shift is not word-aligned
+        (the floor-to-word mapping is then not a translation); those fall
+        back to per-access analysis.
+        """
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        itemsize = self.dtype.itemsize
+        full0 = ctx.broadcast_full(off0)
+        if itemsize >= 4 or (reg_stride * itemsize) % 4 == 0:
+            trans, replays = self._transactions(full0, mask)
+            self._apply_account(trans, replays, mask, store, dependent, repeat=count)
+        else:
+            for j in range(count):
+                trans, replays = self._transactions(full0 + j * reg_stride, mask)
+                self._apply_account(trans, replays, mask, store, dependent)
 
     # ------------------------------------------------------------------
     def store(
@@ -224,6 +312,75 @@ class SharedMem:
         if mask is not None:
             vals = np.where(np.broadcast_to(mask, vals.shape), vals, self.dtype.type(0))
         return RegArray(self.ctx, vals)
+
+    # -- tile-granular (fused register-bank) accesses -------------------
+    def store_tile(
+        self,
+        idx: Sequence[Index],
+        bank: RegBank,
+        reg_stride: int,
+        lane_mask: Optional[np.ndarray] = None,
+        dependent: bool = False,
+    ) -> None:
+        """Store a whole register bank: register ``j`` lands at
+        ``idx + j * reg_stride`` (flat elements).
+
+        One numpy dispatch; counters identical to ``bank.nregs`` separate
+        :meth:`store` calls.
+        """
+        off0 = self._offsets(idx)
+        count = bank.nregs
+        self._account_tile(off0, count, reg_stride, lane_mask,
+                           store=True, dependent=dependent)
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        full0 = ctx.broadcast_full(off0)
+        blk = np.broadcast_to(ctx.block_linear_index(), full0.shape)
+        flat0 = blk.astype(np.int64) * self.elems + full0
+        steps = (
+            np.arange(count, dtype=np.int64).reshape((count,) + (1,) * flat0.ndim)
+            * reg_stride
+        )
+        # Register axis leads so the raveled scatter writes register 0
+        # first, ..., register count-1 last — duplicate addresses resolve
+        # exactly like ``count`` sequential ``store`` calls.
+        flat = flat0[None] + steps
+        vals = np.moveaxis(np.broadcast_to(bank.a, ctx.shape + (count,)), -1, 0)
+        dflat = self.data.reshape(-1)
+        if mask is None:
+            dflat[flat.ravel()] = vals.astype(self.dtype, copy=False).ravel()
+        else:
+            m = np.broadcast_to(mask[None], flat.shape)
+            dflat[flat[m]] = vals[m].astype(self.dtype, copy=False)
+
+    def load_tile(
+        self,
+        idx: Sequence[Index],
+        count: int,
+        reg_stride: int,
+        lane_mask: Optional[np.ndarray] = None,
+        dependent: bool = False,
+    ) -> RegBank:
+        """Load a ``count``-register bank from ``idx + j * reg_stride``.
+
+        Inactive lanes receive 0, exactly like :meth:`load`; counters match
+        ``count`` separate loads.
+        """
+        off0 = self._offsets(idx)
+        self._account_tile(off0, count, reg_stride, lane_mask,
+                           store=False, dependent=dependent)
+        ctx = self.ctx
+        mask = ctx._combine_mask(lane_mask)
+        full0 = ctx.broadcast_full(off0)
+        blk = np.broadcast_to(ctx.block_linear_index(), full0.shape)
+        flat0 = blk.astype(np.int64) * self.elems + full0
+        flat = flat0[..., None] + np.arange(count, dtype=np.int64) * reg_stride
+        vals = self.data.reshape(-1)[flat]
+        if mask is not None:
+            vals = np.where(
+                np.broadcast_to(mask[..., None], vals.shape), vals, self.dtype.type(0)
+            )
+        return RegBank(ctx, vals)
 
     def fill(self, value) -> None:
         """Host-style initialisation (not counted; used for test setup)."""

@@ -24,12 +24,12 @@ from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from .regfile import RegArray
+from .regfile import RegArray, RegBank
 
 if TYPE_CHECKING:  # pragma: no cover
     from .block import KernelContext
 
-__all__ = ["shfl", "shfl_up", "shfl_down", "shfl_xor"]
+__all__ = ["shfl", "shfl_up", "shfl_down", "shfl_xor", "shfl_up_bank"]
 
 
 def _lane_index(warp_size: int) -> np.ndarray:
@@ -53,6 +53,25 @@ def shfl_up(ctx: "KernelContext", reg: RegArray, delta: int, width: int = 32) ->
     out = reg.a[..., src]
     _count(ctx)
     return RegArray(ctx, out)
+
+
+def shfl_up_bank(
+    ctx: "KernelContext", bank: RegBank, delta: int, width: int = 32
+) -> RegBank:
+    """``shfl_up`` applied to every register of a bank in one dispatch.
+
+    Lanes are the second-to-last axis of a bank; the lane permutation and
+    segment semantics match :func:`shfl_up` exactly, and ``n_regs`` shuffle
+    instructions are counted — identical to a per-register loop.
+    """
+    ws = bank.a.shape[-2]
+    lanes = _lane_index(ws)
+    src = lanes - delta
+    keep = (lanes % width) < delta
+    src = np.where(keep, lanes, src)
+    out = bank.a[..., src, :]
+    ctx._count_shuffle(repeat=bank.nregs)
+    return RegBank(ctx, out)
 
 
 def shfl_down(ctx: "KernelContext", reg: RegArray, delta: int, width: int = 32) -> RegArray:

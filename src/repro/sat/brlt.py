@@ -27,10 +27,15 @@ from typing import List
 import numpy as np
 
 from ..gpusim.block import KernelContext
-from ..gpusim.regfile import RegArray
+from ..gpusim.regfile import RegArray, RegBank
 from ..gpusim.shared_mem import SharedMem
 
-__all__ = ["brlt_staging_batches", "alloc_brlt_smem", "brlt_transpose"]
+__all__ = [
+    "brlt_staging_batches",
+    "alloc_brlt_smem",
+    "brlt_transpose",
+    "brlt_transpose_bank",
+]
 
 
 def brlt_staging_batches(elem_size: int) -> int:
@@ -81,3 +86,39 @@ def brlt_transpose(
         if i + s_batches < warp_count:
             ctx.syncthreads()
     return regs
+
+
+def brlt_transpose_bank(ctx: KernelContext, bank: RegBank, smem: SharedMem) -> RegBank:
+    """Fused Alg. 5: transpose a whole register bank per warp.
+
+    Identical staging schedule, shared-memory traffic and counters as
+    :func:`brlt_transpose`, but each batch issues its 32 staging stores
+    and 32 read-backs as two tile-granular dispatches instead of 64
+    per-register ones.  The register index walks the staging row axis on
+    the store and the column axis on the load, so the read-back lands
+    transposed, exactly like the per-register loop.
+    """
+    s_batches = smem.shape[0]
+    warp_count = ctx.warps_per_block
+    wid = ctx.warp_id()
+    lane = ctx.lane_id()
+    row_stride, col_stride = smem.strides[1], smem.strides[2]
+
+    for i in range(0, warp_count, s_batches):
+        active = (wid >= i) & (wid < i + s_batches)
+        with ctx.only_warps(active):
+            k = np.clip(wid - i, 0, s_batches - 1)
+            smem.store_tile((k, 0, lane), bank, reg_stride=row_stride)
+            # Pipeline drain: the first read-back must wait for the last
+            # store to land (one shared-memory latency, Sec. V-A).
+            ctx._chain(float(ctx.device.shared_mem_latency))
+            loaded = smem.load_tile((k, lane, 0), count=bank.nregs,
+                                    reg_stride=col_stride)
+            # Inactive warps keep their registers (they run in a different
+            # batch); the predicate suppresses their write-back.
+            bank = ctx.select_active_bank(loaded, bank)
+            # Drain of the read phase before the registers are consumed.
+            ctx._chain(float(ctx.device.shared_mem_latency))
+        if i + s_batches < warp_count:
+            ctx.syncthreads()
+    return bank

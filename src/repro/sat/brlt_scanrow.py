@@ -27,23 +27,29 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
+from ..gpusim.config import fused_enabled
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import launch_kernel
-from ..scan.serial import serial_scan_registers
-from .brlt import alloc_brlt_smem, brlt_transpose
+from ..scan.serial import serial_scan_bank, serial_scan_registers
+from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
 from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
 __all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow"]
 
 
-def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: int = 33):
+def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: int = 33,
+                        fused: bool = None):
     """The BRLT-ScanRow kernel body (one pass over ``src``).
 
     ``src`` is ``H x W``; ``dst`` must be ``W x H`` and receives the
-    transposed row-prefix matrix.
+    transposed row-prefix matrix.  ``fused`` selects the register-bank
+    fast path (default: the ``REPRO_GPUSIM_FUSED`` setting); both paths
+    produce bit-identical data, counters and timings.
     """
+    if fused is None:
+        fused = fused_enabled()
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -63,29 +69,49 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
         partial = (strip + 1) * strip_w > w
         scope = ctx.only_warps(col0 < w) if partial else nullcontext()
         with scope:
-            # 1. coalesced tile load (+ conversion into the accumulator type)
-            data: List = [
-                src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
-            ]
-            # 2. BRLT: thread <- row, register index <- column
-            data = brlt_transpose(ctx, data, smem_t)
-            # 3. per-thread serial scan along the 32 registers (Alg. 2)
-            data = serial_scan_registers(ctx, data)
-            # 4. cross-warp offsets within the strip, plus the strip carry
-            ctx.syncthreads()
-            offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-            offs = offs + carry
-            data = [d + offs for d in data]
-            carry = carry + total
-            # 5. transposed, coalesced store: dst[col, row]
-            for j in range(32):
-                dst.store(ctx, col0 + j, row0 + lane, value=data[j])
+            if fused:
+                # 1. coalesced tile load (+ accumulator-type conversion)
+                bank = src.load_tile(
+                    ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
+                ).astype(acc)
+                # 2. BRLT: thread <- row, register index <- column
+                bank = brlt_transpose_bank(ctx, bank, smem_t)
+                # 3. per-thread serial scan along the 32 registers (Alg. 2)
+                bank = serial_scan_bank(ctx, bank)
+                # 4. cross-warp offsets within the strip + the strip carry
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                offs = offs + carry
+                bank = bank + offs
+                carry = carry + total
+                # 5. transposed, coalesced store: dst[col, row]
+                dst.store_tile(ctx, col0, row0 + lane, bank=bank,
+                               reg_stride=dst.elem_stride(0))
+            else:
+                # 1. coalesced tile load (+ conversion into the accumulator type)
+                data: List = [
+                    src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
+                ]
+                # 2. BRLT: thread <- row, register index <- column
+                data = brlt_transpose(ctx, data, smem_t)
+                # 3. per-thread serial scan along the 32 registers (Alg. 2)
+                data = serial_scan_registers(ctx, data)
+                # 4. cross-warp offsets within the strip, plus the strip carry
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                offs = offs + carry
+                data = [d + offs for d in data]
+                carry = carry + total
+                # 5. transposed, coalesced store: dst[col, row]
+                for j in range(32):
+                    dst.store(ctx, col0 + j, row0 + lane, value=data[j])
         if strip + 1 < n_strips:
             ctx.syncthreads()
 
 
 def brlt_scanrow_pass(
-    src: GlobalArray, *, device, acc, name: str, brlt_stride: int = 33
+    src: GlobalArray, *, device, acc, name: str, brlt_stride: int = 33,
+    fused: bool = None,
 ) -> tuple:
     """Launch one BRLT-ScanRow pass; returns ``(dst, stats)``."""
     dev = get_device(device)
@@ -99,7 +125,7 @@ def brlt_scanrow_pass(
         grid=(1, h // 32, 1),
         block=(wpb * 32, 1, 1),
         regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, brlt_stride),
+        args=(src, dst, brlt_stride, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
     )
@@ -107,7 +133,7 @@ def brlt_scanrow_pass(
 
 
 def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_stride: int = 33,
-                     **_opts) -> SatRun:
+                     fused: bool = None, **_opts) -> SatRun:
     """Full SAT via two BRLT-ScanRow passes (Sec. IV-B)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -116,10 +142,12 @@ def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_strid
 
     src = GlobalArray(padded, "input")
     mid, s1 = brlt_scanrow_pass(
-        src, device=dev, acc=tp.output, name="BRLT-ScanRow#1", brlt_stride=brlt_stride
+        src, device=dev, acc=tp.output, name="BRLT-ScanRow#1", brlt_stride=brlt_stride,
+        fused=fused,
     )
     out, s2 = brlt_scanrow_pass(
-        mid, device=dev, acc=tp.output, name="BRLT-ScanRow#2", brlt_stride=brlt_stride
+        mid, device=dev, acc=tp.output, name="BRLT-ScanRow#2", brlt_stride=brlt_stride,
+        fused=fused,
     )
     return SatRun(
         output=crop(out.to_host(), orig),

@@ -26,11 +26,12 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
+from ..gpusim.config import fused_enabled
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import launch_kernel
 from ..scan import WARP_SCANS
-from ..scan.serial import serial_scan_registers
+from ..scan.serial import serial_scan_bank, serial_scan_registers
 from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
@@ -43,8 +44,11 @@ __all__ = [
 ]
 
 
-def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone"):
+def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone",
+                   fused: bool = None):
     """Row-prefix kernel: one warp per row, 32-element chunks with carry."""
+    if fused is None:
+        fused = fused_enabled()
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
@@ -59,21 +63,37 @@ def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "ko
     while c < n_chunks:
         # Cache up to C=32 chunks (1024 elements per warp) in registers.
         batch = min(32, n_chunks - c)
-        data: List = [
-            src.load(ctx, row, (c + j) * 32 + lane).astype(acc) for j in range(batch)
-        ]
-        for j in range(batch):
-            # Inject the running carry into lane 0; the scan propagates it.
-            data[j] = data[j].add_where(lane == 0, carry)
-            data[j] = warp_scan(ctx, data[j])
-            carry = ctx.shfl(data[j], 31)
-        for j in range(batch):
-            dst.store(ctx, row, (c + j) * 32 + lane, value=data[j])
+        if fused:
+            # Fused tile load/store; the scan-and-carry chain stays a
+            # per-register loop — the carry makes it inherently serial.
+            bank = src.load_tile(
+                ctx, row, c * 32 + lane, count=batch, reg_stride=32
+            ).astype(acc)
+            for j in range(batch):
+                # Inject the running carry into lane 0; the scan propagates it.
+                r = bank.reg(j).add_where(lane == 0, carry)
+                r = warp_scan(ctx, r)
+                bank.set_reg(j, r)
+                carry = ctx.shfl(r, 31)
+            dst.store_tile(ctx, row, c * 32 + lane, bank=bank, reg_stride=32)
+        else:
+            data: List = [
+                src.load(ctx, row, (c + j) * 32 + lane).astype(acc) for j in range(batch)
+            ]
+            for j in range(batch):
+                # Inject the running carry into lane 0; the scan propagates it.
+                data[j] = data[j].add_where(lane == 0, carry)
+                data[j] = warp_scan(ctx, data[j])
+                carry = ctx.shfl(data[j], 31)
+            for j in range(batch):
+                dst.store(ctx, row, (c + j) * 32 + lane, value=data[j])
         c += batch
 
 
-def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray):
+def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = None):
     """Column-prefix kernel: 32-column stripes, serial scan per thread."""
+    if fused is None:
+        fused = fused_enabled()
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -91,24 +111,40 @@ def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray):
         partial = (band + 1) * band_h > h
         scope = ctx.only_warps(row0 < h) if partial else nullcontext()
         with scope:
-            # Coalesced loads: lanes walk adjacent columns.
-            data: List = [src.load(ctx, row0 + j, col).astype(acc) for j in range(32)]
-            # Serial scan straight down the column (Alg. 2).
-            data = serial_scan_registers(ctx, data)
-            # Cross-warp fix-up within the band + running band carry.
-            ctx.syncthreads()
-            offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-            offs = offs + carry
-            data = [d + offs for d in data]
-            carry = carry + total
-            for j in range(32):
-                dst.store(ctx, row0 + j, col, value=data[j])
+            if fused:
+                # Coalesced tile load: lanes walk adjacent columns.
+                bank = src.load_tile(
+                    ctx, row0, col, count=32, reg_stride=src.elem_stride(0)
+                ).astype(acc)
+                # Serial scan straight down the column (Alg. 2).
+                bank = serial_scan_bank(ctx, bank)
+                # Cross-warp fix-up within the band + running band carry.
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                offs = offs + carry
+                bank = bank + offs
+                carry = carry + total
+                dst.store_tile(ctx, row0, col, bank=bank,
+                               reg_stride=dst.elem_stride(0))
+            else:
+                # Coalesced loads: lanes walk adjacent columns.
+                data: List = [src.load(ctx, row0 + j, col).astype(acc) for j in range(32)]
+                # Serial scan straight down the column (Alg. 2).
+                data = serial_scan_registers(ctx, data)
+                # Cross-warp fix-up within the band + running band carry.
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                offs = offs + carry
+                data = [d + offs for d in data]
+                carry = carry + total
+                for j in range(32):
+                    dst.store(ctx, row0 + j, col, value=data[j])
         if band + 1 < n_bands:
             ctx.syncthreads()
 
 
 def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
-                 scan: str = "kogge_stone") -> tuple:
+                 scan: str = "kogge_stone", fused: bool = None) -> tuple:
     """Launch the ScanRow kernel; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -122,14 +158,15 @@ def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
         grid=(1, (h + wpb - 1) // wpb, 1),
         block=(wpb * 32, 1, 1),
         regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, scan),
+        args=(src, dst, scan, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
     )
     return dst, stats
 
 
-def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn") -> tuple:
+def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
+                    fused: bool = None) -> tuple:
     """Launch the ScanColumn kernel; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -142,7 +179,7 @@ def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn") 
         grid=(w // 32, 1, 1),
         block=(32, wpb, 1),
         regs_per_thread=regs_per_thread(acc),
-        args=(src, dst),
+        args=(src, dst, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
     )
@@ -150,7 +187,7 @@ def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn") 
 
 
 def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
-                        scan: str = "kogge_stone", **_opts) -> SatRun:
+                        scan: str = "kogge_stone", fused: bool = None, **_opts) -> SatRun:
     """Full SAT via ScanRow then ScanColumn (Sec. IV-C, Fig. 5)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -158,8 +195,8 @@ def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
     padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
 
     src = GlobalArray(padded, "input")
-    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan)
-    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output)
+    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan, fused=fused)
+    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output, fused=fused)
     return SatRun(
         output=crop(out.to_host(), orig),
         launches=[s1, s2],

@@ -30,22 +30,28 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
+from ..gpusim.config import fused_enabled
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import launch_kernel
-from ..scan import WARP_SCANS
-from .brlt import alloc_brlt_smem, brlt_transpose
+from ..gpusim.regfile import RegBank
+from ..scan import WARP_SCANS, WARP_SCANS_BANK
+from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
 from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
 __all__ = ["scanrow_brlt_kernel", "scanrow_brlt_pass", "sat_scanrow_brlt"]
 
 
-def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone"):
+def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone",
+                        fused: bool = None):
     """The ScanRow-BRLT kernel body (one pass over ``src``)."""
+    if fused is None:
+        fused = fused_enabled()
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
+    warp_scan_bank = WARP_SCANS_BANK.get(scan_name)
     lane = ctx.lane_id()
     wid = ctx.warp_id()
     by = ctx.block_idx("y")
@@ -63,29 +69,55 @@ def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str 
         partial = (strip + 1) * strip_w > w
         scope = ctx.only_warps(col0 < w) if partial else nullcontext()
         with scope:
-            # 1. coalesced tile load
-            data: List = [
-                src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
-            ]
-            # 2. parallel warp-scan of every register along the lanes
-            data = [warp_scan(ctx, d) for d in data]
-            # 3. BRLT: thread <- row, register index <- column
-            data = brlt_transpose(ctx, data, smem_t)
-            # 4. cross-warp offsets + strip carry (Fig. 3c)
-            ctx.syncthreads()
-            offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-            offs = offs + carry
-            data = [d + offs for d in data]
-            carry = carry + total
-            # 5. transposed, coalesced store
-            for j in range(32):
-                dst.store(ctx, col0 + j, row0 + lane, value=data[j])
+            if fused:
+                # 1. coalesced tile load
+                bank = src.load_tile(
+                    ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
+                ).astype(acc)
+                # 2. parallel warp-scan of every register along the lanes
+                if warp_scan_bank is not None:
+                    bank = warp_scan_bank(ctx, bank)
+                else:
+                    # Scans without a fused variant: per-register loop over
+                    # bank views — identical counters, slower dispatch.
+                    bank = RegBank.from_regs(
+                        ctx, [warp_scan(ctx, bank.reg(j)) for j in range(bank.nregs)]
+                    )
+                # 3. BRLT: thread <- row, register index <- column
+                bank = brlt_transpose_bank(ctx, bank, smem_t)
+                # 4. cross-warp offsets + strip carry (Fig. 3c)
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                offs = offs + carry
+                bank = bank + offs
+                carry = carry + total
+                # 5. transposed, coalesced store
+                dst.store_tile(ctx, col0, row0 + lane, bank=bank,
+                               reg_stride=dst.elem_stride(0))
+            else:
+                # 1. coalesced tile load
+                data: List = [
+                    src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
+                ]
+                # 2. parallel warp-scan of every register along the lanes
+                data = [warp_scan(ctx, d) for d in data]
+                # 3. BRLT: thread <- row, register index <- column
+                data = brlt_transpose(ctx, data, smem_t)
+                # 4. cross-warp offsets + strip carry (Fig. 3c)
+                ctx.syncthreads()
+                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                offs = offs + carry
+                data = [d + offs for d in data]
+                carry = carry + total
+                # 5. transposed, coalesced store
+                for j in range(32):
+                    dst.store(ctx, col0 + j, row0 + lane, value=data[j])
         if strip + 1 < n_strips:
             ctx.syncthreads()
 
 
 def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
-                      scan: str = "kogge_stone") -> tuple:
+                      scan: str = "kogge_stone", fused: bool = None) -> tuple:
     """Launch one ScanRow-BRLT pass; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -98,7 +130,7 @@ def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
         grid=(1, h // 32, 1),
         block=(wpb * 32, 1, 1),
         regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, scan),
+        args=(src, dst, scan, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
     )
@@ -106,7 +138,7 @@ def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
 
 
 def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",
-                     scan: str = "kogge_stone", **_opts) -> SatRun:
+                     scan: str = "kogge_stone", fused: bool = None, **_opts) -> SatRun:
     """Full SAT via two ScanRow-BRLT passes (Sec. IV-A)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -114,8 +146,10 @@ def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",
     padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
 
     src = GlobalArray(padded, "input")
-    mid, s1 = scanrow_brlt_pass(src, device=dev, acc=tp.output, name="ScanRow-BRLT#1", scan=scan)
-    out, s2 = scanrow_brlt_pass(mid, device=dev, acc=tp.output, name="ScanRow-BRLT#2", scan=scan)
+    mid, s1 = scanrow_brlt_pass(src, device=dev, acc=tp.output, name="ScanRow-BRLT#1",
+                                scan=scan, fused=fused)
+    out, s2 = scanrow_brlt_pass(mid, device=dev, acc=tp.output, name="ScanRow-BRLT#2",
+                                scan=scan, fused=fused)
     return SatRun(
         output=crop(out.to_host(), orig),
         launches=[s1, s2],

@@ -14,9 +14,9 @@ stage — uses ``>=``.  We implement ``>=``; tests check the scan against
 from __future__ import annotations
 
 from ..gpusim.block import KernelContext
-from ..gpusim.regfile import RegArray
+from ..gpusim.regfile import RegArray, RegBank
 
-__all__ = ["kogge_stone_scan"]
+__all__ = ["kogge_stone_scan", "kogge_stone_scan_bank"]
 
 
 def kogge_stone_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> RegArray:
@@ -28,3 +28,20 @@ def kogge_stone_scan(ctx: KernelContext, data: RegArray, width: int = 32) -> Reg
         data = data.add_where(lane >= i, val)
         i *= 2
     return data
+
+
+def kogge_stone_scan_bank(ctx: KernelContext, bank: RegBank, width: int = 32) -> RegBank:
+    """Fused Kogge-Stone scan of every register in a bank along the lanes.
+
+    One shuffle + one predicated add per stage cover all ``n_regs``
+    registers; the counted instructions (and the per-stage active-lane
+    totals of Sec. V-B2) are exactly ``n_regs`` times the single-register
+    scan, matching a per-register loop bit for bit.
+    """
+    lane = ctx.lane_id() % width
+    i = 1
+    while i < width:
+        val = ctx.shfl_up_bank(bank, i, width)
+        bank = bank.add_where(lane >= i, val)
+        i *= 2
+    return bank

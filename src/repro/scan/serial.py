@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..gpusim.block import KernelContext
-from ..gpusim.regfile import RegArray
+import numpy as np
 
-__all__ = ["serial_scan_registers", "serial_scan_inplace"]
+from ..gpusim.block import KernelContext
+from ..gpusim.regfile import RegArray, RegBank
+
+__all__ = ["serial_scan_registers", "serial_scan_inplace", "serial_scan_bank"]
 
 
 def serial_scan_registers(
@@ -44,3 +46,24 @@ def serial_scan_inplace(ctx: KernelContext, regs: List[RegArray]) -> None:
     """In-place variant used where kernels mutate their register cache."""
     for i in range(1, len(regs)):
         regs[i] = regs[i] + regs[i - 1]
+
+
+def serial_scan_bank(
+    ctx: KernelContext, bank: RegBank, carry: Optional[RegArray] = None
+) -> RegBank:
+    """Fused Alg. 2 over a whole register bank (one numpy dispatch).
+
+    ``np.add.accumulate`` is defined sequentially (``r[i] = r[i-1] + a[i]``),
+    so the result is bit-identical to the per-register loop of
+    :func:`serial_scan_registers`, and ``N - 1`` adds per thread are
+    counted exactly as the loop would have.
+    """
+    a = bank.a
+    if carry is not None:
+        rhs = carry.a[..., None] if isinstance(carry, RegArray) else carry
+        first = a[..., :1] + rhs
+        ctx._count_alu("adds", first.dtype)
+        a = np.concatenate([first, a[..., 1:]], axis=-1)
+    out = np.add.accumulate(a, axis=-1)
+    ctx._count_alu("adds", out.dtype, repeat=bank.nregs - 1)
+    return RegBank(ctx, out)

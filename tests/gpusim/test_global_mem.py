@@ -6,6 +6,7 @@ import pytest
 from repro.gpusim.block import KernelContext
 from repro.gpusim.device import P100
 from repro.gpusim.global_mem import GlobalArray, sector_count
+from repro.gpusim.launch import launch_kernel
 
 
 @pytest.fixture
@@ -101,6 +102,62 @@ class TestGlobalArray:
         g = GlobalArray(np.zeros((2, 2, 2), dtype=np.int32))
         with pytest.raises(IndexError):
             g.load(ctx, 0, 0)
+
+
+class TestToHost:
+    def test_default_is_live_view(self, ctx):
+        g = GlobalArray.empty((1, 32), np.int32)
+        host = g.to_host()
+        g.store(ctx, 0, ctx.lane_id(), value=ctx.const(5, np.int32))
+        assert np.all(host == 5)  # later stores show through
+
+    def test_copy_is_independent_snapshot(self, ctx):
+        g = GlobalArray.empty((1, 32), np.int32)
+        snap = g.to_host(copy=True)
+        g.store(ctx, 0, ctx.lane_id(), value=ctx.const(5, np.int32))
+        assert np.all(snap == 0)
+        snap[:] = 99  # mutating the snapshot must not touch the device
+        assert np.all(g.data == 5)
+
+
+class TestBoundsCheck:
+    def test_off_by_default_clips(self, ctx):
+        g = GlobalArray(np.arange(32, dtype=np.int32))
+        v = g.load(ctx, ctx.lane_id() + 100)  # silently clipped
+        assert v.a[0, 0, 0] == 31
+
+    def test_oob_load_raises_with_kernel_and_lane(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_BOUNDS_CHECK", "1")
+
+        def oob_kernel(ctx, g):
+            g.load(ctx, ctx.lane_id() + 20)
+
+        g = GlobalArray(np.arange(32, dtype=np.int32), name="buf")
+        with pytest.raises(IndexError) as exc:
+            launch_kernel(oob_kernel, device=P100, grid=1, block=32,
+                          regs_per_thread=8, args=(g,))
+        msg = str(exc.value)
+        assert "oob_kernel" in msg and "buf" in msg and "lane 12" in msg
+
+    def test_oob_store_raises(self, ctx, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_BOUNDS_CHECK", "1")
+        g = GlobalArray.empty(32, np.int32)
+        with pytest.raises(IndexError, match="store"):
+            g.store(ctx, ctx.lane_id() - 1, value=ctx.const(1, np.int32))
+
+    def test_masked_oob_lanes_are_ignored(self, ctx, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_BOUNDS_CHECK", "1")
+        g = GlobalArray(np.arange(32, dtype=np.int32))
+        lane = ctx.lane_id()
+        mask = np.broadcast_to(lane < 16, ctx.shape)
+        v = g.load(ctx, lane + 16, lane_mask=mask)  # active lanes in range
+        assert v.a[0, 0, 0] == 16
+
+    def test_oob_tile_access_names_register(self, ctx, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_BOUNDS_CHECK", "1")
+        g = GlobalArray(np.zeros((4, 32), dtype=np.float32), name="tile")
+        with pytest.raises(IndexError, match="register 2"):
+            g.load_tile(ctx, 2, ctx.lane_id(), count=4, reg_stride=32)
 
 
 class TestVectorAccess:

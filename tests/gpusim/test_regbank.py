@@ -1,0 +1,250 @@
+"""RegBank fused operations vs the per-register loops they replace.
+
+Every test runs the same logical operation through two fresh contexts —
+one per-register, one fused — and requires byte-identical data AND
+byte-identical counters.  The cost model must not be able to tell the
+fused fast path from the loops."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import KernelContext
+from repro.gpusim.device import P100
+from repro.gpusim.global_mem import GlobalArray
+from repro.gpusim.regfile import RegArray, RegBank
+from repro.sat.brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
+from repro.scan.kogge_stone import kogge_stone_scan, kogge_stone_scan_bank
+from repro.scan.serial import serial_scan_bank, serial_scan_registers
+
+
+def make_ctx(grid=2, block=128):
+    return KernelContext(P100, grid=grid, block=block)
+
+
+def counters_equal(a: KernelContext, b: KernelContext):
+    da, db = a.counters.as_dict(), b.counters.as_dict()
+    assert da == db, {k: (da[k], db[k]) for k in da if da[k] != db[k]}
+
+
+def tile_values(ctx, nregs=32, dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=ctx.shape + (nregs,)).astype(dtype)
+
+
+class TestBankBasics:
+    def test_from_regs_to_regs_roundtrip(self):
+        ctx = make_ctx()
+        vals = tile_values(ctx, nregs=4)
+        regs = [RegArray(ctx, vals[..., j]) for j in range(4)]
+        bank = RegBank.from_regs(ctx, regs)
+        for j, r in enumerate(bank.to_regs()):
+            np.testing.assert_array_equal(r.a, vals[..., j])
+
+    def test_set_reg_writes_through(self):
+        ctx = make_ctx()
+        bank = RegBank(ctx, tile_values(ctx, nregs=4))
+        r = bank.reg(1) + 5.0
+        bank.set_reg(1, r)
+        np.testing.assert_array_equal(bank.a[..., 1], r.a)
+
+    def test_add_counts_nregs_instructions(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=8)
+        bank = RegBank(c1, vals.copy()) + 1.0
+        regs = [RegArray(c2, vals[..., j].copy()) + 1.0 for j in range(8)]
+        counters_equal(c1, c2)
+        for j in range(8):
+            np.testing.assert_array_equal(bank.a[..., j], regs[j].a)
+
+    def test_add_where_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=8)
+        mask = c1.lane_id() >= 16
+        bank = RegBank(c1, vals.copy()).add_where(mask, 3.0)
+        regs = [
+            RegArray(c2, vals[..., j].copy()).add_where(mask, 3.0) for j in range(8)
+        ]
+        counters_equal(c1, c2)
+        for j in range(8):
+            np.testing.assert_array_equal(bank.a[..., j], regs[j].a)
+
+    def test_astype_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=8, dtype=np.uint8)
+        RegBank(c1, vals.copy()).astype(np.float64)
+        for j in range(8):
+            RegArray(c2, vals[..., j].copy()).astype(np.float64)
+        counters_equal(c1, c2)
+
+
+class TestScans:
+    def test_serial_scan_bank_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=32)
+        fused = serial_scan_bank(c1, RegBank(c1, vals.copy()))
+        loop = serial_scan_registers(
+            c2, [RegArray(c2, vals[..., j].copy()) for j in range(32)]
+        )
+        counters_equal(c1, c2)
+        for j in range(32):
+            np.testing.assert_array_equal(fused.a[..., j], loop[j].a)
+
+    def test_serial_scan_bank_with_carry(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=8)
+        carry = tile_values(c1, nregs=1)[..., 0]
+        fused = serial_scan_bank(
+            c1, RegBank(c1, vals.copy()), carry=RegArray(c1, carry.copy())
+        )
+        loop = serial_scan_registers(
+            c2,
+            [RegArray(c2, vals[..., j].copy()) for j in range(8)],
+            carry=RegArray(c2, carry.copy()),
+        )
+        counters_equal(c1, c2)
+        for j in range(8):
+            np.testing.assert_array_equal(fused.a[..., j], loop[j].a)
+
+    def test_kogge_stone_bank_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        vals = tile_values(c1, nregs=8)
+        fused = kogge_stone_scan_bank(c1, RegBank(c1, vals.copy()))
+        loop = [
+            kogge_stone_scan(c2, RegArray(c2, vals[..., j].copy())) for j in range(8)
+        ]
+        counters_equal(c1, c2)
+        for j in range(8):
+            np.testing.assert_array_equal(fused.a[..., j], loop[j].a)
+
+
+class TestGlobalTiles:
+    def test_load_tile_matches_load_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        data = np.arange(64 * 256, dtype=np.float32).reshape(64, 256)
+        g1, g2 = GlobalArray(data.copy()), GlobalArray(data.copy())
+        lane = c1.lane_id()
+        bank = g1.load_tile(c1, 0, c1.warp_id() * 32 + lane, count=32,
+                            reg_stride=g1.elem_stride(0))
+        regs = [
+            g2.load(c2, j, c2.warp_id() * 32 + c2.lane_id()) for j in range(32)
+        ]
+        counters_equal(c1, c2)
+        for j in range(32):
+            np.testing.assert_array_equal(bank.a[..., j], regs[j].a)
+
+    def test_store_tile_matches_store_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        g1 = GlobalArray.empty((64, 256), np.float32)
+        g2 = GlobalArray.empty((64, 256), np.float32)
+        vals = tile_values(c1, nregs=32)
+        col1 = c1.warp_id() * 32 + c1.lane_id()
+        g1.store_tile(c1, 0, col1, bank=RegBank(c1, vals.copy()),
+                      reg_stride=g1.elem_stride(0))
+        col2 = c2.warp_id() * 32 + c2.lane_id()
+        for j in range(32):
+            g2.store(c2, j, col2, value=RegArray(c2, vals[..., j].copy()))
+        counters_equal(c1, c2)
+        np.testing.assert_array_equal(g1.data, g2.data)
+
+    def test_masked_tile_access(self):
+        c1, c2 = make_ctx(), make_ctx()
+        data = np.arange(64 * 256, dtype=np.float64).reshape(64, 256)
+        g1, g2 = GlobalArray(data.copy()), GlobalArray(data.copy())
+        m1 = np.broadcast_to(c1.lane_id() < 20, c1.shape)
+        m2 = np.broadcast_to(c2.lane_id() < 20, c2.shape)
+        bank = g1.load_tile(c1, 0, c1.warp_id() * 32 + c1.lane_id(), count=16,
+                            reg_stride=g1.elem_stride(0), lane_mask=m1)
+        regs = [
+            g2.load(c2, j, c2.warp_id() * 32 + c2.lane_id(), lane_mask=m2)
+            for j in range(16)
+        ]
+        counters_equal(c1, c2)
+        for j in range(16):
+            np.testing.assert_array_equal(bank.a[..., j], regs[j].a)
+
+    def test_overlapping_store_matches_sequential_order(self):
+        # All registers target the SAME address: the last register must
+        # win, exactly like 4 sequential stores.
+        c1, c2 = make_ctx(grid=1, block=32), make_ctx(grid=1, block=32)
+        g1 = GlobalArray.empty(32, np.int32)
+        g2 = GlobalArray.empty(32, np.int32)
+        vals = np.broadcast_to(
+            np.arange(4, dtype=np.int32), c1.shape + (4,)
+        ).copy()
+        g1.store_tile(c1, c1.lane_id(), bank=RegBank(c1, vals.copy()), reg_stride=0)
+        for j in range(4):
+            g2.store(c2, c2.lane_id(), value=RegArray(c2, vals[..., j].copy()))
+        np.testing.assert_array_equal(g1.data, g2.data)
+        assert np.all(g1.data == 3)
+
+
+class TestSharedTiles:
+    def test_smem_tile_roundtrip_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        s1 = c1.alloc_shared((32, 33), np.float32, name="s")
+        s2 = c2.alloc_shared((32, 33), np.float32, name="s")
+        vals = tile_values(c1, nregs=32)
+        lane1, lane2 = c1.lane_id(), c2.lane_id()
+        s1.store_tile((0, lane1), RegBank(c1, vals.copy()), reg_stride=33)
+        back1 = s1.load_tile((lane1, 0), count=32, reg_stride=1)
+        for j in range(32):
+            s2.store((j, lane2), RegArray(c2, vals[..., j].copy()))
+        back2 = [s2.load((lane2, j)) for j in range(32)]
+        counters_equal(c1, c2)
+        np.testing.assert_array_equal(s1.data, s2.data)
+        for j in range(32):
+            np.testing.assert_array_equal(back1.a[..., j], back2[j].a)
+
+    def test_subword_unaligned_stride_falls_back_exactly(self):
+        # uint8 with reg_stride 33: (33 * 1) % 4 != 0, so the tile
+        # accounting cannot use the translation shortcut — the per-access
+        # fallback must still match the loop bit for bit.
+        c1, c2 = make_ctx(), make_ctx()
+        s1 = c1.alloc_shared((32, 33), np.uint8, name="s")
+        s2 = c2.alloc_shared((32, 33), np.uint8, name="s")
+        vals = tile_values(c1, nregs=32, dtype=np.uint8)
+        s1.store_tile((0, c1.lane_id()), RegBank(c1, vals.copy()), reg_stride=33)
+        for j in range(32):
+            s2.store((j, c2.lane_id()), RegArray(c2, vals[..., j].copy()))
+        counters_equal(c1, c2)
+        np.testing.assert_array_equal(s1.data, s2.data)
+
+    def test_smem_64f_tile_matches_loop(self):
+        c1, c2 = make_ctx(), make_ctx()
+        s1 = c1.alloc_shared((4, 32, 33), np.float64, name="s")
+        s2 = c2.alloc_shared((4, 32, 33), np.float64, name="s")
+        vals = tile_values(c1, nregs=32, dtype=np.float64)
+        k1 = np.clip(c1.warp_id(), 0, 3)
+        k2 = np.clip(c2.warp_id(), 0, 3)
+        s1.store_tile((k1, 0, c1.lane_id()), RegBank(c1, vals.copy()), reg_stride=33)
+        for j in range(32):
+            s2.store((k2, j, c2.lane_id()), RegArray(c2, vals[..., j].copy()))
+        counters_equal(c1, c2)
+        np.testing.assert_array_equal(s1.data, s2.data)
+
+
+class TestBrltBank:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32])
+    def test_transpose_bank_matches_per_register(self, dtype):
+        c1, c2 = make_ctx(), make_ctx()
+        sm1 = alloc_brlt_smem(c1, dtype)
+        sm2 = alloc_brlt_smem(c2, dtype)
+        vals = tile_values(c1, nregs=32, dtype=dtype, seed=3)
+        bank = brlt_transpose_bank(c1, RegBank(c1, vals.copy()), sm1)
+        regs = brlt_transpose(
+            c2, [RegArray(c2, vals[..., j].copy()) for j in range(32)], sm2
+        )
+        counters_equal(c1, c2)
+        np.testing.assert_array_equal(sm1.data, sm2.data)
+        for j in range(32):
+            np.testing.assert_array_equal(bank.a[..., j], regs[j].a)
+
+    def test_transpose_bank_is_a_transpose(self):
+        ctx = make_ctx(grid=1, block=64)
+        sm = alloc_brlt_smem(ctx, np.float32)
+        vals = tile_values(ctx, nregs=32, seed=4)
+        out = brlt_transpose_bank(ctx, RegBank(ctx, vals.copy()), sm)
+        # new[lane, j] == old[j, lane] within every warp
+        np.testing.assert_array_equal(
+            out.a, np.swapaxes(vals, -1, -2)
+        )
