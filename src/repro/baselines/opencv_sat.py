@@ -63,9 +63,10 @@ def opencv_horizontal_kernel(ctx, src: GlobalArray, dst: GlobalArray):
     carry = ctx.const(0, acc)
     for chunk in range(w // n):
         x = src.load(ctx, row, chunk * n + tid).astype(acc)
+        # block_scan_with_carry ends with the barrier that protects the
+        # carry broadcast, so no extra per-chunk sync is needed here.
         x, carry = block_scan_with_carry(ctx, smem, x, tid, carry)
         dst.store(ctx, row, chunk * n + tid, value=x)
-        ctx.syncthreads()
 
 
 def opencv_horizontal_8u_shfl_kernel(ctx, src: GlobalArray, dst: GlobalArray):

@@ -10,12 +10,22 @@ with the paper's own micro-benchmarked constants.
 """
 
 from .block import KernelContext
-from .config import bounds_check_enabled, fused_enabled
+from .config import bounds_check_enabled, fused_enabled, sanitize_enabled
 from .counters import CostCounters
 from .device import DEVICES, DeviceSpec, M40, P100, V100, get_device
 from .global_mem import GlobalArray, clear_sector_pattern_cache, sector_count
 from .launch import LaunchStats, launch_kernel
 from .regfile import RegArray, RegBank
+from .sanitize import (
+    BankConflictError,
+    BarrierDivergenceError,
+    OutOfBoundsError,
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+    SharedMemoryRaceError,
+    UninitializedReadError,
+)
 from .shared_mem import SharedMem, clear_bank_pattern_cache
 from .cost import KernelTiming, Occupancy, PassScaling, kernel_time, occupancy, project_stats
 
@@ -39,6 +49,15 @@ __all__ = [
     "clear_bank_pattern_cache",
     "fused_enabled",
     "bounds_check_enabled",
+    "sanitize_enabled",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "SharedMemoryRaceError",
+    "UninitializedReadError",
+    "OutOfBoundsError",
+    "BarrierDivergenceError",
+    "BankConflictError",
     "KernelTiming",
     "Occupancy",
     "PassScaling",

@@ -91,6 +91,9 @@ class KernelContext:
         self._smem_allocs: list = []
         #: Kernel name, set by ``launch_kernel`` (used in debug diagnostics).
         self.kernel_name = "<kernel>"
+        #: Optional :class:`~repro.gpusim.sanitize.Sanitizer`, attached by
+        #: ``launch_kernel`` when sanitizing; ``None`` costs nothing.
+        self.sanitizer = None
 
     # -- identities ------------------------------------------------------
     def lane_id(self) -> np.ndarray:
@@ -185,7 +188,8 @@ class KernelContext:
             np.asarray(mask)[..., None],
             np.broadcast_shapes(new.a.shape, old.a.shape),
         )
-        return RegBank(self, np.where(full, new.a, old.a))
+        valid = RegBank.merge_valid(full, new, old)
+        return RegBank(self, np.where(full, new.a, old.a), valid=valid)
 
     def active_lane_count(self, mask: Optional[np.ndarray]) -> float:
         if mask is None:
@@ -254,12 +258,25 @@ class KernelContext:
 
     def shfl_up_bank(self, bank: RegBank, delta: int, width: int = 32) -> RegBank:
         """Fused ``shfl_up`` of every register in a bank (counts ``n_regs``)."""
+        bank._require_init("shuffle")
         return _shuffle.shfl_up_bank(self, bank, delta, width)
 
     def syncthreads(self) -> None:
         """Block-wide barrier; in lock-step simulation only the cost matters."""
         self.counters.sync_count += 1
         self._chain(SYNC_LATENCY_CLOCKS)
+        if self.sanitizer is not None:
+            self.sanitizer.barrier(self.active)
+
+    def local_regs(self, count: int, dtype) -> RegBank:
+        """An uninitialised per-thread register array (``T data[count]``).
+
+        Under the sanitizer the bank tracks per-slot validity and reading
+        a never-written register raises; otherwise it is plain zeros.
+        """
+        return RegBank.uninit(
+            self, count, np.dtype(dtype), track=self.sanitizer is not None
+        )
 
     # -- shared memory ---------------------------------------------------------
     def alloc_shared(self, shape: Sequence[int], dtype, name: str = "sMem") -> SharedMem:
@@ -273,4 +290,6 @@ class KernelContext:
                 f"{self.device.name}"
             )
         self._smem_allocs.append(sm)
+        if self.sanitizer is not None:
+            self.sanitizer.register_shared(sm)
         return sm

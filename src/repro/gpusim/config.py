@@ -12,6 +12,12 @@ Two debug/compat knobs exist:
   memory accesses with out-of-range flat indices raise ``IndexError``
   naming the kernel and the offending lane coordinates instead of the
   default clip-(loads)/wrap-(stores) behavior that can mask kernel bugs.
+* ``REPRO_GPUSIM_SANITIZE`` (default off) — the full kernel sanitizer
+  (:mod:`repro.gpusim.sanitize`): shared-memory race detection across
+  ``__syncthreads`` intervals, uninitialised-read checks, out-of-bounds
+  checks (a superset of ``REPRO_GPUSIM_BOUNDS_CHECK``), barrier-divergence
+  tracking and bank-conflict hazards.  ``launch_kernel(...,
+  sanitize=True/False)`` overrides per launch.
 
 Values ``"0"``, ``"false"``, ``"no"``, ``""`` (case-insensitive) disable;
 anything else enables.
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["env_flag", "fused_enabled", "bounds_check_enabled"]
+__all__ = ["env_flag", "fused_enabled", "bounds_check_enabled", "sanitize_enabled"]
 
 _FALSY = {"0", "false", "no", "off", ""}
 
@@ -42,3 +48,8 @@ def fused_enabled() -> bool:
 def bounds_check_enabled() -> bool:
     """Whether global-memory accesses validate flat indices (debug mode)."""
     return env_flag("REPRO_GPUSIM_BOUNDS_CHECK", False)
+
+
+def sanitize_enabled() -> bool:
+    """Whether kernel launches run under the sanitizer by default."""
+    return env_flag("REPRO_GPUSIM_SANITIZE", False)

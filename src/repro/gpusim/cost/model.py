@@ -24,10 +24,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from ..counters import CostCounters
 from ..device import DeviceSpec
 from .occupancy import Occupancy, occupancy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sanitize import SanitizerReport
 
 __all__ = ["KernelTiming", "kernel_time", "OVERLAP_FACTOR"]
 
@@ -64,6 +68,9 @@ class KernelTiming:
     t_latency: float
     #: Fixed launch overhead, seconds.
     t_overhead: float
+    #: Sanitizer summary of the launch (``None`` unless sanitized); the
+    #: checks observe execution without touching any timing component.
+    sanitizer: Optional["SanitizerReport"] = None
 
     @property
     def t_compute(self) -> float:

@@ -202,32 +202,47 @@ class GlobalArray:
         mask: Optional[np.ndarray],
         op: str,
     ) -> None:
-        """Raise on out-of-range flat indices when the debug mode is on.
+        """Raise on out-of-range flat indices when checking is on.
 
         Off by default: loads clip (returning an arbitrary in-range
         element) and stores wrap through numpy's negative indexing — both
         can mask kernel bugs, which is what ``REPRO_GPUSIM_BOUNDS_CHECK``
-        exists to catch.
+        exists to catch.  The sanitizer subsumes this check (raising the
+        structured :class:`~repro.gpusim.sanitize.OutOfBoundsError`, still
+        an ``IndexError``).
         """
-        if not bounds_check_enabled():
+        san = ctx.sanitizer
+        if not bounds_check_enabled() and san is None:
             return
+        if san is not None:
+            san.gmem_checked += (
+                int(flat_full.size) if mask is None else int(np.count_nonzero(mask))
+            )
         oob = (flat_full < 0) | (flat_full >= self.data.size)
         if mask is not None:
             oob = oob & mask
         if not oob.any():
             return
+        from .sanitize import OutOfBoundsError
+
         coords = tuple(int(x) for x in np.argwhere(oob)[0])
         if flat_full.ndim == 4:  # tile access: leading register axis
             where = (
                 f"register {coords[0]}, block {coords[1]}, "
                 f"warp {coords[2]}, lane {coords[3]}"
             )
+            fields = dict(
+                register=coords[0], block=coords[1], warp=coords[2], lane=coords[3]
+            )
         else:
             where = f"block {coords[0]}, warp {coords[1]}, lane {coords[2]}"
-        raise IndexError(
+            fields = dict(block=coords[0], warp=coords[1], lane=coords[2])
+        raise OutOfBoundsError(
             f"{self.name}: out-of-bounds {op} in kernel {ctx.kernel_name!r} "
             f"({where}): flat index {int(flat_full[coords])} outside "
-            f"[0, {self.data.size})"
+            f"[0, {self.data.size})",
+            check="global-bounds", kernel=ctx.kernel_name, array=self.name,
+            address=int(flat_full[coords]), **fields,
         )
 
     def _account(
@@ -460,6 +475,7 @@ class GlobalArray:
         ``count`` individual stores exactly.
         """
         count = bank.nregs
+        bank._require_init("store")
         mask = ctx._combine_mask(lane_mask)
         stacked, smask = self._tile_addrs(ctx, index, count, reg_stride, mask)
         itemsize = self.data.itemsize

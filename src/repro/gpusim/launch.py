@@ -14,15 +14,17 @@ register-pressure behaviour for ``64f``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .block import KernelContext
+from .config import sanitize_enabled
 from .counters import CostCounters
 from .device import DeviceSpec, get_device
 from .cost.model import KernelTiming, kernel_time
+from .sanitize import Sanitizer
 
 __all__ = ["LaunchStats", "launch_kernel"]
 
@@ -56,16 +58,19 @@ class LaunchStats:
 
     def retime(self) -> "LaunchStats":
         """Recompute the timing from (possibly projected) counters."""
-        self.timing = kernel_time(
-            self.device,
-            self.counters,
-            n_blocks=int(np.prod(self.grid)),
-            threads_per_block=int(np.prod(self.block)),
-            regs_per_thread=self.regs_per_thread,
-            smem_per_block=self.smem_per_block,
-            mlp=self.mlp,
-            l2_sector_reuse=self.l2_sector_reuse,
-            name=self.name,
+        self.timing = replace(
+            kernel_time(
+                self.device,
+                self.counters,
+                n_blocks=int(np.prod(self.grid)),
+                threads_per_block=int(np.prod(self.block)),
+                regs_per_thread=self.regs_per_thread,
+                smem_per_block=self.smem_per_block,
+                mlp=self.mlp,
+                l2_sector_reuse=self.l2_sector_reuse,
+                name=self.name,
+            ),
+            sanitizer=self.timing.sanitizer,
         )
         return self
 
@@ -88,12 +93,23 @@ def launch_kernel(
     name: Optional[str] = None,
     mlp: int = 8,
     l2_sector_reuse: float = 1.0,
+    sanitize: Optional[bool] = None,
 ) -> LaunchStats:
-    """Execute ``fn(ctx, *args)`` over the whole grid and model its time."""
+    """Execute ``fn(ctx, *args)`` over the whole grid and model its time.
+
+    ``sanitize`` enables the kernel sanitizer for this launch (``None``
+    defers to the ``REPRO_GPUSIM_SANITIZE`` environment flag); violations
+    raise :class:`~repro.gpusim.sanitize.SanitizerError` and the summary
+    report is attached to the returned timing.
+    """
     dev = get_device(device)
     ctx = KernelContext(dev, grid, block)
     kname = name or getattr(fn, "__name__", "kernel")
     ctx.kernel_name = kname
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    if sanitize:
+        ctx.sanitizer = Sanitizer(ctx)
     fn(ctx, *args)
     timing = kernel_time(
         dev,
@@ -106,6 +122,8 @@ def launch_kernel(
         l2_sector_reuse=l2_sector_reuse,
         name=kname,
     )
+    if ctx.sanitizer is not None:
+        timing = replace(timing, sanitizer=ctx.sanitizer.report())
     return LaunchStats(
         name=kname,
         device=dev,

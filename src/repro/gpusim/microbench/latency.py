@@ -66,6 +66,7 @@ def _chain_clocks(fn, device: DeviceSpec, extra_args=()) -> float:
 
 def _smem_chain(ctx):
     smem = ctx.alloc_shared((64,), np.int32, name="latbuf")
+    smem.fill(0)  # the chase reads before any store (uncounted init)
     lane = ctx.lane_id()
     idx = lane
     for _ in range(CHAIN_OPS):

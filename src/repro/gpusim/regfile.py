@@ -161,13 +161,24 @@ class RegBank:
     (cross-warp partial sums, carry chains) that still need per-register
     access.  Fused arithmetic counts ``n_regs`` instructions — identical
     to the per-register loop it replaces.
+
+    ``valid`` is per-slot definedness for the sanitizer: ``None`` (the
+    default, and the only state outside sanitized launches) means every
+    slot holds a real value; a boolean array the shape of ``a`` marks
+    which slots of a :meth:`uninit` bank have been written.  Reads of an
+    invalid slot raise :class:`~repro.gpusim.sanitize.
+    UninitializedReadError`; the checks count nothing, so the cost model
+    is untouched.
     """
 
-    __slots__ = ("ctx", "a")
+    __slots__ = ("ctx", "a", "valid")
 
-    def __init__(self, ctx: "KernelContext", a: np.ndarray):
+    def __init__(
+        self, ctx: "KernelContext", a: np.ndarray, valid: "np.ndarray | None" = None
+    ):
         self.ctx = ctx
         self.a = a
+        self.valid = valid
 
     # -- construction / deconstruction ----------------------------------
     @classmethod
@@ -176,21 +187,83 @@ class RegBank:
         full = [np.broadcast_to(r.a, ctx.shape) for r in regs]
         return cls(ctx, np.stack(full, axis=-1))
 
+    @classmethod
+    def uninit(
+        cls, ctx: "KernelContext", count: int, dtype: np.dtype, track: bool = False
+    ) -> "RegBank":
+        """An uninitialised ``T data[count]`` (zeros; tracked if asked)."""
+        a = np.zeros(ctx.shape + (count,), dtype=dtype)
+        valid = np.zeros(ctx.shape + (count,), dtype=bool) if track else None
+        return cls(ctx, a, valid=valid)
+
+    @staticmethod
+    def merge_valid(
+        full_mask: np.ndarray, new: "RegBank", old: "RegBank"
+    ) -> "np.ndarray | None":
+        """Validity of ``where(full_mask, new, old)`` (for masked selects)."""
+        if new.valid is None and old.valid is None:
+            return None
+        shape = np.broadcast_shapes(new.a.shape, old.a.shape)
+        nv = (
+            np.ones(shape, dtype=bool)
+            if new.valid is None
+            else np.broadcast_to(new.valid, shape)
+        )
+        ov = (
+            np.ones(shape, dtype=bool)
+            if old.valid is None
+            else np.broadcast_to(old.valid, shape)
+        )
+        merged = np.where(full_mask, nv, ov)
+        return None if merged.all() else merged
+
+    def _require_init(self, op: str, j: "int | None" = None) -> None:
+        """Raise if the read slots (register ``j``, or all) are undefined."""
+        v = self.valid
+        if v is None:
+            return
+        sel = v if j is None else v[..., j]
+        san = self.ctx.sanitizer
+        if san is not None:
+            san.reg_reads_checked += int(sel.size)
+        if sel.all():
+            if j is None:
+                self.valid = None  # fully defined: stop tracking
+            return
+        from .sanitize import UninitializedReadError
+
+        coords = [int(x) for x in np.argwhere(~sel)[0]]
+        if j is not None:
+            coords.append(j)
+        b, w, l, r = coords
+        raise UninitializedReadError(
+            f"{op} of uninitialised register {r} (block {b}, warp {w}, "
+            f"lane {l}) in kernel {self.ctx.kernel_name!r}: the slot was "
+            f"never written",
+            check="uninit-register", kernel=self.ctx.kernel_name,
+            block=b, warp=w, lane=l, register=r,
+        )
+
     def to_regs(self) -> List[RegArray]:
         """Views of every register, in index order (free, like moves)."""
+        self._require_init("read")
         return [RegArray(self.ctx, self.a[..., j]) for j in range(self.nregs)]
 
     def reg(self, j: int) -> RegArray:
         """Zero-copy view of register ``j``."""
+        self._require_init("read", j)
         return RegArray(self.ctx, self.a[..., j])
 
     def set_reg(self, j: int, reg: RegArray) -> None:
         """Write register ``j`` back (a register move: not counted)."""
         self.a[..., j] = np.broadcast_to(reg.a, self.a.shape[:-1])
+        if self.valid is not None:
+            self.valid[..., j] = True
 
     def copy(self) -> "RegBank":
         """Bank-wide register-to-register move (free: not counted)."""
-        return RegBank(self.ctx, self.a.copy())
+        valid = None if self.valid is None else self.valid.copy()
+        return RegBank(self.ctx, self.a.copy(), valid=valid)
 
     # -- properties ------------------------------------------------------
     @property
@@ -204,6 +277,7 @@ class RegBank:
     # -- fused arithmetic ------------------------------------------------
     def astype(self, dtype) -> "RegBank":
         """Convert all registers; counted as ``n_regs`` ALU ops per lane."""
+        self._require_init("read")
         self.ctx._count_alu("adds", self.a.dtype, repeat=self.nregs)
         return RegBank(self.ctx, self.a.astype(dtype))
 
@@ -217,6 +291,9 @@ class RegBank:
 
     def __add__(self, other) -> "RegBank":
         """Add ``other`` to every register (``n_regs`` counted adds)."""
+        self._require_init("read")
+        if isinstance(other, RegBank):
+            other._require_init("read")
         out = np.add(self.a, self._coerce(other))
         self.ctx._count_alu("adds", out.dtype, repeat=self.nregs)
         return RegBank(self.ctx, out)
@@ -229,6 +306,9 @@ class RegBank:
         ``mask`` is a lane predicate broadcastable to ``(B, W, L)``; only
         active lanes execute (and are counted), for all registers at once.
         """
+        self._require_init("read")
+        if isinstance(other, RegBank):
+            other._require_init("read")
         rhs = self._coerce(other)
         m = np.asarray(mask, dtype=bool)
         out = np.where(m[..., None], self.a + rhs, self.a)

@@ -28,7 +28,13 @@ from .regfile import RegArray, RegBank
 if TYPE_CHECKING:  # pragma: no cover
     from .block import KernelContext
 
-__all__ = ["SharedMem", "bank_transactions", "clear_bank_pattern_cache"]
+__all__ = [
+    "SharedMem",
+    "bank_transactions",
+    "bank_conflict_degrees",
+    "word_access_phases",
+    "clear_bank_pattern_cache",
+]
 
 Index = Union[int, np.ndarray]
 
@@ -45,29 +51,17 @@ def clear_bank_pattern_cache() -> None:
     _BANK_PATTERN_CACHE.clear()
 
 
-def bank_transactions(
+def bank_conflict_degrees(
     words: np.ndarray,
     lane_mask: Optional[np.ndarray],
     n_banks: int = 32,
-) -> Tuple[float, float]:
-    """Count shared-memory transactions for a batch of warp accesses.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-warp conflict degree of a batch of warp accesses.
 
-    Parameters
-    ----------
-    words:
-        Starting 4-byte word index per lane, shape ``(..., lanes)``; the
-        leading axes enumerate warps.
-    lane_mask:
-        Boolean activity mask broadcastable to ``words`` (``None`` = all
-        lanes active).
-    n_banks:
-        Number of banks (32 on all modern parts).
-
-    Returns
-    -------
-    (transactions, replays):
-        Total transactions across all warps, and the replays beyond one
-        transaction per active warp access (the bank-conflict penalty).
+    The degree is the maximum number of *distinct* words one bank must
+    serve for that warp's access (1 = conflict-free, broadcasts of the
+    same word count once).  Returns ``(degree, warp_active)`` arrays over
+    the flattened leading axes of ``words``.
     """
     words = np.asarray(words, dtype=np.int64)
     if words.ndim == 0:
@@ -96,11 +90,69 @@ def bank_transactions(
         minlength=n_warps * n_banks,
     ).reshape(n_warps, n_banks)
     degree = counts.max(axis=1)
-
     warp_active = flat_a.any(axis=1)
+    return degree, warp_active
+
+
+def bank_transactions(
+    words: np.ndarray,
+    lane_mask: Optional[np.ndarray],
+    n_banks: int = 32,
+) -> Tuple[float, float]:
+    """Count shared-memory transactions for a batch of warp accesses.
+
+    Parameters
+    ----------
+    words:
+        Starting 4-byte word index per lane, shape ``(..., lanes)``; the
+        leading axes enumerate warps.
+    lane_mask:
+        Boolean activity mask broadcastable to ``words`` (``None`` = all
+        lanes active).
+    n_banks:
+        Number of banks (32 on all modern parts).
+
+    Returns
+    -------
+    (transactions, replays):
+        Total transactions across all warps, and the replays beyond one
+        transaction per active warp access (the bank-conflict penalty).
+    """
+    degree, warp_active = bank_conflict_degrees(words, lane_mask, n_banks)
     transactions = float(degree[warp_active].sum())
     replays = float(np.maximum(degree[warp_active] - 1, 0).sum())
     return transactions, replays
+
+
+def word_access_phases(
+    full: np.ndarray,
+    mask: Optional[np.ndarray],
+    itemsize: int,
+):
+    """Hardware phases of one warp access as ``(words, lane_mask)`` pairs.
+
+    4-byte elements map one word per lane; sub-word elements share words
+    (floor to word granularity); 8-byte elements are served as two
+    half-warp phases, each covering both words of 16 lanes.  Used by both
+    the conflict accounting and the sanitizer's hazard check so the two
+    agree on bank geometry.
+    """
+    if itemsize == 8:
+        w0 = full * 2
+        words = np.stack([w0, w0 + 1], axis=-1).reshape(*full.shape[:-1], -1)
+        if mask is None:
+            m2 = None
+        else:
+            m2 = np.repeat(np.broadcast_to(mask, full.shape), 2, axis=-1)
+        half = words.shape[-1] // 2
+        return [
+            (words[..., :half], None if m2 is None else m2[..., :half]),
+            (words[..., half:], None if m2 is None else m2[..., half:]),
+        ]
+    if itemsize == 4:
+        return [(full, mask)]
+    # Sub-word (8/16-bit) accesses share words; word granularity.
+    return [((full * itemsize) // 4, mask)]
 
 
 class SharedMem:
@@ -177,28 +229,15 @@ class SharedMem:
         itemsize: int,
         banks: int,
     ) -> Tuple[float, float]:
-        if itemsize == 8:
-            # The hardware serves 8-byte accesses as two half-warp phases,
-            # each covering both words of 16 lanes; stride-1 (and the
-            # BRLT stride-33) stay conflict-free.
-            w0 = full * 2
-            words = np.stack([w0, w0 + 1], axis=-1).reshape(*full.shape[:-1], -1)
-            if mask is None:
-                m2 = None
-            else:
-                m2 = np.repeat(np.broadcast_to(mask, full.shape), 2, axis=-1)
-            half = words.shape[-1] // 2
-            t1, r1 = bank_transactions(
-                words[..., :half], None if m2 is None else m2[..., :half], banks)
-            t2, r2 = bank_transactions(
-                words[..., half:], None if m2 is None else m2[..., half:], banks)
-            return t1 + t2, r1 + r2
-        if itemsize == 4:
-            words = full
-        else:
-            # Sub-word (8/16-bit) accesses share words; word granularity.
-            words = (full * itemsize) // 4
-        return bank_transactions(words, mask, banks)
+        # 8-byte accesses run as two half-warp phases (stride-1 and the
+        # BRLT stride-33 stay conflict-free); see word_access_phases.
+        trans = 0.0
+        replays = 0.0
+        for words, m in word_access_phases(full, mask, itemsize):
+            t, r = bank_transactions(words, m, banks)
+            trans += t
+            replays += r
+        return trans, replays
 
     def _apply_account(
         self,
@@ -285,6 +324,8 @@ class SharedMem:
         ctx = self.ctx
         mask = ctx._combine_mask(lane_mask)
         full_off = ctx.broadcast_full(off)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.shared_access(self, full_off, mask, store=True)
         vals = value.a if isinstance(value, RegArray) else np.asarray(value)
         full_vals = np.broadcast_to(ctx.broadcast_full(vals), full_off.shape)
         blk = np.broadcast_to(ctx.block_linear_index(), full_off.shape)
@@ -307,6 +348,8 @@ class SharedMem:
         self._account(off, lane_mask, store=False, dependent=dependent)
         mask = self.ctx._combine_mask(lane_mask)
         full_off = self.ctx.broadcast_full(off)
+        if self.ctx.sanitizer is not None:
+            self.ctx.sanitizer.shared_access(self, full_off, mask, store=False)
         blk = np.broadcast_to(self.ctx.block_linear_index(), full_off.shape)
         vals = self.data[blk, full_off]
         if mask is not None:
@@ -330,6 +373,7 @@ class SharedMem:
         """
         off0 = self._offsets(idx)
         count = bank.nregs
+        bank._require_init("store")
         self._account_tile(off0, count, reg_stride, lane_mask,
                            store=True, dependent=dependent)
         ctx = self.ctx
@@ -341,6 +385,8 @@ class SharedMem:
             np.arange(count, dtype=np.int64).reshape((count,) + (1,) * flat0.ndim)
             * reg_stride
         )
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.shared_access(self, full0[None] + steps, mask, store=True)
         # Register axis leads so the raveled scatter writes register 0
         # first, ..., register count-1 last — duplicate addresses resolve
         # exactly like ``count`` sequential ``store`` calls.
@@ -372,6 +418,12 @@ class SharedMem:
         ctx = self.ctx
         mask = ctx._combine_mask(lane_mask)
         full0 = ctx.broadcast_full(off0)
+        if ctx.sanitizer is not None:
+            steps = (
+                np.arange(count, dtype=np.int64).reshape((count,) + (1,) * full0.ndim)
+                * reg_stride
+            )
+            ctx.sanitizer.shared_access(self, full0[None] + steps, mask, store=False)
         blk = np.broadcast_to(ctx.block_linear_index(), full0.shape)
         flat0 = blk.astype(np.int64) * self.elems + full0
         flat = flat0[..., None] + np.arange(count, dtype=np.int64) * reg_stride
@@ -385,3 +437,5 @@ class SharedMem:
     def fill(self, value) -> None:
         """Host-style initialisation (not counted; used for test setup)."""
         self.data[...] = value
+        if self.ctx.sanitizer is not None:
+            self.ctx.sanitizer.shared_fill(self)

@@ -90,6 +90,11 @@ def sat(
     """
     if image.ndim != 2:
         raise ValueError(f"SAT input must be 2-D, got shape {image.shape}")
+    if image.shape[0] == 0 or image.shape[1] == 0:
+        raise ValueError(
+            f"SAT input must have at least one row and one column, got shape "
+            f"{image.shape}"
+        )
     if pair is None:
         tp = parse_pair("8u32s") if image.dtype == np.uint8 else parse_pair(image.dtype)
     else:

@@ -56,12 +56,16 @@ def alloc_brlt_smem(
 
 
 def brlt_transpose(
-    ctx: KernelContext, regs: List[RegArray], smem: SharedMem
+    ctx: KernelContext, regs: List[RegArray], smem: SharedMem, barrier: bool = True
 ) -> List[RegArray]:
     """Transpose each warp's 32x32 register matrix in place (Alg. 5).
 
     On return ``regs[j]`` holds what lane ``j`` previously held in register
     ``laneId``: ``new[j][lane] == old[lane][j]`` within every warp.
+
+    ``barrier=False`` removes the inter-batch ``__syncthreads`` — the
+    missing-barrier mutation of the sanitizer self-test (batches reuse the
+    staging slots, so on hardware this races).
     """
     s_batches = smem.shape[0]
     warp_count = ctx.warps_per_block
@@ -83,12 +87,14 @@ def brlt_transpose(
                 regs[j] = ctx.select_active(smem.load((k, lane, j)), regs[j])
             # Drain of the read phase before the registers are consumed.
             ctx._chain(float(ctx.device.shared_mem_latency))
-        if i + s_batches < warp_count:
+        if barrier and i + s_batches < warp_count:
             ctx.syncthreads()
     return regs
 
 
-def brlt_transpose_bank(ctx: KernelContext, bank: RegBank, smem: SharedMem) -> RegBank:
+def brlt_transpose_bank(
+    ctx: KernelContext, bank: RegBank, smem: SharedMem, barrier: bool = True
+) -> RegBank:
     """Fused Alg. 5: transpose a whole register bank per warp.
 
     Identical staging schedule, shared-memory traffic and counters as
@@ -119,6 +125,6 @@ def brlt_transpose_bank(ctx: KernelContext, bank: RegBank, smem: SharedMem) -> R
             bank = ctx.select_active_bank(loaded, bank)
             # Drain of the read phase before the registers are consumed.
             ctx._chain(float(ctx.device.shared_mem_latency))
-        if i + s_batches < warp_count:
+        if barrier and i + s_batches < warp_count:
             ctx.syncthreads()
     return bank

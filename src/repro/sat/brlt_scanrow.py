@@ -40,13 +40,15 @@ __all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow"]
 
 
 def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: int = 33,
-                        fused: bool = None):
+                        fused: bool = None, brlt_barrier: bool = True):
     """The BRLT-ScanRow kernel body (one pass over ``src``).
 
     ``src`` is ``H x W``; ``dst`` must be ``W x H`` and receives the
     transposed row-prefix matrix.  ``fused`` selects the register-bank
     fast path (default: the ``REPRO_GPUSIM_FUSED`` setting); both paths
-    produce bit-identical data, counters and timings.
+    produce bit-identical data, counters and timings.  ``brlt_barrier=
+    False`` drops the ``__syncthreads`` between BRLT staging batches — a
+    deliberately broken variant the sanitizer self-test must catch.
     """
     if fused is None:
         fused = fused_enabled()
@@ -75,7 +77,7 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
                     ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
                 ).astype(acc)
                 # 2. BRLT: thread <- row, register index <- column
-                bank = brlt_transpose_bank(ctx, bank, smem_t)
+                bank = brlt_transpose_bank(ctx, bank, smem_t, barrier=brlt_barrier)
                 # 3. per-thread serial scan along the 32 registers (Alg. 2)
                 bank = serial_scan_bank(ctx, bank)
                 # 4. cross-warp offsets within the strip + the strip carry
@@ -93,7 +95,7 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
                     src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
                 ]
                 # 2. BRLT: thread <- row, register index <- column
-                data = brlt_transpose(ctx, data, smem_t)
+                data = brlt_transpose(ctx, data, smem_t, barrier=brlt_barrier)
                 # 3. per-thread serial scan along the 32 registers (Alg. 2)
                 data = serial_scan_registers(ctx, data)
                 # 4. cross-warp offsets within the strip, plus the strip carry
@@ -111,7 +113,7 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
 
 def brlt_scanrow_pass(
     src: GlobalArray, *, device, acc, name: str, brlt_stride: int = 33,
-    fused: bool = None,
+    fused: bool = None, brlt_barrier: bool = True, sanitize: bool = None,
 ) -> tuple:
     """Launch one BRLT-ScanRow pass; returns ``(dst, stats)``."""
     dev = get_device(device)
@@ -125,15 +127,17 @@ def brlt_scanrow_pass(
         grid=(1, h // 32, 1),
         block=(wpb * 32, 1, 1),
         regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, brlt_stride, fused),
+        args=(src, dst, brlt_stride, fused, brlt_barrier),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
+        sanitize=sanitize,
     )
     return dst, stats
 
 
 def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_stride: int = 33,
-                     fused: bool = None, **_opts) -> SatRun:
+                     fused: bool = None, brlt_barrier: bool = True,
+                     sanitize: bool = None, **_opts) -> SatRun:
     """Full SAT via two BRLT-ScanRow passes (Sec. IV-B)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -143,11 +147,11 @@ def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_strid
     src = GlobalArray(padded, "input")
     mid, s1 = brlt_scanrow_pass(
         src, device=dev, acc=tp.output, name="BRLT-ScanRow#1", brlt_stride=brlt_stride,
-        fused=fused,
+        fused=fused, brlt_barrier=brlt_barrier, sanitize=sanitize,
     )
     out, s2 = brlt_scanrow_pass(
         mid, device=dev, acc=tp.output, name="BRLT-ScanRow#2", brlt_stride=brlt_stride,
-        fused=fused,
+        fused=fused, brlt_barrier=brlt_barrier, sanitize=sanitize,
     )
     return SatRun(
         output=crop(out.to_host(), orig),

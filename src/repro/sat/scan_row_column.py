@@ -144,7 +144,8 @@ def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = Non
 
 
 def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
-                 scan: str = "kogge_stone", fused: bool = None) -> tuple:
+                 scan: str = "kogge_stone", fused: bool = None,
+                 sanitize: bool = None) -> tuple:
     """Launch the ScanRow kernel; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -161,12 +162,13 @@ def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
         args=(src, dst, scan, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
+        sanitize=sanitize,
     )
     return dst, stats
 
 
 def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
-                    fused: bool = None) -> tuple:
+                    fused: bool = None, sanitize: bool = None) -> tuple:
     """Launch the ScanColumn kernel; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -182,12 +184,14 @@ def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
         args=(src, dst, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
+        sanitize=sanitize,
     )
     return dst, stats
 
 
 def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
-                        scan: str = "kogge_stone", fused: bool = None, **_opts) -> SatRun:
+                        scan: str = "kogge_stone", fused: bool = None,
+                        sanitize: bool = None, **_opts) -> SatRun:
     """Full SAT via ScanRow then ScanColumn (Sec. IV-C, Fig. 5)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -195,8 +199,10 @@ def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
     padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
 
     src = GlobalArray(padded, "input")
-    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan, fused=fused)
-    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output, fused=fused)
+    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan, fused=fused,
+                           sanitize=sanitize)
+    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output, fused=fused,
+                              sanitize=sanitize)
     return SatRun(
         output=crop(out.to_host(), orig),
         launches=[s1, s2],

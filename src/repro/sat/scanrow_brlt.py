@@ -117,7 +117,8 @@ def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str 
 
 
 def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
-                      scan: str = "kogge_stone", fused: bool = None) -> tuple:
+                      scan: str = "kogge_stone", fused: bool = None,
+                      sanitize: bool = None) -> tuple:
     """Launch one ScanRow-BRLT pass; returns ``(dst, stats)``."""
     dev = get_device(device)
     h, w = src.shape
@@ -133,12 +134,14 @@ def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
         args=(src, dst, scan, fused),
         name=name,
         mlp=32,  # 32 independent tile loads in flight per warp
+        sanitize=sanitize,
     )
     return dst, stats
 
 
 def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",
-                     scan: str = "kogge_stone", fused: bool = None, **_opts) -> SatRun:
+                     scan: str = "kogge_stone", fused: bool = None,
+                     sanitize: bool = None, **_opts) -> SatRun:
     """Full SAT via two ScanRow-BRLT passes (Sec. IV-A)."""
     tp = parse_pair(pair)
     dev = get_device(device)
@@ -147,9 +150,9 @@ def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",
 
     src = GlobalArray(padded, "input")
     mid, s1 = scanrow_brlt_pass(src, device=dev, acc=tp.output, name="ScanRow-BRLT#1",
-                                scan=scan, fused=fused)
+                                scan=scan, fused=fused, sanitize=sanitize)
     out, s2 = scanrow_brlt_pass(mid, device=dev, acc=tp.output, name="ScanRow-BRLT#2",
-                                scan=scan, fused=fused)
+                                scan=scan, fused=fused, sanitize=sanitize)
     return SatRun(
         output=crop(out.to_host(), orig),
         launches=[s1, s2],

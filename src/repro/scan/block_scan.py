@@ -59,4 +59,8 @@ def block_scan_with_carry(
         ctx.syncthreads()
         d *= 2
     new_carry = smem.load((np.full_like(tid, n - 1),))
+    # The carry broadcast must complete before the next chunk's stores
+    # reuse the buffer (WAR hazard): every thread reads slot n-1 here,
+    # and thread n-1 overwrites it first thing next chunk.
+    ctx.syncthreads()
     return x, new_carry

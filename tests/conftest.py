@@ -2,8 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: "dev" (default) keeps runs short; "ci" is fully
+# deterministic (derandomized, no deadline) so the sanitized CI job cannot
+# flake on simulator latency.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=20,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

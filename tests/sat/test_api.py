@@ -31,6 +31,23 @@ class TestDispatch:
         with pytest.raises(ValueError, match="2-D"):
             sat(np.ones((2, 3, 4), dtype=np.float32))
 
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (0, 0)])
+    def test_zero_sized_rejected(self, shape):
+        """0xN / Nx0 inputs have no well-defined SAT; previously these fell
+        through to shape-dependent kernel failures deep in the drivers."""
+        with pytest.raises(ValueError, match="at least one row"):
+            sat(np.ones(shape, dtype=np.float32))
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 5), (5, 1)])
+    def test_degenerate_but_valid_shapes(self, shape):
+        img = np.random.default_rng(7).integers(0, 256, shape).astype(np.uint8)
+        run = sat(img, pair="8u32s")
+        np.testing.assert_array_equal(run.output, sat_reference(img, "8u32s"))
+
+    def test_1x1_identity(self):
+        img = np.array([[42]], dtype=np.uint8)
+        assert sat(img, pair="8u32s").output.tolist() == [[42]]
+
 
 class TestDefaults:
     def test_uint8_defaults_to_8u32s(self):

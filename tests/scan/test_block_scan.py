@@ -52,8 +52,9 @@ def test_small_block():
 def test_stage_count_is_log2():
     v = np.ones(256, dtype=np.int32)
     _, stats = run_block_scan(v)
-    # log2(256) = 8 stages, two barriers each, plus the initial one.
-    assert stats.counters.sync_count == 1 + 8 * 2
+    # log2(256) = 8 stages, two barriers each, plus the initial one and
+    # the trailing one protecting the carry broadcast (WAR hazard).
+    assert stats.counters.sync_count == 1 + 8 * 2 + 1
 
 
 def test_smem_traffic_heavier_than_register_scan():

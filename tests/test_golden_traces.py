@@ -1,0 +1,72 @@
+"""Golden-trace regression: pinned cost-model snapshots per algorithm.
+
+For a fixed 128x128 / 32f32f input, every launch's ``CostCounters`` and
+``KernelTiming`` must match the JSON snapshot under ``tests/golden/``
+**exactly** — the simulator is deterministic, so any drift is a real
+change to the cost model and must be reviewed, not absorbed.
+
+To regenerate after an intentional model change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+
+then inspect the diff of ``tests/golden/*.json`` in review.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sat.api import PAPER_ALGORITHMS
+
+from .helpers import make_image
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SHAPE = (128, 128)
+PAIR = "32f32f"
+
+
+def current_trace(algo: str) -> list:
+    img = make_image(SHAPE, PAIR, seed=0)
+    run = PAPER_ALGORITHMS[algo](img, pair=PAIR)
+    trace = []
+    for s in run.launches:
+        timing = dataclasses.asdict(s.timing)
+        timing.pop("sanitizer")  # debug-only attachment, not cost state
+        trace.append({
+            "name": s.name,
+            "grid": s.grid,
+            "block": s.block,
+            "regs_per_thread": s.regs_per_thread,
+            "smem_per_block": s.smem_per_block,
+            "counters": s.counters.as_dict(),
+            "timing": timing,
+        })
+    # JSON round-trip normalises tuples to lists so the comparison with
+    # the loaded snapshot is structural, not type-sensitive.
+    return json.loads(json.dumps(trace))
+
+
+@pytest.mark.parametrize("algo", sorted(PAPER_ALGORITHMS))
+def test_trace_matches_golden(algo):
+    path = GOLDEN_DIR / f"{algo}_{SHAPE[0]}x{SHAPE[1]}.json"
+    got = current_trace(algo)
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        path.write_text(json.dumps(got, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden trace {path}; run with REPRO_REGEN_GOLDEN=1 to create"
+    )
+    want = json.loads(path.read_text())
+    assert got == want, (
+        f"cost trace for {algo} drifted from {path.name}; if the change is "
+        f"intentional, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+def test_trace_is_deterministic():
+    a = current_trace("brlt_scanrow")
+    b = current_trace("brlt_scanrow")
+    assert a == b
