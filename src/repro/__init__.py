@@ -43,6 +43,7 @@ from .sat import (
     rect_sum,
     rect_sums,
     sat,
+    sat_batch,
     sat_reference,
 )
 
@@ -69,6 +70,7 @@ __all__ = [
     "rect_sum",
     "rect_sums",
     "sat",
+    "sat_batch",
     "sat_reference",
     "__version__",
 ]

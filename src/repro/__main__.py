@@ -3,6 +3,7 @@
 Commands
 --------
 ``sat``         compute one SAT and print timing + a checksum
+``batch``       run a batch through the execution engine (``sat_batch``)
 ``compare``     time every algorithm on one configuration
 ``microbench``  print the Sec. V-A latency/throughput tables
 ``experiment``  regenerate one paper table/figure by name
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "headline": lambda r: E.headline(r),
     "ablation-scan": lambda r: E.ablation_scan_variant(r),
     "ablation-stride": lambda r: E.ablation_brlt_stride(r),
+    "batch-throughput": lambda r: E.batch_throughput(),
 }
 
 
@@ -52,6 +54,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHMS))
     s.add_argument("--device", default="P100")
     s.add_argument("--seed", type=int, default=0)
+
+    b = sub.add_parser("batch", help="run a batch through the execution engine")
+    b.add_argument("--n-images", type=int, default=32)
+    b.add_argument("--size", type=int, default=256, help="square image side")
+    b.add_argument("--pair", default="8u32s")
+    b.add_argument("--algorithm", default="brlt_scanrow",
+                   choices=sorted(ALGORITHMS))
+    b.add_argument("--device", default="P100")
+    b.add_argument("--seed", type=int, default=0)
 
     c = sub.add_parser("compare", help="time every algorithm on one config")
     c.add_argument("--size", type=int, default=1024)
@@ -78,6 +89,24 @@ def cmd_sat(args) -> int:
         print(f"  {name:24s} {t:10.2f} us")
     print(f"  {'total':24s} {run.time_us:10.2f} us")
     print(f"  checksum (bottom-right)  {run.output[-1, -1]}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    from .dtypes import parse_pair
+    from .engine import Engine
+
+    tp = parse_pair(args.pair)
+    imgs = [random_matrix((args.size, args.size), tp.input, seed=args.seed + i)
+            for i in range(args.n_images)]
+    run = Engine().run_batch(imgs, pair=tp.name, algorithm=args.algorithm,
+                             device=args.device)
+    print(run.summary())
+    print(f"  wall                     {run.wall_s * 1e3:10.2f} ms "
+          f"({run.wall_images_per_s:,.0f} img/s host)")
+    print(f"  modeled batched          {run.modeled_batched_s * 1e6:10.2f} us")
+    print(f"  modeled sequential       {run.modeled_sequential_s * 1e6:10.2f} us")
+    print(f"  checksum (last image)    {run.runs[-1].output[-1, -1]}")
     return 0
 
 
@@ -117,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sat":
         return cmd_sat(args)
+    if args.command == "batch":
+        return cmd_batch(args)
     if args.command == "compare":
         return cmd_compare(args)
     if args.command == "microbench":

@@ -1,0 +1,148 @@
+"""Launch plans for batched SAT execution, and the cache that reuses them.
+
+Every ``sat()`` call pays per-launch fixed costs that are pure functions of
+the launch *geometry*: padded shapes, grid/block dims, shared-memory
+layout, coalescing/bank-conflict analysis and cost-model setup.  None of
+them depend on the pixel values.  A :class:`SatPlan` memoises all of that
+for one ``(shape-bucket, pair, algorithm, device, opts)`` key — recorded
+once from a cold run, then replayed for every further image in the bucket
+via :func:`~repro.gpusim.launch.replay_kernel`, which executes the data
+movement with accounting disabled and clones the recorded (bit-identical)
+counters and timings.
+
+The plan also owns the reusable padded staging buffers the batch path
+stacks images into, so steady-state batches allocate nothing per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpusim.launch import LaunchPlan
+from ..sat.common import BatchSpec
+
+__all__ = ["PlanKey", "SatPlan", "LaunchPlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key: everything the launch geometry depends on.
+
+    ``bucket`` is the *padded* image shape — images whose raw shapes pad to
+    the same multiple share every counter and timing, so they share a plan.
+    ``opts`` is the canonicalised (sorted) tuple of algorithm options that
+    reach the kernels.
+    """
+
+    algorithm: str
+    device: str
+    pair: str
+    bucket: Tuple[int, int]
+    opts: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, algorithm: str, device: str, pair: str,
+             bucket: Tuple[int, int], opts: dict) -> "PlanKey":
+        return cls(
+            algorithm=algorithm,
+            device=device,
+            pair=pair,
+            bucket=(int(bucket[0]), int(bucket[1])),
+            opts=tuple(sorted(opts.items())),
+        )
+
+
+@dataclass
+class SatPlan:
+    """Memoised launch recipe for one plan-cache bucket."""
+
+    key: PlanKey
+    spec: BatchSpec
+    #: One :class:`~repro.gpusim.launch.LaunchPlan` per kernel pass.
+    launch_plans: List[LaunchPlan] = field(default_factory=list)
+    #: Reusable padded staging buffers, keyed ``(role, shape, dtype-str)``.
+    staging: Dict[tuple, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.launch_plans:
+            self.launch_plans = [LaunchPlan() for _ in self.spec.passes]
+
+    @property
+    def recorded(self) -> bool:
+        """Whether a cold run has populated every pass's launch plan."""
+        return all(lp.recorded for lp in self.launch_plans)
+
+    @property
+    def solo_time_s(self) -> float:
+        """Modeled per-image time of the recorded cold run (all passes)."""
+        return sum(lp.stats.time_s for lp in self.launch_plans)
+
+    def get_staging(self, role: str, shape: Tuple[int, ...],
+                    dtype) -> np.ndarray:
+        """A reusable buffer of exactly ``shape``/``dtype`` for ``role``.
+
+        The buffer contents are whatever the previous use left behind;
+        callers must overwrite every element they read back (the batch
+        path's kernels cover the full padded stack, and the input fill
+        re-zeroes pad regions explicitly).
+        """
+        k = (role, tuple(int(s) for s in shape), np.dtype(dtype).str)
+        buf = self.staging.get(k)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype)
+            self.staging[k] = buf
+        return buf
+
+
+class LaunchPlanCache:
+    """FIFO-bounded cache of :class:`SatPlan` keyed by :class:`PlanKey`.
+
+    Hits and misses are counted *per image*: an image whose bucket plan was
+    already recorded (by an earlier call or earlier in the same batch)
+    counts as a hit; the one cold run that records a plan is the miss.
+    """
+
+    def __init__(self, max_plans: int = 256):
+        self.max_plans = int(max_plans)
+        self._plans: Dict[PlanKey, SatPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of image lookups served by a recorded plan."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def note_hit(self, n: int = 1) -> None:
+        self.hits += n
+
+    def note_miss(self, n: int = 1) -> None:
+        self.misses += n
+
+    def get_or_create(self, key: PlanKey, spec: BatchSpec) -> SatPlan:
+        """The plan for ``key``, creating (and possibly evicting) as needed."""
+        plan = self._plans.get(key)
+        if plan is None:
+            if len(self._plans) >= self.max_plans:
+                # FIFO eviction: dicts preserve insertion order.
+                oldest = next(iter(self._plans))
+                del self._plans[oldest]
+            plan = SatPlan(key=key, spec=spec)
+            self._plans[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        """Drop every plan and reset the hit/miss statistics."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,75 @@
+"""Bucketing and chunking of image batches for the execution engine.
+
+The scheduler's job is purely organisational: group the images of a batch
+by their *shape bucket* (the padded shape their algorithm would give them)
+so each bucket pays its per-launch fixed costs once, and bound the stacked
+working-set size so arbitrarily large batches do not allocate arbitrarily
+large staging buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BucketGroup", "BatchScheduler"]
+
+
+@dataclass
+class BucketGroup:
+    """All images of one batch that share a shape bucket."""
+
+    bucket: Tuple[int, int]
+    #: Positions of the images within the original batch (input order).
+    indices: List[int]
+
+
+class BatchScheduler:
+    """Groups same-bucket images and splits groups into bounded chunks."""
+
+    def __init__(self, max_stack_bytes: int = 12 * 1024 * 1024):
+        #: Upper bound on the stacked staging footprint (input + one
+        #: accumulator copy) per launch.  The simulator executes stacked
+        #: launches on the host, so this is really a host *cache* working
+        #: set: measurements on 512x512 8u32s batches show wall throughput
+        #: peaking around a 5-15 MB stack (depth ~8) and collapsing ~4x
+        #: once stacks outgrow the last-level cache, while the modeled
+        #: launch-overhead amortisation saturates by depth ~8.  12 MB sits
+        #: on that plateau and still stacks small images hundreds deep.
+        self.max_stack_bytes = int(max_stack_bytes)
+
+    @staticmethod
+    def bucket_of(shape: Tuple[int, int], pad: Tuple[int, int]) -> Tuple[int, int]:
+        """The padded shape ``shape`` lands in under ``pad`` multiples."""
+        h, w = shape
+        mh, mw = pad
+        return (h + (-h) % mh, w + (-w) % mw)
+
+    def groups(
+        self, shapes: Sequence[Tuple[int, int]], pad: Tuple[int, int]
+    ) -> List[BucketGroup]:
+        """Bucket the batch, preserving first-seen bucket order."""
+        by_bucket: Dict[Tuple[int, int], BucketGroup] = {}
+        for i, shape in enumerate(shapes):
+            b = self.bucket_of(shape, pad)
+            grp = by_bucket.get(b)
+            if grp is None:
+                grp = BucketGroup(bucket=b, indices=[])
+                by_bucket[b] = grp
+            grp.indices.append(i)
+        return list(by_bucket.values())
+
+    def chunk(self, group: BucketGroup, bytes_per_image: int) -> List[List[int]]:
+        """Split a group's indices into chunks honouring the byte bound."""
+        per = max(1, int(bytes_per_image))
+        depth = max(1, self.max_stack_bytes // per)
+        idx = group.indices
+        return [idx[i:i + depth] for i in range(0, len(idx), depth)]
+
+    @staticmethod
+    def stack_bytes(bucket: Tuple[int, int], in_dtype, out_dtype) -> int:
+        """Per-image staging bytes: padded input plus one accumulator copy."""
+        elems = int(bucket[0]) * int(bucket[1])
+        return elems * (np.dtype(in_dtype).itemsize + np.dtype(out_dtype).itemsize)

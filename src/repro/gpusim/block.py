@@ -60,8 +60,18 @@ class KernelContext:
         grid: Union[int, Sequence[int]],
         block: Union[int, Sequence[int]],
         counters: Optional[CostCounters] = None,
+        record: bool = True,
     ):
         self.device = device
+        #: Event recording.  ``False`` is the plan-replay fast path of
+        #: :func:`~repro.gpusim.launch.replay_kernel`: the kernel's data
+        #: movement executes exactly as usual, but counter and
+        #: dependency-chain accounting is skipped because the launch reuses
+        #: the counters/timings recorded by an identical cold launch.
+        self.record = record
+        #: Address tape of the owning plan replay (see
+        #: :mod:`repro.gpusim.replay`); ``None`` outside taped replays.
+        self.tape = None
         self.grid = _as_dim3(grid)
         self.block = _as_dim3(block)
         self.threads_per_block = int(np.prod(self.block))
@@ -203,6 +213,8 @@ class KernelContext:
 
     # -- event accounting ---------------------------------------------------
     def _chain(self, clocks: float) -> None:
+        if not self.record:
+            return
         self.counters.chain_clocks += clocks
 
     def _count_alu(
@@ -219,6 +231,8 @@ class KernelContext:
         amounts, i.e. bit-identical to issuing the instructions one by one
         (all quantities are integer-valued floats well below 2**53).
         """
+        if not self.record:
+            return
         mask = self._combine_mask(lane_mask)
         lanes = self.active_lane_count(mask) * repeat
         c = self.counters
@@ -237,6 +251,8 @@ class KernelContext:
         c.warp_instructions += self.active_warp_count(mask) * repeat
 
     def _count_shuffle(self, repeat: int = 1) -> None:
+        if not self.record:
+            return
         mask = self._combine_mask(None)
         c = self.counters
         c.shuffles += self.active_lane_count(mask) * repeat
@@ -263,8 +279,9 @@ class KernelContext:
 
     def syncthreads(self) -> None:
         """Block-wide barrier; in lock-step simulation only the cost matters."""
-        self.counters.sync_count += 1
-        self._chain(SYNC_LATENCY_CLOCKS)
+        if self.record:
+            self.counters.sync_count += 1
+            self._chain(SYNC_LATENCY_CLOCKS)
         if self.sanitizer is not None:
             self.sanitizer.barrier(self.active)
 

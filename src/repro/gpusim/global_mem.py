@@ -252,6 +252,8 @@ class GlobalArray:
         mask: Optional[np.ndarray],
         store: bool,
     ) -> None:
+        if not ctx.record:
+            return  # plan replay: counters come from the recorded cold run
         itemsize = self.data.itemsize
         full = ctx.broadcast_full(flat)
         sectors = sector_count(
@@ -281,6 +283,11 @@ class GlobalArray:
         ``dependent=True`` charges the full DRAM latency to the dependency
         chain (used by the pointer-chase micro-benchmark).
         """
+        tape = ctx.tape
+        if tape is not None and tape.playing:
+            e = tape.next("gmem.load")
+            if e is not None:
+                return RegArray(ctx, e.gather(self.data))
         flat = self._flat_index(ctx, index)
         mask = ctx._combine_mask(lane_mask)
         self._account(ctx, flat, mask, store=False)
@@ -290,8 +297,13 @@ class GlobalArray:
         self._maybe_check_bounds(ctx, full, mask, "load")
         safe = np.clip(full, 0, self.data.size - 1)
         vals = self.data.reshape(-1)[safe]
-        if mask is not None:
-            vals = np.where(np.broadcast_to(mask, vals.shape), vals, self.data.dtype.type(0))
+        maskb = None if mask is None else np.broadcast_to(mask, vals.shape)
+        if maskb is not None:
+            vals = np.where(maskb, vals, self.data.dtype.type(0))
+        if tape is not None and tape.alive:
+            tape.add_gather(
+                "gmem.load", self.data, safe, mask, maskb, 1, ctx.shape
+            )
         return RegArray(ctx, vals)
 
     def load_vector(
@@ -320,14 +332,15 @@ class GlobalArray:
         smask = None if mask is None else np.repeat(
             np.broadcast_to(mask, full.shape), count, axis=-1
         )
-        sectors = sector_count(stacked * itemsize, smask, itemsize,
-                               ctx.device.gmem_sector_bytes)
-        c = ctx.counters
-        c.gmem_load_sectors += sectors
-        c.gmem_load_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
-        c.gmem_load_instructions += ctx.active_warp_count(mask)
-        c.warp_instructions += ctx.active_warp_count(mask)
-        ctx._chain(1.0)
+        if ctx.record:
+            sectors = sector_count(stacked * itemsize, smask, itemsize,
+                                   ctx.device.gmem_sector_bytes)
+            c = ctx.counters
+            c.gmem_load_sectors += sectors
+            c.gmem_load_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+            c.gmem_load_instructions += ctx.active_warp_count(mask)
+            c.warp_instructions += ctx.active_warp_count(mask)
+            ctx._chain(1.0)
         self._maybe_check_bounds(ctx, stacked, smask, "vector load")
 
         out = []
@@ -364,13 +377,14 @@ class GlobalArray:
         smask = None if mask is None else np.repeat(
             np.broadcast_to(mask, full.shape), count, axis=-1
         )
-        sectors = sector_count(stacked * itemsize, smask, itemsize,
-                               ctx.device.gmem_sector_bytes)
-        c = ctx.counters
-        c.gmem_store_sectors += sectors
-        c.gmem_store_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
-        c.warp_instructions += ctx.active_warp_count(mask)
-        ctx._chain(1.0)
+        if ctx.record:
+            sectors = sector_count(stacked * itemsize, smask, itemsize,
+                                   ctx.device.gmem_sector_bytes)
+            c = ctx.counters
+            c.gmem_store_sectors += sectors
+            c.gmem_store_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+            c.warp_instructions += ctx.active_warp_count(mask)
+            ctx._chain(1.0)
         self._maybe_check_bounds(ctx, stacked, smask, "vector store")
 
         target = self.data.reshape(-1)
@@ -392,19 +406,31 @@ class GlobalArray:
         lane_mask: Optional[np.ndarray] = None,
     ) -> None:
         """Warp store under ``lane_mask``."""
+        tape = ctx.tape
+        vals = value.a if isinstance(value, RegArray) else np.asarray(value)
+        if tape is not None and tape.playing:
+            e = tape.next("gmem.store")
+            if e is not None:
+                e.scatter(self.data, vals)
+                return
         flat = self._flat_index(ctx, index)
         mask = ctx._combine_mask(lane_mask)
         self._account(ctx, flat, mask, store=True)
         full = ctx.broadcast_full(flat)
         self._maybe_check_bounds(ctx, full, mask, "store")
-        vals = value.a if isinstance(value, RegArray) else np.asarray(value)
         full_vals = np.broadcast_to(ctx.broadcast_full(vals), full.shape)
         target = self.data.reshape(-1)
         if mask is None:
+            m = None
             target[full.ravel()] = full_vals.astype(self.data.dtype, copy=False).ravel()
         else:
             m = np.broadcast_to(mask, full.shape)
             target[full[m]] = full_vals[m].astype(self.data.dtype, copy=False)
+        if tape is not None and tape.alive:
+            tape.add_scatter(
+                "gmem.store", self.data, full, mask, m, 1, ctx.shape,
+                vshape=full.shape, movex=False,
+            )
 
     # -- tile-granular (fused register-bank) accesses -----------------------
     def _tile_addrs(
@@ -440,25 +466,41 @@ class GlobalArray:
         the per-register address rows), ``count`` load instructions, and
         ``count`` issue slots on the dependency chain.
         """
+        tape = ctx.tape
+        if tape is not None and tape.playing:
+            e = tape.next("gmem.load_tile")
+            if e is not None:
+                return RegBank(ctx, e.gather(self.data))
         mask = ctx._combine_mask(lane_mask)
         stacked, smask = self._tile_addrs(ctx, index, count, reg_stride, mask)
         itemsize = self.data.itemsize
-        sectors = sector_count(
-            stacked * itemsize, smask, itemsize, ctx.device.gmem_sector_bytes
-        )
-        warps = ctx.active_warp_count(mask)
-        c = ctx.counters
-        c.gmem_load_sectors += sectors
-        c.gmem_load_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
-        c.gmem_load_instructions += warps * count
-        c.warp_instructions += warps * count
-        ctx._chain(float(count))
+        if ctx.record:
+            sectors = sector_count(
+                stacked * itemsize, smask, itemsize, ctx.device.gmem_sector_bytes
+            )
+            warps = ctx.active_warp_count(mask)
+            c = ctx.counters
+            c.gmem_load_sectors += sectors
+            c.gmem_load_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+            c.gmem_load_instructions += warps * count
+            c.warp_instructions += warps * count
+            ctx._chain(float(count))
 
         self._maybe_check_bounds(ctx, stacked, smask, "load")
         safe = np.clip(stacked, 0, self.data.size - 1)
         vals = self.data.reshape(-1)[safe]
         if mask is not None:
             vals = np.where(smask, vals, self.data.dtype.type(0))
+        if tape is not None and tape.alive:
+            # Taped in the bank's (B, W, L, count) layout so playback
+            # gathers straight into register order.
+            idx_t = np.moveaxis(safe, 0, -1)
+            mask_t = None if mask is None else np.broadcast_to(
+                mask[..., None], idx_t.shape
+            )
+            tape.add_gather(
+                "gmem.load_tile", self.data, idx_t, mask, mask_t, 1, ctx.shape
+            )
         return RegBank(ctx, np.ascontiguousarray(np.moveaxis(vals, 0, -1)))
 
     def store_tile(
@@ -476,18 +518,25 @@ class GlobalArray:
         """
         count = bank.nregs
         bank._require_init("store")
+        tape = ctx.tape
+        if tape is not None and tape.playing:
+            e = tape.next("gmem.store_tile")
+            if e is not None:
+                e.scatter(self.data, bank.a)
+                return
         mask = ctx._combine_mask(lane_mask)
         stacked, smask = self._tile_addrs(ctx, index, count, reg_stride, mask)
         itemsize = self.data.itemsize
-        sectors = sector_count(
-            stacked * itemsize, smask, itemsize, ctx.device.gmem_sector_bytes
-        )
-        warps = ctx.active_warp_count(mask)
-        c = ctx.counters
-        c.gmem_store_sectors += sectors
-        c.gmem_store_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
-        c.warp_instructions += warps * count
-        ctx._chain(float(count))
+        if ctx.record:
+            sectors = sector_count(
+                stacked * itemsize, smask, itemsize, ctx.device.gmem_sector_bytes
+            )
+            warps = ctx.active_warp_count(mask)
+            c = ctx.counters
+            c.gmem_store_sectors += sectors
+            c.gmem_store_bytes += float(ctx.active_lane_count(mask)) * itemsize * count
+            c.warp_instructions += warps * count
+            ctx._chain(float(count))
 
         self._maybe_check_bounds(ctx, stacked, smask, "store")
         # Register axis leads, so raveling preserves the ascending-j write
@@ -500,3 +549,8 @@ class GlobalArray:
             target[stacked.ravel()] = vals.astype(self.data.dtype, copy=False).ravel()
         else:
             target[stacked[smask]] = vals[smask].astype(self.data.dtype, copy=False)
+        if tape is not None and tape.alive:
+            tape.add_scatter(
+                "gmem.store_tile", self.data, stacked, mask, smask, 2, ctx.shape,
+                vshape=ctx.shape + (count,), movex=True,
+            )

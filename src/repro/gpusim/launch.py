@@ -14,19 +14,20 @@ register-pressure behaviour for ``64f``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .block import KernelContext
-from .config import sanitize_enabled
+from .config import bounds_check_enabled, sanitize_enabled
 from .counters import CostCounters
 from .device import DeviceSpec, get_device
 from .cost.model import KernelTiming, kernel_time
+from .replay import ReplayTape, TapeMismatchError
 from .sanitize import Sanitizer
 
-__all__ = ["LaunchStats", "launch_kernel"]
+__all__ = ["LaunchStats", "LaunchPlan", "launch_kernel", "replay_kernel"]
 
 
 @dataclass
@@ -80,6 +81,112 @@ class LaunchStats:
             f"block={self.block}, time={self.time_us:.2f} us, "
             f"bound={self.timing.bound})"
         )
+
+
+@dataclass
+class LaunchPlan:
+    """A reusable launch recipe recorded from one cold :func:`launch_kernel`.
+
+    The simulator's counters and timings are functions of the launch
+    *geometry* (grid/block dims, padded shapes, masks, access patterns) and
+    never of the data values flowing through the kernel.  A plan therefore
+    captures the :class:`LaunchStats` of one representative cold launch;
+    :func:`replay_kernel` then re-executes the data movement for new inputs
+    with accounting disabled and hands back a clone of the recorded stats —
+    bit-identical to what a fresh cold launch would have recorded, at a
+    fraction of the setup cost.
+    """
+
+    #: Stats of the recorded cold launch (``None`` until recorded).
+    stats: Optional[LaunchStats] = None
+    #: Address tapes recorded by the first replay at each grid (batched
+    #: stacks replay the plan at several depths; see
+    #: :mod:`repro.gpusim.replay`).  Bounded FIFO so depth churn cannot
+    #: hoard index memory.
+    tapes: Dict[Tuple[int, int, int], ReplayTape] = field(default_factory=dict)
+
+    MAX_TAPES = 4
+
+    @property
+    def recorded(self) -> bool:
+        return self.stats is not None
+
+    def record(self, stats: LaunchStats) -> LaunchStats:
+        """Adopt the stats of a cold launch as this plan's template."""
+        self.stats = stats
+        return stats
+
+    def clone_stats(self) -> LaunchStats:
+        """A per-replay copy of the recorded stats.
+
+        Counters are copied so callers may project them independently
+        (:meth:`~repro.gpusim.counters.CostCounters.scaled` mutating flows);
+        the frozen :class:`KernelTiming` is shared.
+        """
+        if self.stats is None:
+            raise RuntimeError("LaunchPlan.clone_stats() before record()")
+        return replace(self.stats, counters=self.stats.counters.copy())
+
+
+def replay_kernel(
+    fn: Callable[..., None],
+    *,
+    plan: LaunchPlan,
+    grid: Optional[Union[int, Sequence[int]]] = None,
+    args: Sequence = (),
+) -> LaunchStats:
+    """Re-execute a recorded launch on new data, skipping redundant setup.
+
+    The kernel body runs in full (data movement is real), but the context
+    is created with ``record=False`` so all counter, coalescing and
+    dependency-chain accounting — the dominant per-launch fixed cost — is
+    skipped.  The returned stats are cloned from the plan's recorded cold
+    launch and are bit-identical to a fresh cold run of the same geometry.
+
+    ``grid`` may override the recorded grid (the batched-stack path scales
+    one grid axis by the number of stacked images); counters still describe
+    the recorded per-image geometry.
+
+    The first replay at each grid additionally records an address tape
+    (:class:`~repro.gpusim.replay.ReplayTape`): later replays reuse the
+    memoised gather/scatter geometry instead of recomputing index
+    arithmetic per op.  Tapes are skipped under ``REPRO_GPUSIM_BOUNDS_CHECK``
+    (the slow path carries the checks), and a kernel that diverges from
+    its taped op sequence is transparently re-run untaped.
+    """
+    if plan.stats is None:
+        raise RuntimeError("replay_kernel() requires a recorded plan")
+    s = plan.stats
+    ctx = KernelContext(
+        s.device, grid if grid is not None else s.grid, s.block, record=False
+    )
+    ctx.kernel_name = s.name
+    tape = None
+    if not bounds_check_enabled():
+        tape = plan.tapes.get(ctx.grid)
+        if tape is None:
+            if len(plan.tapes) >= LaunchPlan.MAX_TAPES:
+                plan.tapes.pop(next(iter(plan.tapes)))
+            tape = ReplayTape()
+            plan.tapes[ctx.grid] = tape
+        if tape.dead:
+            tape = None
+        else:
+            tape.rewind()
+            ctx.tape = tape
+    try:
+        fn(ctx, *args)
+        if tape is not None:
+            tape.finish()
+    except TapeMismatchError:
+        # Data-dependent op sequence: drop the tape and re-run untaped.
+        # Kernels only read their inputs and (re)write outputs/registers,
+        # so a partially-played launch is fully overwritten by the rerun.
+        tape.kill()
+        ctx = KernelContext(s.device, ctx.grid, s.block, record=False)
+        ctx.kernel_name = s.name
+        fn(ctx, *args)
+    return plan.clone_stats()
 
 
 def launch_kernel(

@@ -1,0 +1,330 @@
+"""Address tapes: memoised gather/scatter geometry for plan replays.
+
+A replayed launch (``KernelContext.record == False``) runs the same
+deterministic sequence of memory operations as the cold launch it clones:
+control flow in the simulated kernels depends only on launch geometry,
+never on data values — the same invariant that makes recorded counters
+reusable.  The addresses every load/store resolves are therefore
+identical across replays of one ``(plan, grid)``; only the data differs.
+
+A :class:`ReplayTape` exploits this.  The *first* replay records, per
+memory operation, the fully-resolved index geometry (after index
+arithmetic, predication masking and bounds clipping).  Every later replay
+plays the tape back, turning each op into one of two fast forms:
+
+* **affine**: when the op's indices form an affine lattice (``base +
+  sum(i_k * stride_k)``) over a warp-contiguous active region — true of
+  every tile access in the paper's kernels — the op becomes a single
+  strided-view copy (``np.copyto`` through ``as_strided``), with no index
+  arrays at all.  Store lattices must additionally prove injectivity so
+  write order cannot matter.
+* **cached**: otherwise the resolved index arrays themselves are kept and
+  reused, skipping index arithmetic, mask packing, clipping and bounds
+  checks (a byte budget kills tapes that would hoard memory on large
+  irregular patterns).
+
+The moved bytes are bit-identical to the untaped replay in both forms.
+A kernel whose op sequence *does* change between replays (data-dependent
+control flow) trips :class:`TapeMismatchError`; ``replay_kernel`` then
+kills the tape and re-runs the launch without it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = ["ReplayTape", "TapeMismatchError"]
+
+_AFFINE = 0
+_CACHED = 1
+
+
+class TapeMismatchError(RuntimeError):
+    """A replayed kernel diverged from its recorded op sequence."""
+
+
+def _affine_desc(idx: np.ndarray) -> Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+    """``(base, shape, strides)`` if ``idx`` is an affine lattice, else None."""
+    if idx.size == 0 or idx.ndim == 0:
+        return None
+    origin = (0,) * idx.ndim
+    base = int(idx[origin])
+    strides = []
+    for ax in range(idx.ndim):
+        if idx.shape[ax] == 1:
+            strides.append(0)
+            continue
+        step = list(origin)
+        step[ax] = 1
+        strides.append(int(idx[tuple(step)]) - base)
+    expected = np.full((), base, dtype=np.int64)
+    for ax, (n, s) in enumerate(zip(idx.shape, strides)):
+        shape1 = [1] * idx.ndim
+        shape1[ax] = n
+        expected = expected + (np.arange(n, dtype=np.int64) * s).reshape(shape1)
+    if not np.array_equal(idx, expected):
+        return None
+    return base, idx.shape, tuple(strides)
+
+
+def _lattice_bounds(desc) -> Tuple[int, int]:
+    base, shape, strides = desc
+    lo = hi = base
+    for n, s in zip(shape, strides):
+        span = s * (n - 1)
+        if span < 0:
+            lo += span
+        else:
+            hi += span
+    return lo, hi
+
+
+def _injective(desc) -> bool:
+    """Sufficient condition: axes sorted by |stride| never overlap inner spans."""
+    _, shape, strides = desc
+    span = 0
+    for n, s in sorted(zip(shape, strides), key=lambda t: abs(t[1])):
+        if n == 1:
+            continue
+        if s == 0 or abs(s) <= span:
+            return False
+        span += abs(s) * (n - 1)
+    return True
+
+
+def _affine_view(data1d: np.ndarray, desc) -> np.ndarray:
+    base, shape, strides = desc
+    it = data1d.itemsize
+    return as_strided(
+        data1d[base:], shape=shape, strides=tuple(s * it for s in strides)
+    )
+
+
+def _rect_warp_slice(mask3: np.ndarray, full_shape) -> Optional[Tuple[int, int]]:
+    """``(w0, w1)`` if the mask is a warp-contiguous range, uniform over
+    blocks and lanes (the ``only_warps`` staging pattern), else None."""
+    m = np.broadcast_to(mask3, full_shape)
+    if not (m == m[..., :1]).all():
+        return None
+    m2 = m[..., 0]
+    if not (m2 == m2[:1]).all():
+        return None
+    w = np.flatnonzero(m2[0])
+    if w.size == 0:
+        return None
+    w0, w1 = int(w[0]), int(w[-1]) + 1
+    if w1 - w0 != w.size:
+        return None
+    return w0, w1
+
+
+class _Gather:
+    """One recorded load: produces the op's value array from live data."""
+
+    __slots__ = ("size", "mode", "desc", "sub", "out_shape", "idx", "mask")
+
+    def gather(self, data: np.ndarray) -> np.ndarray:
+        if data.size != self.size:
+            raise TapeMismatchError("replayed load hit an array of a different size")
+        data1d = data.reshape(-1)
+        if self.mode == _AFFINE:
+            view = _affine_view(data1d, self.desc)
+            if self.sub is None:
+                return np.ascontiguousarray(view)
+            out = np.zeros(self.out_shape, dtype=data.dtype)
+            out[self.sub] = view
+            return out
+        vals = data1d[self.idx]
+        if self.mask is not None:
+            vals = np.where(self.mask, vals, data.dtype.type(0))
+        return vals
+
+
+class _Scatter:
+    """One recorded store: lands the op's value array into live data."""
+
+    __slots__ = ("size", "mode", "desc", "sub", "vshape", "movex", "idx", "mask")
+
+    def scatter(self, data: np.ndarray, value: np.ndarray) -> None:
+        if data.size != self.size:
+            raise TapeMismatchError("replayed store hit an array of a different size")
+        data1d = data.reshape(-1)
+        src = np.broadcast_to(value, self.vshape)
+        if self.movex:
+            # Register axis leads, matching the cold path's write order.
+            src = np.moveaxis(src, -1, 0)
+        if self.mode == _AFFINE:
+            if self.sub is not None:
+                src = src[self.sub]
+            np.copyto(_affine_view(data1d, self.desc), src, casting="unsafe")
+        elif self.mask is None:
+            data1d[self.idx.ravel()] = src.astype(data.dtype, copy=False).ravel()
+        else:
+            data1d[self.idx[self.mask]] = src[self.mask].astype(data.dtype, copy=False)
+
+
+class ReplayTape:
+    """Per-``(plan, grid)`` record of every memory op's resolved geometry.
+
+    Lifecycle: created empty (recording), filled by the first replay's
+    normal slow path, then :meth:`finish`-sealed; later replays consume
+    entries in order via :meth:`next`.  A tape whose cached entries exceed
+    ``max_bytes`` is killed and the plan falls back to untaped replays.
+    """
+
+    __slots__ = ("entries", "pos", "sealed", "dead", "bytes", "max_bytes")
+
+    def __init__(self, max_bytes: int = 128 << 20):
+        self.entries: List[Tuple[str, object]] = []
+        self.pos = 0
+        self.sealed = False
+        self.dead = False
+        self.bytes = 0
+        self.max_bytes = max_bytes
+
+    @property
+    def playing(self) -> bool:
+        return self.sealed and not self.dead
+
+    @property
+    def alive(self) -> bool:
+        """Recording in progress (appends accepted)."""
+        return not self.sealed and not self.dead
+
+    def rewind(self) -> None:
+        self.pos = 0
+
+    def kill(self) -> None:
+        self.dead = True
+        self.entries.clear()
+
+    def finish(self) -> None:
+        """Seal after recording; verify full consumption after playing."""
+        if not self.sealed:
+            self.sealed = True
+        elif not self.dead and self.pos != len(self.entries):
+            raise TapeMismatchError(
+                f"replay consumed {self.pos} of {len(self.entries)} taped ops"
+            )
+
+    def next(self, site: str):
+        if self.pos >= len(self.entries):
+            raise TapeMismatchError(f"tape exhausted at {site}")
+        s, entry = self.entries[self.pos]
+        if s != site:
+            raise TapeMismatchError(f"tape expected {s}, replay executed {site}")
+        self.pos += 1
+        return entry
+
+    def _charge(self, n: int) -> bool:
+        self.bytes += n
+        if self.bytes > self.max_bytes:
+            self.kill()
+            return False
+        return True
+
+    # -- recording ------------------------------------------------------
+    def add_passthrough(self, site: str) -> None:
+        """Record 'run the slow path for this op' (keeps entries aligned)."""
+        self.entries.append((site, None))
+
+    def add_gather(
+        self,
+        site: str,
+        data: np.ndarray,
+        idx: np.ndarray,
+        mask3: Optional[np.ndarray],
+        mask_full: Optional[np.ndarray],
+        warp_axis: int,
+        full_shape: Tuple[int, ...],
+    ) -> None:
+        """Record a load whose resolved flat indices are ``idx``.
+
+        The caller guarantees ``data.reshape(-1)[idx]`` reproduces the cold
+        gather exactly (in particular, any multi-axis wrap semantics were
+        already resolved into ``idx``).  ``mask3`` is the combined
+        ``(B, W, L)`` predicate (None = all active) and ``mask_full`` its
+        broadcast to ``idx.shape``; ``warp_axis`` locates the warp axis
+        within ``idx``'s layout.
+        """
+        e = _Gather()
+        e.size = data.size
+        e.out_shape = idx.shape
+        e.sub = None
+        sub_idx = idx
+        ok = mask3 is None
+        if mask3 is not None:
+            ws = _rect_warp_slice(mask3, full_shape)
+            if ws is not None:
+                e.sub = (slice(None),) * warp_axis + (slice(*ws),)
+                sub_idx = idx[e.sub]
+                ok = True
+        desc = _affine_desc(sub_idx) if ok else None
+        if desc is not None:
+            lo, hi = _lattice_bounds(desc)
+            if 0 <= lo and hi < data.size:
+                e.mode = _AFFINE
+                e.desc = desc
+                e.idx = e.mask = None
+                self.entries.append((site, e))
+                return
+        e.mode = _CACHED
+        e.desc = None
+        e.sub = None
+        e.idx = np.ascontiguousarray(idx)
+        e.mask = mask_full
+        if self._charge(e.idx.nbytes):
+            self.entries.append((site, e))
+
+    def add_scatter(
+        self,
+        site: str,
+        data: np.ndarray,
+        idx: np.ndarray,
+        mask3: Optional[np.ndarray],
+        mask_full: Optional[np.ndarray],
+        warp_axis: int,
+        full_shape: Tuple[int, ...],
+        vshape: Tuple[int, ...],
+        movex: bool,
+    ) -> None:
+        """Record a store at resolved flat indices ``idx``.
+
+        The caller guarantees the flat scatter matches the cold store's
+        semantics for these indices.  ``vshape`` is the shape the op's
+        value broadcasts to (the register layout); ``movex`` moves the
+        trailing register axis to the front so the source lines up with a
+        register-leading ``idx`` layout.
+        """
+        e = _Scatter()
+        e.size = data.size
+        e.vshape = vshape
+        e.movex = movex
+        e.sub = None
+        sub_idx = idx
+        ok = mask3 is None
+        if mask3 is not None:
+            ws = _rect_warp_slice(mask3, full_shape)
+            if ws is not None:
+                e.sub = (slice(None),) * warp_axis + (slice(*ws),)
+                sub_idx = idx[e.sub]
+                ok = True
+        desc = _affine_desc(sub_idx) if ok else None
+        if desc is not None and _injective(desc):
+            lo, hi = _lattice_bounds(desc)
+            if 0 <= lo and hi < data.size:
+                e.mode = _AFFINE
+                e.desc = desc
+                e.idx = e.mask = None
+                self.entries.append((site, e))
+                return
+        e.mode = _CACHED
+        e.desc = None
+        e.sub = None
+        e.idx = np.ascontiguousarray(idx)
+        e.mask = mask_full
+        if self._charge(e.idx.nbytes):
+            self.entries.append((site, e))

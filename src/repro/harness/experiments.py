@@ -34,6 +34,7 @@ __all__ = [
     "headline",
     "ablation_scan_variant",
     "ablation_brlt_stride",
+    "batch_throughput",
 ]
 
 #: Matrix sides for the Fig. 6/7 sweeps (the paper's 1k^2 .. 16k^2).
@@ -214,6 +215,41 @@ def headline(runner: Optional[Runner] = None, devices=("P100", "V100")) -> Dict:
         })
     text = format_table(rows, title="Headline speedups (paper: 2.3x OpenCV, 3.2x NPP)")
     return {"rows": rows, "text": text}
+
+
+def batch_throughput(device: str = "P100", n_images: int = 32,
+                     sizes=None, pair: str = "8u32s",
+                     algorithm: str = "brlt_scanrow") -> Dict:
+    """Batched-engine throughput: ``sat_batch`` vs. looped ``sat()``.
+
+    Not a paper figure — the serving-regime extension: repeated-shape
+    batches through the execution engine amortise per-launch fixed costs
+    (plan cache + stacked launches), which is the batch analogue of the
+    launch overheads the paper amortises on hardware.
+    """
+    import numpy as np
+
+    from ..engine import Engine
+
+    sizes = sizes or [128, 256, 512]
+    rows = []
+    for size in sizes:
+        rng = np.random.default_rng(0)
+        imgs = [rng.integers(0, 256, (size, size)).astype(np.uint8)
+                for _ in range(n_images)]
+        run = Engine().run_batch(imgs, pair=pair, algorithm=algorithm,
+                                 device=device)
+        rows.append({
+            "size": size,
+            "images": n_images,
+            "modeled img/s": run.images_per_s,
+            "eff GB/s": run.effective_gbps,
+            "speedup vs seq": run.speedup_vs_sequential,
+            "plan hit rate": run.plan_hit_rate,
+        })
+    return {"rows": rows, "text": format_table(
+        rows, title=(f"Batched engine throughput ({algorithm}, {pair}, "
+                     f"{device}, {n_images} images/batch)"))}
 
 
 def ablation_scan_variant(runner: Optional[Runner] = None, device: str = "P100",

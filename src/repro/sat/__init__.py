@@ -1,6 +1,13 @@
 """The paper's contribution: register-cache SAT algorithms (Sec. IV)."""
 
-from .api import ALGORITHMS, BASELINE_ALGORITHMS, PAPER_ALGORITHMS, integral, sat
+from .api import (
+    ALGORITHMS,
+    BASELINE_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    integral,
+    sat,
+    sat_batch,
+)
 from .box_filter import box_filter, rect_mean, rect_sum, rect_sums
 from .brlt import alloc_brlt_smem, brlt_staging_batches, brlt_transpose
 from .brlt_scanrow import sat_brlt_scanrow
@@ -15,6 +22,7 @@ __all__ = [
     "PAPER_ALGORITHMS",
     "integral",
     "sat",
+    "sat_batch",
     "box_filter",
     "rect_mean",
     "rect_sum",

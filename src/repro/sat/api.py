@@ -22,14 +22,21 @@ from ..baselines.bilgic import sat_bilgic
 from ..baselines.cpu import sat_cpu_numpy, sat_cpu_serial
 from ..baselines.npp_sat import sat_npp
 from ..baselines.opencv_sat import sat_opencv
-from ..dtypes import parse_pair
+from ..dtypes import TYPE_PAIRS, TypePair, parse_pair
 from .brlt_scanrow import sat_brlt_scanrow
 from .common import SatRun
 from .naive import exclusive_from_inclusive
 from .scan_row_column import sat_scan_row_column
 from .scanrow_brlt import sat_scanrow_brlt
 
-__all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "BASELINE_ALGORITHMS", "sat", "integral"]
+__all__ = [
+    "ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "sat",
+    "sat_batch",
+    "integral",
+]
 
 #: The paper's three contributions (Sec. IV).
 PAPER_ALGORITHMS: Dict[str, Callable[..., SatRun]] = {
@@ -48,6 +55,34 @@ BASELINE_ALGORITHMS: Dict[str, Callable[..., SatRun]] = {
 }
 
 ALGORITHMS: Dict[str, Callable[..., SatRun]] = {**PAPER_ALGORITHMS, **BASELINE_ALGORITHMS}
+
+
+def _resolve_pair(image: np.ndarray, pair) -> TypePair:
+    """Resolve the type pair for ``image``, failing with a clear message.
+
+    ``pair=None`` means the identity pair of ``image``'s dtype (except 8u
+    input, which defaults to the paper's common ``8u32s``).  Unsupported
+    dtypes and pair spellings raise ``ValueError`` naming the supported
+    pairs instead of failing deep inside ``parse_pair``.
+    """
+    supported = ", ".join(sorted(TYPE_PAIRS))
+    if pair is None:
+        if image.dtype == np.uint8:
+            return parse_pair("8u32s")
+        try:
+            return parse_pair(image.dtype)
+        except ValueError:
+            raise ValueError(
+                f"unsupported SAT input dtype {image.dtype}; pass a supported "
+                f"input dtype (uint8/uint16/uint32/int32/float32/float64) or "
+                f"an explicit pair= from: {supported}"
+            ) from None
+    try:
+        return parse_pair(pair)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"unsupported type pair {pair!r}; supported pairs: {supported}"
+        ) from None
 
 
 def sat(
@@ -95,10 +130,7 @@ def sat(
             f"SAT input must have at least one row and one column, got shape "
             f"{image.shape}"
         )
-    if pair is None:
-        tp = parse_pair("8u32s") if image.dtype == np.uint8 else parse_pair(image.dtype)
-    else:
-        tp = parse_pair(pair)
+    tp = _resolve_pair(image, pair)
     try:
         fn = ALGORITHMS[algorithm]
     except KeyError:
@@ -111,6 +143,35 @@ def sat(
     return run
 
 
+def sat_batch(images, **kwargs):
+    """Batched SAT over many images through :mod:`repro.engine`.
+
+    Accepts a list of 2-D images or one 3-D ``(batch, H, W)`` stack and
+    returns a :class:`~repro.engine.batch.BatchRun` whose per-image
+    outputs, counters and timings are bit-identical to looped :func:`sat`
+    calls, while same-shape images share cached launch plans and run as
+    stacked launches.  See :func:`repro.engine.sat_batch` for parameters.
+    """
+    from ..engine import sat_batch as _sat_batch
+
+    return _sat_batch(images, **kwargs)
+
+
 def integral(image: np.ndarray, **kwargs) -> np.ndarray:
-    """OpenCV-style convenience wrapper: returns just the SAT matrix."""
+    """Convenience wrapper returning just the SAT matrix.
+
+    Semantics vs. OpenCV
+    --------------------
+    By default this returns the *inclusive* table (Eq. 1):
+    ``out[y, x] = sum(image[:y+1, :x+1])``, with ``out.shape ==
+    image.shape``.  ``cv2.integral`` instead returns the *exclusive*
+    convention padded by a leading zero row and column: an ``(H+1, W+1)``
+    table with ``cv2out[y, x] = sum(image[:y, :x])``.
+
+    Pass ``exclusive=True`` for the exclusive table of Eq. 2 (same shape
+    as ``image``, zero first row/column).  That equals OpenCV's result
+    with its leading zero row/column dropped — equivalently,
+    ``cv2.integral(image)[:-1, :-1]``; and the inclusive default equals
+    ``cv2.integral(image)[1:, 1:]``.
+    """
     return sat(image, **kwargs).output

@@ -8,7 +8,16 @@ area.  These helpers are what the application workloads in
 matching, average pooling) build on.
 
 All routines accept the *inclusive* SAT convention used throughout the
-package; rectangle bounds are inclusive pixel coordinates.
+package; rectangle bounds are inclusive pixel coordinates and must lie
+inside the table — negative or out-of-range coordinates raise
+``ValueError`` rather than silently wrapping through Python's negative
+indexing.
+
+Integer SATs are queried in a widened accumulator: the four-corner
+differences are formed in ``int64`` (scalar queries use Python's
+arbitrary-precision ints), because evaluating ``d - b - c + a`` in a
+32-bit SAT's own dtype can overflow on the intermediates even when the
+rectangle sum itself fits.
 """
 
 from __future__ import annotations
@@ -18,17 +27,40 @@ import numpy as np
 __all__ = ["rect_sum", "rect_sums", "box_filter", "rect_mean"]
 
 
+def _validate_bounds(sat: np.ndarray, y0, x0, y1, x1) -> None:
+    """Reject empty and out-of-range rectangles (scalar or vectorised)."""
+    if np.any(np.asarray(y0) > np.asarray(y1)) or np.any(
+        np.asarray(x0) > np.asarray(x1)
+    ):
+        raise ValueError("empty rectangle")
+    h, w = sat.shape
+    if (
+        np.any(np.asarray(y0) < 0)
+        or np.any(np.asarray(x0) < 0)
+        or np.any(np.asarray(y1) >= h)
+        or np.any(np.asarray(x1) >= w)
+    ):
+        raise ValueError(
+            f"rectangle coordinates out of range for SAT of shape {sat.shape}: "
+            f"rows must satisfy 0 <= y0 <= y1 <= {h - 1}, "
+            f"cols 0 <= x0 <= x1 <= {w - 1}"
+        )
+
+
 def rect_sum(sat: np.ndarray, y0: int, x0: int, y1: int, x1: int):
     """Sum of the original image over rows ``y0..y1``, cols ``x0..x1``.
 
-    Exactly Fig. 1's four-corner formula; three arithmetic ops.
+    Exactly Fig. 1's four-corner formula; three arithmetic ops.  Integer
+    SATs are combined through Python ints, so the result is exact even
+    where the SAT's own dtype would overflow on the intermediates.
     """
-    if y0 > y1 or x0 > x1:
-        raise ValueError("empty rectangle")
+    _validate_bounds(sat, y0, x0, y1, x1)
     d = sat[y1, x1]
     b = sat[y0 - 1, x1] if y0 > 0 else 0
     c = sat[y1, x0 - 1] if x0 > 0 else 0
     a = sat[y0 - 1, x0 - 1] if (y0 > 0 and x0 > 0) else 0
+    if np.issubdtype(sat.dtype, np.integer):
+        return int(d) - int(b) - int(c) + int(a)
     return d - b - c + a
 
 
@@ -39,19 +71,31 @@ def rect_sums(
     y1: np.ndarray,
     x1: np.ndarray,
 ) -> np.ndarray:
-    """Vectorised :func:`rect_sum` for arrays of rectangles."""
+    """Vectorised :func:`rect_sum` for arrays of rectangles.
+
+    For integer SATs up to 32 bits the gathered corner values are widened
+    to ``int64`` before combining, so the intermediate differences cannot
+    overflow and results match scalar :func:`rect_sum` exactly; the
+    returned array is then ``int64``.  Floating-point SATs combine in
+    their own dtype.
+    """
     y0 = np.asarray(y0)
     x0 = np.asarray(x0)
     y1 = np.asarray(y1)
     x1 = np.asarray(x1)
-    zero = sat.dtype.type(0)
-    d = sat[y1, x1]
-    b = np.where(y0 > 0, sat[np.maximum(y0 - 1, 0), x1], zero)
-    c = np.where(x0 > 0, sat[y1, np.maximum(x0 - 1, 0)], zero)
+    _validate_bounds(sat, y0, x0, y1, x1)
+    widen = np.issubdtype(sat.dtype, np.integer) and sat.dtype.itemsize <= 4
+    zero = np.int64(0) if widen else sat.dtype.type(0)
+
+    def corner(vals: np.ndarray) -> np.ndarray:
+        return vals.astype(np.int64) if widen else vals
+
+    d = corner(sat[y1, x1])
+    b = np.where(y0 > 0, corner(sat[np.maximum(y0 - 1, 0), x1]), zero)
+    c = np.where(x0 > 0, corner(sat[y1, np.maximum(x0 - 1, 0)]), zero)
     a = np.where((y0 > 0) & (x0 > 0),
-                 sat[np.maximum(y0 - 1, 0), np.maximum(x0 - 1, 0)], zero)
-    with np.errstate(over="ignore"):
-        return d - b - c + a
+                 corner(sat[np.maximum(y0 - 1, 0), np.maximum(x0 - 1, 0)]), zero)
+    return d - b - c + a
 
 
 def box_filter(sat: np.ndarray, radius: int, normalize: bool = True) -> np.ndarray:

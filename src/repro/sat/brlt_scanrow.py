@@ -33,10 +33,18 @@ from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import launch_kernel
 from ..scan.serial import serial_scan_bank, serial_scan_registers
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
-from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
+from .common import (
+    BatchPass,
+    BatchSpec,
+    SatRun,
+    block_threads,
+    crop,
+    pad_matrix,
+    regs_per_thread,
+)
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
-__all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow"]
+__all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow", "batch_spec"]
 
 
 def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: int = 33,
@@ -133,6 +141,32 @@ def brlt_scanrow_pass(
         sanitize=sanitize,
     )
     return dst, stats
+
+
+def batch_spec(tp, device, brlt_stride: int = 33, fused: bool = None,
+               brlt_barrier: bool = True, **_opts) -> BatchSpec:
+    """Batch recipe: both passes band-parallel over grid *y*.
+
+    Each pass reads rows-stacked input (images concatenated along rows —
+    more independent 32-row bands) and, because the kernel stores
+    transposed, emits cols-stacked output; the engine restacks between the
+    passes.
+    """
+    p = dict(
+        kernel=brlt_scanrow_kernel,
+        extra_args=(brlt_stride, fused, brlt_barrier),
+        grid_axis="y",
+        stack_in="rows",
+        stack_out="cols",
+        transposed=True,
+    )
+    return BatchSpec(
+        pad=(32, 32),
+        passes=(
+            BatchPass(name="BRLT-ScanRow#1", **p),
+            BatchPass(name="BRLT-ScanRow#2", **p),
+        ),
+    )
 
 
 def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_stride: int = 33,

@@ -19,7 +19,7 @@ holds the pieces that are identical across them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -34,6 +34,8 @@ __all__ = [
     "pad_matrix",
     "crop",
     "SatRun",
+    "BatchPass",
+    "BatchSpec",
 ]
 
 #: Bookkeeping registers (indices, carries, pointers) beyond the 32 cached
@@ -70,6 +72,44 @@ def pad_matrix(image: np.ndarray, multiple_h: int, multiple_w: int) -> np.ndarra
 def crop(matrix: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
     """Crop a padded result back to the original shape."""
     return matrix[: shape[0], : shape[1]]
+
+
+@dataclass(frozen=True)
+class BatchPass:
+    """How one kernel pass of a SAT algorithm participates in batching.
+
+    All of the paper's kernels parallelise over independent blocks along
+    exactly one grid axis (row bands or column stripes) while carries run
+    along the *other* matrix axis.  A batch of same-bucket images can
+    therefore be concatenated along the grid-parallel matrix axis and run
+    as a single launch with that grid axis scaled by the batch depth —
+    block-for-block the same work as the solo launches, so the per-image
+    data is bit-identical (see docs/engine.md).
+    """
+
+    #: Kernel body, invoked as ``kernel(ctx, src, dst, *extra_args)``.
+    kernel: Callable
+    #: Display name (the recorded cold stats carry the canonical name).
+    name: str
+    #: Trailing kernel arguments after ``(src, dst)``.
+    extra_args: Tuple
+    #: Grid axis ("x" or "y") scaled by the batch depth on replay.
+    grid_axis: str
+    #: Matrix axis the *input* images are stacked along ("rows" or "cols").
+    stack_in: str
+    #: Matrix axis the *output* images come out stacked along.
+    stack_out: str
+    #: Whether the per-image output shape is the input shape transposed.
+    transposed: bool
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Batch-execution recipe of one SAT algorithm (all its passes)."""
+
+    #: (row, col) pad multiples — also the shape-bucket granularity.
+    pad: Tuple[int, int]
+    passes: Tuple[BatchPass, ...]
 
 
 @dataclass

@@ -32,7 +32,15 @@ from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import launch_kernel
 from ..scan import WARP_SCANS
 from ..scan.serial import serial_scan_bank, serial_scan_registers
-from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
+from .common import (
+    BatchPass,
+    BatchSpec,
+    SatRun,
+    block_threads,
+    crop,
+    pad_matrix,
+    regs_per_thread,
+)
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
 __all__ = [
@@ -41,6 +49,7 @@ __all__ = [
     "scanrow_pass",
     "scancolumn_pass",
     "sat_scan_row_column",
+    "batch_spec",
 ]
 
 
@@ -187,6 +196,37 @@ def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
         sanitize=sanitize,
     )
     return dst, stats
+
+
+def batch_spec(tp, device, scan: str = "kogge_stone", fused: bool = None,
+               **_opts) -> BatchSpec:
+    """Batch recipe: ScanRow is row-parallel over grid *y* (rows-stacked in
+    and out, natural orientation); ScanColumn is stripe-parallel over grid
+    *x*, so its input must be cols-stacked — the engine restacks between
+    the passes."""
+    return BatchSpec(
+        pad=(32, 32),
+        passes=(
+            BatchPass(
+                kernel=scanrow_kernel,
+                name="ScanRow",
+                extra_args=(scan, fused),
+                grid_axis="y",
+                stack_in="rows",
+                stack_out="rows",
+                transposed=False,
+            ),
+            BatchPass(
+                kernel=scancolumn_kernel,
+                name="ScanColumn",
+                extra_args=(fused,),
+                grid_axis="x",
+                stack_in="cols",
+                stack_out="cols",
+                transposed=False,
+            ),
+        ),
+    )
 
 
 def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",

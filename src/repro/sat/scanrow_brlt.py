@@ -37,10 +37,18 @@ from ..gpusim.launch import launch_kernel
 from ..gpusim.regfile import RegBank
 from ..scan import WARP_SCANS, WARP_SCANS_BANK
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
-from .common import SatRun, block_threads, crop, pad_matrix, regs_per_thread
+from .common import (
+    BatchPass,
+    BatchSpec,
+    SatRun,
+    block_threads,
+    crop,
+    pad_matrix,
+    regs_per_thread,
+)
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
-__all__ = ["scanrow_brlt_kernel", "scanrow_brlt_pass", "sat_scanrow_brlt"]
+__all__ = ["scanrow_brlt_kernel", "scanrow_brlt_pass", "sat_scanrow_brlt", "batch_spec"]
 
 
 def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone",
@@ -137,6 +145,27 @@ def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
         sanitize=sanitize,
     )
     return dst, stats
+
+
+def batch_spec(tp, device, scan: str = "kogge_stone", fused: bool = None,
+               **_opts) -> BatchSpec:
+    """Batch recipe: same stacking as BRLT-ScanRow (band-parallel, stores
+    transposed)."""
+    p = dict(
+        kernel=scanrow_brlt_kernel,
+        extra_args=(scan, fused),
+        grid_axis="y",
+        stack_in="rows",
+        stack_out="cols",
+        transposed=True,
+    )
+    return BatchSpec(
+        pad=(32, 32),
+        passes=(
+            BatchPass(name="ScanRow-BRLT#1", **p),
+            BatchPass(name="ScanRow-BRLT#2", **p),
+        ),
+    )
 
 
 def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",

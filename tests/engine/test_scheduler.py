@@ -1,0 +1,52 @@
+"""BatchScheduler: shape bucketing and byte-bounded chunking."""
+
+import numpy as np
+
+from repro.engine import BatchScheduler, BucketGroup
+
+
+class TestBucketing:
+    def test_bucket_of_rounds_up(self):
+        assert BatchScheduler.bucket_of((60, 62), (32, 32)) == (64, 64)
+        assert BatchScheduler.bucket_of((64, 64), (32, 32)) == (64, 64)
+        assert BatchScheduler.bucket_of((1, 1), (32, 32)) == (32, 32)
+        assert BatchScheduler.bucket_of((65, 33), (32, 16)) == (96, 48)
+
+    def test_groups_first_seen_order(self):
+        sched = BatchScheduler()
+        shapes = [(40, 40), (64, 64), (33, 33), (64, 64)]
+        groups = sched.groups(shapes, (32, 32))
+        # (40,40) and (33,33) both pad to (64,64): one group, input order.
+        assert len(groups) == 1
+        assert groups[0].bucket == (64, 64)
+        assert groups[0].indices == [0, 1, 2, 3]
+
+    def test_groups_preserve_input_order_within_bucket(self):
+        sched = BatchScheduler()
+        shapes = [(64, 64), (128, 128), (64, 64), (128, 128)]
+        groups = sched.groups(shapes, (32, 32))
+        assert [g.bucket for g in groups] == [(64, 64), (128, 128)]
+        assert groups[0].indices == [0, 2]
+        assert groups[1].indices == [1, 3]
+
+
+class TestChunking:
+    def test_chunk_respects_byte_bound(self):
+        sched = BatchScheduler(max_stack_bytes=10)
+        grp = BucketGroup(bucket=(1, 1), indices=list(range(7)))
+        chunks = sched.chunk(grp, bytes_per_image=4)  # depth = 2
+        assert chunks == [[0, 1], [2, 3], [4, 5], [6]]
+
+    def test_oversized_image_still_runs_alone(self):
+        sched = BatchScheduler(max_stack_bytes=10)
+        grp = BucketGroup(bucket=(1, 1), indices=[0, 1])
+        assert sched.chunk(grp, bytes_per_image=100) == [[0], [1]]
+
+    def test_small_images_stack_deep(self):
+        sched = BatchScheduler(max_stack_bytes=1024)
+        grp = BucketGroup(bucket=(1, 1), indices=list(range(5)))
+        assert sched.chunk(grp, bytes_per_image=1) == [[0, 1, 2, 3, 4]]
+
+    def test_stack_bytes_counts_input_and_accumulator(self):
+        got = BatchScheduler.stack_bytes((64, 32), np.uint8, np.int32)
+        assert got == 64 * 32 * (1 + 4)

@@ -1,0 +1,194 @@
+"""Address tapes (repro.gpusim.replay): affine lattice detection,
+cached-index fallback, sequence-divergence detection, and the wiring
+through plan replays."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.replay import (
+    ReplayTape,
+    TapeMismatchError,
+    _affine_desc,
+    _injective,
+    _lattice_bounds,
+)
+
+
+def lattice(base, shape, strides):
+    idx = np.full((), base, dtype=np.int64)
+    for ax, (n, s) in enumerate(zip(shape, strides)):
+        sh = [1] * len(shape)
+        sh[ax] = n
+        idx = idx + (np.arange(n, dtype=np.int64) * s).reshape(sh)
+    return np.broadcast_to(idx, shape).copy()
+
+
+class TestAffineDetection:
+    def test_recognises_lattice(self):
+        idx = lattice(7, (2, 3, 4), (100, 10, 1))
+        assert _affine_desc(idx) == (7, (2, 3, 4), (100, 10, 1))
+
+    def test_negative_and_zero_strides(self):
+        idx = lattice(50, (3, 2), (-5, 0))
+        assert _affine_desc(idx) == (50, (3, 2), (-5, 0))
+        assert _lattice_bounds((50, (3, 2), (-5, 0))) == (40, 50)
+
+    def test_rejects_irregular(self):
+        idx = lattice(0, (4, 4), (8, 1))
+        idx[2, 3] += 1
+        assert _affine_desc(idx) is None
+
+    def test_injectivity(self):
+        assert _injective((0, (4, 8), (8, 1)))          # disjoint rows
+        assert not _injective((0, (4, 8), (4, 1)))      # rows overlap
+        assert not _injective((0, (4, 2), (0, 1)))      # repeated writes
+        assert _injective((0, (4, 1), (3, 0)))          # length-1 axes ignored
+
+
+class TestGatherPlayback:
+    def test_affine_gather(self):
+        data = np.arange(200, dtype=np.int32).reshape(10, 20)
+        idx = lattice(3, (4, 8), (20, 1))
+        tape = ReplayTape()
+        tape.add_gather("g", data, idx, None, None, 1, (4, 8))
+        tape.finish()
+        tape.rewind()
+        e = tape.next("g")
+        np.testing.assert_array_equal(e.gather(data), data.reshape(-1)[idx])
+        # Data-only changes flow through on the next playback.
+        data2 = data * 7
+        np.testing.assert_array_equal(e.gather(data2), data2.reshape(-1)[idx])
+
+    def test_cached_gather_with_mask(self):
+        data = np.arange(64, dtype=np.float64)
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 64, (2, 4, 8))
+        mask = rng.random((2, 4, 8)) > 0.5
+        tape = ReplayTape()
+        tape.add_gather("g", data, idx, mask, mask, 1, idx.shape)
+        tape.finish()
+        tape.rewind()
+        got = tape.next("g").gather(data)
+        np.testing.assert_array_equal(got, np.where(mask, data[idx], 0.0))
+
+    def test_size_guard(self):
+        data = np.arange(64, dtype=np.int32)
+        tape = ReplayTape()
+        tape.add_gather("g", data, lattice(0, (8,), (1,)), None, None, 0, (8,))
+        tape.finish()
+        tape.rewind()
+        with pytest.raises(TapeMismatchError):
+            tape.next("g").gather(np.arange(32, dtype=np.int32))
+
+
+class TestScatterPlayback:
+    def test_affine_scatter(self):
+        data = np.zeros(100, dtype=np.int64)
+        idx = lattice(5, (4, 8), (10, 1))
+        vals = np.arange(32, dtype=np.int64).reshape(4, 8)
+        tape = ReplayTape()
+        tape.add_scatter("s", data, idx, None, None, 1, idx.shape,
+                         vshape=idx.shape, movex=False)
+        tape.finish()
+        tape.rewind()
+        tape.next("s").scatter(data, vals)
+        want = np.zeros(100, dtype=np.int64)
+        want[idx.ravel()] = vals.ravel()
+        np.testing.assert_array_equal(data, want)
+
+    def test_non_injective_lattice_falls_back_to_cached(self):
+        # Overlapping rows: last write must win exactly as the slow path's
+        # flat fancy-assignment would resolve it.
+        data = np.zeros(16, dtype=np.int32)
+        idx = lattice(0, (2, 8), (4, 1))
+        vals = np.arange(16, dtype=np.int32).reshape(2, 8)
+        tape = ReplayTape()
+        tape.add_scatter("s", data, idx, None, None, 1, idx.shape,
+                         vshape=idx.shape, movex=False)
+        tape.finish()
+        tape.rewind()
+        tape.next("s").scatter(data, vals)
+        want = np.zeros(16, dtype=np.int32)
+        want[idx.ravel()] = vals.ravel()
+        np.testing.assert_array_equal(data, want)
+
+
+class TestSequenceDiscipline:
+    def test_passthrough_keeps_alignment(self):
+        tape = ReplayTape()
+        tape.add_passthrough("a")
+        data = np.zeros(8)
+        tape.add_gather("b", data, lattice(0, (4,), (1,)), None, None, 0, (4,))
+        tape.finish()
+        tape.rewind()
+        assert tape.next("a") is None
+        assert tape.next("b") is not None
+        tape.finish()  # fully consumed: fine
+
+    def test_site_mismatch(self):
+        tape = ReplayTape()
+        tape.add_passthrough("a")
+        tape.finish()
+        tape.rewind()
+        with pytest.raises(TapeMismatchError, match="expected a"):
+            tape.next("b")
+
+    def test_exhaustion(self):
+        tape = ReplayTape()
+        tape.finish()
+        tape.rewind()
+        with pytest.raises(TapeMismatchError, match="exhausted"):
+            tape.next("a")
+
+    def test_partial_consumption_detected(self):
+        tape = ReplayTape()
+        tape.add_passthrough("a")
+        tape.add_passthrough("b")
+        tape.finish()
+        tape.rewind()
+        tape.next("a")
+        with pytest.raises(TapeMismatchError, match="consumed 1 of 2"):
+            tape.finish()
+
+    def test_kill_clears(self):
+        tape = ReplayTape()
+        tape.add_passthrough("a")
+        tape.kill()
+        assert tape.dead and not tape.playing and tape.entries == []
+
+    def test_byte_budget_kills_hoarders(self):
+        data = np.zeros(1 << 16)
+        idx = np.random.default_rng(1).integers(0, data.size, 4096)
+        tape = ReplayTape(max_bytes=idx.nbytes - 1)
+        tape.add_gather("g", data, idx, None, None, 0, idx.shape)
+        assert tape.dead
+
+
+class TestPlanWiring:
+    @pytest.fixture(autouse=True)
+    def _no_sanitize(self, monkeypatch):
+        # Sanitized batches bypass plan replay (and hence tapes) by design.
+        monkeypatch.setenv("REPRO_GPUSIM_SANITIZE", "0")
+
+    def test_replays_record_then_play_tapes(self):
+        from repro.engine import Engine, sat_batch
+
+        eng = Engine()
+        imgs = [np.full((64, 64), i, dtype=np.uint8) for i in range(4)]
+        sat_batch(imgs, pair="8u32s", engine=eng)
+        plans = list(eng.cache._plans.values())
+        assert plans
+        tapes = [t for p in plans for lp in p.launch_plans
+                 for t in lp.tapes.values()]
+        assert tapes and all(t.playing for t in tapes)
+        assert any(t.entries for t in tapes)
+
+    def test_bounds_check_disables_tapes(self, monkeypatch):
+        from repro.engine import Engine, sat_batch
+
+        monkeypatch.setenv("REPRO_GPUSIM_BOUNDS_CHECK", "1")
+        eng = Engine()
+        imgs = [np.ones((64, 64), dtype=np.uint8)] * 3
+        sat_batch(imgs, pair="8u32s", engine=eng)
+        assert all(not lp.tapes for p in eng.cache._plans.values()
+                   for lp in p.launch_plans)

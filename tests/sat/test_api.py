@@ -70,12 +70,59 @@ class TestDefaults:
         np.testing.assert_allclose(run.output, sat_reference(img, "32f32f"))
 
 
+class TestDtypeErrors:
+    def test_unsupported_input_dtype_names_pairs(self):
+        img = np.ones((16, 16), dtype=np.int8)
+        with pytest.raises(ValueError, match="unsupported SAT input dtype"):
+            sat(img)
+        with pytest.raises(ValueError, match="8u32s"):
+            sat(img)
+
+    def test_unsupported_complex_dtype(self):
+        with pytest.raises(ValueError, match="unsupported SAT input dtype"):
+            sat(np.ones((16, 16), dtype=np.complex64))
+
+    def test_bogus_pair_string(self):
+        img = np.ones((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError, match="unsupported type pair '9q9q'"):
+            sat(img, pair="9q9q")
+
+    def test_bogus_pair_names_supported_pairs(self):
+        img = np.ones((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError, match="32f32f"):
+            sat(img, pair="nonsense")
+
+    def test_non_string_pair_garbage(self):
+        img = np.ones((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError, match="unsupported type pair"):
+            sat(img, pair=3.14)
+
+
 class TestIntegralWrapper:
     def test_returns_plain_array(self):
         img = np.random.default_rng(1).integers(0, 256, (45, 61)).astype(np.uint8)
         out = integral(img)
         assert isinstance(out, np.ndarray)
         np.testing.assert_array_equal(out, sat_reference(img, "8u32s"))
+
+    def test_opencv_semantics_documented_and_true(self):
+        """The docstring's claimed correspondence with ``cv2.integral``:
+        inclusive == cv2out[1:, 1:], exclusive == cv2out[:-1, :-1], where
+        cv2out is the (H+1, W+1) zero-padded exclusive table."""
+        img = np.random.default_rng(2).integers(0, 256, (30, 41)).astype(np.uint8)
+        h, w = img.shape
+        cv2out = np.zeros((h + 1, w + 1), dtype=np.int64)
+        cv2out[1:, 1:] = img.astype(np.int64).cumsum(0).cumsum(1)
+        np.testing.assert_array_equal(
+            integral(img, pair="8u32s"), cv2out[1:, 1:])
+        np.testing.assert_array_equal(
+            integral(img, pair="8u32s", exclusive=True), cv2out[:-1, :-1])
+
+    def test_parity_with_opencv_baseline(self):
+        img = np.random.default_rng(8).integers(0, 256, (33, 47)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            integral(img, pair="8u32s"),
+            integral(img, pair="8u32s", algorithm="opencv"))
 
 
 class TestSatRun:

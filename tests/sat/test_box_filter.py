@@ -113,6 +113,106 @@ def test_property_rect_sum_equals_slice_sum(img, coords):
     assert got == img[y0:y1 + 1, x0:x1 + 1].astype(np.int64).sum()
 
 
+class TestBoundsValidation:
+    """Negative or out-of-range coordinates must raise, not wrap through
+    Python's negative indexing into the wrong corner values."""
+
+    @pytest.mark.parametrize("rect", [
+        (-1, 0, 5, 5),      # negative y0
+        (0, -2, 5, 5),      # negative x0
+        (0, 0, 24, 5),      # y1 past last row (shape (24, 30))
+        (0, 0, 5, 30),      # x1 past last col
+        (-3, -3, -1, -1),   # fully negative
+    ])
+    def test_rect_sum_out_of_range(self, table, rect):
+        with pytest.raises(ValueError, match="out of range"):
+            rect_sum(table, *rect)
+
+    def test_rect_sum_error_names_valid_ranges(self, table):
+        with pytest.raises(ValueError, match=r"\(24, 30\).*y0 <= y1 <= 23"):
+            rect_sum(table, 0, 0, 99, 0)
+
+    def test_rect_sums_out_of_range(self, table):
+        y0 = np.array([0, -1])
+        with pytest.raises(ValueError, match="out of range"):
+            rect_sums(table, y0, np.zeros(2, int),
+                      np.full(2, 5), np.full(2, 5))
+
+    def test_rect_sums_empty(self, table):
+        with pytest.raises(ValueError, match="empty rectangle"):
+            rect_sums(table, np.array([3]), np.array([0]),
+                      np.array([2]), np.array([5]))
+
+    def test_rect_mean_validates(self, table):
+        with pytest.raises(ValueError):
+            rect_mean(table, 0, 0, 24, 29)
+
+    def test_boundary_rect_still_valid(self, image, table):
+        assert rect_sum(table, 0, 0, 23, 29) == image.sum()
+
+
+class TestIntegerOverflow:
+    """Fig. 1's ``d - b - c + a`` can overflow on the *intermediates* even
+    when the rectangle sum and every SAT entry fit the SAT dtype:
+    ``d - b - c`` equals ``rect - a``, which is negative whenever the
+    excluded corner block outweighs the queried rectangle."""
+
+    @pytest.fixture
+    def hot_corner(self):
+        # Large mass in the top-left block, tiny values elsewhere: SAT
+        # entries stay below 2**32 but d - b - c underflows uint32.
+        img = np.ones((64, 64), dtype=np.int64)
+        img[:32, :32] = 4_000_000
+        exact = img.cumsum(0).cumsum(1)
+        assert exact.max() < 2**32
+        return img, exact.astype(np.uint32), exact
+
+    def test_scalar_rect_sum_exact(self, hot_corner):
+        img, table32, exact = hot_corner
+        got = rect_sum(table32, 40, 40, 45, 45)
+        assert got == img[40:46, 40:46].sum()
+        assert isinstance(got, int)
+
+    def test_vectorised_matches_scalar(self, hot_corner):
+        img, table32, exact = hot_corner
+        y0 = np.array([40, 33, 50])
+        x0 = np.array([40, 35, 0])
+        y1 = np.array([45, 60, 63])
+        x1 = np.array([45, 60, 63])
+        got = rect_sums(table32, y0, x0, y1, x1)
+        assert got.dtype == np.int64
+        want = [rect_sum(table32, *r) for r in zip(y0, x0, y1, x1)]
+        np.testing.assert_array_equal(got, want)
+
+    def test_fixture_really_underflows_in_dtype(self, hot_corner):
+        """Regression guard: on this fixture ``d - b - c`` is negative
+        (the excluded corner outweighs the rectangle), so evaluating the
+        intermediates in uint32 genuinely wraps — the widened path is what
+        keeps :func:`rect_sums`' int64 result well-formed."""
+        img, table32, exact = hot_corner
+        d, b, c = int(table32[45, 45]), int(table32[39, 45]), int(table32[45, 39])
+        assert d - b - c < 0
+        with np.errstate(over="ignore"):
+            wrapped = int(np.uint32(d) - np.uint32(b) - np.uint32(c))
+        assert wrapped != d - b - c
+
+    def test_int32_sat_intermediates(self):
+        img = np.ones((40, 40), dtype=np.int64)
+        img[:16, :16] = 8_000_000
+        exact = img.cumsum(0).cumsum(1)
+        assert exact.max() < 2**31
+        table = exact.astype(np.int32)
+        got = rect_sums(table, np.array([20]), np.array([20]),
+                        np.array([25]), np.array([25]))
+        assert got[0] == img[20:26, 20:26].sum() == 36
+        assert got.dtype == np.int64
+
+    def test_float_sats_keep_their_dtype(self, table):
+        out = rect_sums(table, np.array([1]), np.array([1]),
+                        np.array([5]), np.array([5]))
+        assert out.dtype == table.dtype
+
+
 @settings(max_examples=20, deadline=None)
 @given(img=hnp.arrays(np.uint8, (12, 12)))
 def test_property_disjoint_split_additivity(img):
