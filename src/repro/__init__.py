@@ -33,6 +33,14 @@ Quick start::
 """
 
 from .dtypes import DTYPES, TYPE_PAIRS, DType, TypePair, parse_dtype, parse_pair
+from .exec import (
+    PROFILES,
+    ExecutionConfig,
+    execution,
+    get_backend,
+    resolve_execution,
+    set_default_config,
+)
 from .gpusim.device import DEVICES, M40, P100, V100, DeviceSpec, get_device
 from .sat import (
     ALGORITHMS,
@@ -50,6 +58,12 @@ from .sat import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "PROFILES",
+    "ExecutionConfig",
+    "execution",
+    "get_backend",
+    "resolve_execution",
+    "set_default_config",
     "DTYPES",
     "TYPE_PAIRS",
     "DType",

@@ -4,10 +4,16 @@ Commands
 --------
 ``sat``         compute one SAT and print timing + a checksum
 ``batch``       run a batch through the execution engine (``sat_batch``)
-``compare``     time every algorithm on one configuration
+``compare``     time every algorithm on one configuration (alias: ``bench``)
 ``microbench``  print the Sec. V-A latency/throughput tables
 ``experiment``  regenerate one paper table/figure by name
 ``devices``     list the simulated device registry (Table I)
+
+The ``sat``, ``batch`` and ``compare``/``bench`` commands share the
+execution-mode flags ``--backend``, ``--no-fused``, ``--sanitize`` and
+``--bounds-check``, which scope one :class:`~repro.exec.ExecutionConfig`
+over the whole command (explicit flags beat the ``REPRO_*`` environment
+variables, as everywhere else).
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .exec.config import ExecutionConfig, execution
+from .exec.registry import backend_names
 from .harness import Runner, experiments as E
 from .harness.tables import format_table
 from .sat.api import ALGORITHMS, sat as sat_api
@@ -39,6 +47,33 @@ EXPERIMENTS = {
 }
 
 
+def _add_exec_flags(sp: argparse.ArgumentParser) -> None:
+    """The shared execution-mode flags (one ExecutionConfig per command)."""
+    g = sp.add_argument_group("execution modes")
+    g.add_argument("--backend", default=None, choices=backend_names(),
+                   help="execution backend (default: gpusim simulator)")
+    g.add_argument("--no-fused", dest="fused", action="store_const",
+                   const=False, default=None,
+                   help="use the legacy per-register kernel path "
+                        "(bit-identical, slower host-side)")
+    g.add_argument("--sanitize", action="store_const", const=True,
+                   default=None,
+                   help="run every launch under the kernel sanitizer")
+    g.add_argument("--bounds-check", dest="bounds_check",
+                   action="store_const", const=True, default=None,
+                   help="validate global-memory indices (debug mode)")
+
+
+def _exec_config(args) -> ExecutionConfig:
+    """The ExecutionConfig scoped over one CLI command's execution."""
+    return ExecutionConfig(
+        fused=getattr(args, "fused", None),
+        sanitize=getattr(args, "sanitize", None),
+        bounds_check=getattr(args, "bounds_check", None),
+        backend=getattr(args, "backend", None),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -54,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHMS))
     s.add_argument("--device", default="P100")
     s.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(s)
 
     b = sub.add_parser("batch", help="run a batch through the execution engine")
     b.add_argument("--n-images", type=int, default=32)
@@ -63,11 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHMS))
     b.add_argument("--device", default="P100")
     b.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(b)
 
-    c = sub.add_parser("compare", help="time every algorithm on one config")
+    c = sub.add_parser("compare", aliases=["bench"],
+                       help="time every algorithm on one config")
     c.add_argument("--size", type=int, default=1024)
     c.add_argument("--pair", default="8u32s")
     c.add_argument("--device", default="P100")
+    _add_exec_flags(c)
 
     sub.add_parser("microbench", help="Sec. V-A latency/throughput tables")
 
@@ -87,7 +126,11 @@ def cmd_sat(args) -> int:
     print(f"{args.algorithm} on {args.device}, {args.size}x{args.size} {tp.name}")
     for name, t in run.kernel_times_us():
         print(f"  {name:24s} {t:10.2f} us")
-    print(f"  {'total':24s} {run.time_us:10.2f} us")
+    if run.time_us is None:
+        print(f"  {'total':24s} (no modeled time on the "
+              f"{run.backend!r} backend)")
+    else:
+        print(f"  {'total':24s} {run.time_us:10.2f} us")
     print(f"  checksum (bottom-right)  {run.output[-1, -1]}")
     return 0
 
@@ -111,6 +154,10 @@ def cmd_batch(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    if getattr(args, "backend", None) not in (None, "gpusim"):
+        print(f"compare needs modeled timings; backend {args.backend!r} "
+              f"has none", file=sys.stderr)
+        return 2
     runner = Runner(calibration=min(1024, args.size))
     rows = []
     for algo in sorted(ALGORITHMS):
@@ -145,11 +192,14 @@ def cmd_devices(_args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sat":
-        return cmd_sat(args)
+        with execution(_exec_config(args)):
+            return cmd_sat(args)
     if args.command == "batch":
-        return cmd_batch(args)
-    if args.command == "compare":
-        return cmd_compare(args)
+        with execution(_exec_config(args)):
+            return cmd_batch(args)
+    if args.command in ("compare", "bench"):
+        with execution(_exec_config(args)):
+            return cmd_compare(args)
     if args.command == "microbench":
         print(E.microbench()["text"])
         return 0

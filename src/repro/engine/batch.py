@@ -32,27 +32,30 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..dtypes import TypePair
-from ..gpusim.config import sanitize_enabled
+from ..exec.config import ExecutionConfig, resolve_execution
+from ..exec.registry import (
+    BatchSpec,
+    get_kernel_spec,
+    has_kernel_spec,
+    kernel_spec_names,
+)
 from ..gpusim.cost.model import kernel_time
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import replay_kernel
-from ..sat import brlt_scanrow as _brlt_scanrow
-from ..sat import scan_row_column as _scan_row_column
-from ..sat import scanrow_brlt as _scanrow_brlt
-from ..sat.common import BatchSpec, SatRun
+from ..sat.common import SatRun
 from ..sat.naive import exclusive_from_inclusive
 from .plan import LaunchPlanCache, PlanKey, SatPlan
 from .scheduler import BatchScheduler, BucketGroup
 
 __all__ = ["BATCH_SPECS", "BatchRun", "Engine", "default_engine", "sat_batch"]
 
-#: Algorithms with a stacking recipe; everything else (the baselines)
-#: falls back to a per-image loop inside :meth:`Engine.run_batch`.
+#: Algorithms with a stacking recipe, derived from the kernel-spec
+#: registry (each entry is that spec's ``batch_spec`` builder); everything
+#: else (the baselines) falls back to a per-image loop inside
+#: :meth:`Engine.run_batch`.
 BATCH_SPECS = {
-    "brlt_scanrow": _brlt_scanrow.batch_spec,
-    "scanrow_brlt": _scanrow_brlt.batch_spec,
-    "scan_row_column": _scan_row_column.batch_spec,
+    name: get_kernel_spec(name).batch_spec for name in kernel_spec_names()
 }
 
 _AXIS_INDEX = {"x": 0, "y": 1}
@@ -167,9 +170,13 @@ class Engine:
         images: Union[Sequence[np.ndarray], np.ndarray],
         pair: Optional[str] = None,
         algorithm: str = "brlt_scanrow",
-        device: str = "P100",
+        device: Optional[str] = None,
         exclusive: bool = False,
+        fused: Optional[bool] = None,
         sanitize: Optional[bool] = None,
+        bounds_check: Optional[bool] = None,
+        backend: Optional[str] = None,
+        config: Optional[ExecutionConfig] = None,
         **opts,
     ) -> BatchRun:
         """Run a batch of images through ``algorithm``; see :func:`sat_batch`."""
@@ -184,19 +191,37 @@ class Engine:
             raise KeyError(
                 f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
             ) from None
-        dev = get_device(device)
+        res = resolve_execution(config, fused=fused, sanitize=sanitize,
+                                bounds_check=bounds_check, backend=backend,
+                                device=device)
+        dev = get_device(res.device)
 
-        do_sanitize = sanitize if sanitize is not None else sanitize_enabled()
-        spec_fn = BATCH_SPECS.get(algorithm)
-        if do_sanitize or spec_fn is None:
+        if has_kernel_spec(algorithm):
+            # Spec'd algorithms take the fully-resolved mode set, so every
+            # cold launch (and the plan key) sees concrete values.
+            call_opts = dict(opts, fused=res.fused, sanitize=res.sanitize,
+                             bounds_check=res.bounds_check, backend=res.backend)
+        else:
+            if res.backend != "gpusim":
+                raise ValueError(
+                    f"algorithm {algorithm!r} has no kernel spec and supports "
+                    f"only the 'gpusim' backend, not {res.backend!r}"
+                )
+            call_opts = dict(opts)
+            if sanitize is not None:
+                call_opts["sanitize"] = sanitize
+
+        spec_method = BATCH_SPECS.get(algorithm)
+        if res.backend != "gpusim" or res.sanitize or spec_method is None:
             # Sanitized batches run cold per image so every launch is fully
             # instrumented and sanitizer reports stay per-image accurate;
-            # baselines have no stacking recipe.  Either way: a plain loop.
-            run = self._run_fallback(
-                fn, imgs, tp, dev, algorithm, sanitize=sanitize, **opts
-            )
+            # baselines have no stacking recipe and non-simulator backends
+            # have no launches to stack.  Either way: a plain loop.
+            run = self._run_fallback(fn, imgs, tp, dev, algorithm, call_opts)
         else:
-            run = self._run_batched(fn, imgs, tp, dev, algorithm, spec_fn, opts)
+            run = self._run_batched(
+                fn, imgs, tp, dev, algorithm, spec_method, opts, call_opts, res
+            )
 
         if exclusive:
             for r in run.runs:
@@ -232,13 +257,12 @@ class Engine:
                 )
         return imgs
 
-    def _run_fallback(self, fn, imgs, tp, dev, algorithm, sanitize=None, **opts):
+    def _run_fallback(self, fn, imgs, tp, dev, algorithm, opts):
         runs = []
-        if sanitize is not None:
-            opts = dict(opts, sanitize=sanitize)
         for im in imgs:
             runs.append(fn(im, pair=tp, device=dev, **opts))
-        seq = sum(r.time_s for r in runs)
+        # Unmodeled backends (host) report no time; count them as zero.
+        seq = sum((r.time_s or 0.0) for r in runs)
         return BatchRun(
             runs=runs,
             algorithm=algorithm,
@@ -251,21 +275,27 @@ class Engine:
             sector_bytes=dev.gmem_sector_bytes,
         )
 
-    def _run_batched(self, fn, imgs, tp, dev, algorithm, spec_fn, opts) -> BatchRun:
-        spec: BatchSpec = spec_fn(tp, dev, **opts)
+    def _run_batched(self, fn, imgs, tp, dev, algorithm, spec_fn, opts,
+                     call_opts, res: ExecutionConfig) -> BatchRun:
+        spec: BatchSpec = spec_fn(tp, dev, fused=res.fused, **opts)
         groups = self.scheduler.groups([im.shape for im in imgs], spec.pad)
         runs: List[Optional[SatRun]] = [None] * len(imgs)
         hits = misses = 0
         modeled_batched = 0.0
 
+        # Key plans on the *resolved* modes, so equivalent spellings (env
+        # var vs. config object vs. kwarg) share plans and address tapes,
+        # while fused/legacy and bounds-checked variants stay distinct.
+        key_opts = dict(opts, fused=res.fused, bounds_check=res.bounds_check)
+
         for grp in groups:
-            key = PlanKey.make(algorithm, dev.name, tp.name, grp.bucket, opts)
+            key = PlanKey.make(algorithm, dev.name, tp.name, grp.bucket, key_opts)
             plan = self.cache.get_or_create(key, spec)
             pending = list(grp.indices)
             if not plan.recorded:
                 # One cold, fully-accounted run records the bucket's plan.
                 i0 = pending.pop(0)
-                run0 = fn(imgs[i0], pair=tp, device=dev, **opts)
+                run0 = fn(imgs[i0], pair=tp, device=dev, **call_opts)
                 for lp, s in zip(plan.launch_plans, run0.launches):
                     lp.record(replace(s, counters=s.counters.copy()))
                 runs[i0] = run0
@@ -283,7 +313,7 @@ class Engine:
                 )
                 for chunk in chunks:
                     modeled_batched += self._replay_chunk(
-                        plan, spec, tp, dev, algorithm, imgs, chunk, runs
+                        plan, spec, tp, dev, algorithm, imgs, chunk, runs, res
                     )
 
         return BatchRun(
@@ -309,6 +339,7 @@ class Engine:
         imgs: List[np.ndarray],
         chunk: List[int],
         runs: List[Optional[SatRun]],
+        res: ExecutionConfig,
     ) -> float:
         """Run one stacked replay over ``chunk``; returns its modeled time."""
         depth = len(chunk)
@@ -384,6 +415,7 @@ class Engine:
             replay_kernel(
                 p.kernel, plan=lp, grid=tuple(grid),
                 args=(cur, dst) + tuple(p.extra_args),
+                bounds_check=res.bounds_check,
             )
             t_stacked += _stacked_time_s(lp.stats, depth)
 
@@ -423,7 +455,7 @@ def sat_batch(
     images: Union[Sequence[np.ndarray], np.ndarray],
     pair: Optional[str] = None,
     algorithm: str = "brlt_scanrow",
-    device: str = "P100",
+    device: Optional[str] = None,
     exclusive: bool = False,
     engine: Optional[Engine] = None,
     **opts,
@@ -436,9 +468,12 @@ def sat_batch(
         A list of 2-D arrays (any mix of shapes) or one 3-D stack
         ``(batch, H, W)``.  All images must share a dtype.
     pair, algorithm, device, exclusive, **opts:
-        Exactly as :func:`repro.sat.api.sat`; ``opts`` may include
-        ``sanitize=True`` to run the batch fully instrumented (per-image
-        cold launches, no plan replay).
+        Exactly as :func:`repro.sat.api.sat`; ``opts`` may include the
+        execution knobs (``fused=``, ``sanitize=``, ``bounds_check=``,
+        ``backend=``, ``config=``).  ``sanitize=True`` runs the batch
+        fully instrumented (per-image cold launches, no plan replay);
+        ``backend="host"`` computes every image on the pure-NumPy
+        executor (no launches, no modeled time).
     engine:
         Engine to run on; defaults to the process-wide
         :func:`default_engine` whose plan cache persists across calls.

@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..exec.registry import BatchSpec
 from ..gpusim.launch import LaunchPlan
-from ..sat.common import BatchSpec
 
 __all__ = ["PlanKey", "SatPlan", "LaunchPlanCache"]
 

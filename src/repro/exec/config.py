@@ -1,0 +1,270 @@
+"""Execution-mode configuration: one resolution path for every knob.
+
+Every execution dimension of the package — fused vs. legacy register
+path, kernel sanitizer, global-memory bounds checking, backend selection
+and the default simulated device — resolves through this module.  The
+precedence order, highest first:
+
+1. **explicit keyword** at a call site (``sat(img, fused=False)``);
+2. **per-call config** object (``sat(img, config=ExecutionConfig(...))``);
+3. **context manager / installed default** (``with execution(sanitize=True):``,
+   innermost context first, then :func:`set_default_config`);
+4. **environment**: the per-field ``REPRO_GPUSIM_*`` / ``REPRO_EXEC_*``
+   variables, then the named profile selected by ``REPRO_EXEC_PROFILE``;
+5. built-in defaults (fused on, sanitizer off, bounds checking off,
+   ``gpusim`` backend, ``P100`` device).
+
+``None`` always means "unset — inherit from the next layer down", so a
+config object may pin one field and leave the rest floating.
+
+Environment variables (lowest-precedence layer, kept from the earlier
+env-var-only plumbing):
+
+===================  ==========================  =======================
+field                variable                    default
+===================  ==========================  =======================
+``fused``            ``REPRO_GPUSIM_FUSED``      on
+``sanitize``         ``REPRO_GPUSIM_SANITIZE``   off
+``bounds_check``     ``REPRO_GPUSIM_BOUNDS_CHECK``  off
+``backend``          ``REPRO_EXEC_BACKEND``      ``gpusim``
+``device``           ``REPRO_EXEC_DEVICE``       ``P100``
+(profile)            ``REPRO_EXEC_PROFILE``      — (see :data:`PROFILES`)
+===================  ==========================  =======================
+
+Boolean variables accept ``"0"``, ``"false"``, ``"no"``, ``"off"`` and
+``""`` (case-insensitive, surrounding whitespace ignored) as false;
+anything else is true.
+
+This module deliberately imports nothing from the rest of the package so
+that every layer — including :mod:`repro.gpusim` — can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "ExecutionConfig",
+    "PROFILES",
+    "ENV_VARS",
+    "env_flag",
+    "execution",
+    "get_default_config",
+    "set_default_config",
+    "resolve_execution",
+]
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Read a boolean flag from the environment.
+
+    ``"0"``, ``"false"``, ``"no"``, ``"off"`` and ``""`` (case-insensitive,
+    whitespace-stripped) disable; anything else enables; an unset variable
+    yields ``default``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """One bundle of execution-mode knobs; ``None`` fields are unset.
+
+    Frozen so configs can key caches and be shared freely; derive variants
+    with :meth:`with_fields` (or ``dataclasses.replace``).
+    """
+
+    #: Fused register-bank fast path in the SAT kernels (bit-identical to
+    #: the legacy per-register path in data, counters and timings).
+    fused: Optional[bool] = None
+    #: Full kernel sanitizer (:mod:`repro.gpusim.sanitize`).
+    sanitize: Optional[bool] = None
+    #: Global-memory bounds checking debug mode.
+    bounds_check: Optional[bool] = None
+    #: Execution backend name from the :mod:`repro.exec.registry`
+    #: (``"gpusim"`` — the simulator — or ``"host"``, pure NumPy).
+    backend: Optional[str] = None
+    #: Default simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
+    device: Optional[str] = None
+
+    def with_fields(self, **changes) -> "ExecutionConfig":
+        """A copy with ``changes`` applied (``None`` clears a field)."""
+        return replace(self, **changes)
+
+    def merged_over(self, other: "ExecutionConfig") -> "ExecutionConfig":
+        """Layer ``self`` over ``other``: set fields of ``self`` win."""
+        out = {}
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            out[f.name] = mine if mine is not None else getattr(other, f.name)
+        return ExecutionConfig(**out)
+
+    @property
+    def is_fully_resolved(self) -> bool:
+        return all(getattr(self, f.name) is not None for f in fields(self))
+
+
+#: Named execution profiles, selectable with ``REPRO_EXEC_PROFILE=<name>``
+#: (or ``resolve_execution("<name>")``).  CI runs the test suite once per
+#: profile instead of hand-wiring raw env vars per job.
+PROFILES: Dict[str, ExecutionConfig] = {
+    "default": ExecutionConfig(),
+    "legacy": ExecutionConfig(fused=False),
+    "sanitized": ExecutionConfig(sanitize=True),
+}
+
+#: Per-field environment variables (the lowest-precedence explicit layer).
+ENV_VARS: Dict[str, str] = {
+    "fused": "REPRO_GPUSIM_FUSED",
+    "sanitize": "REPRO_GPUSIM_SANITIZE",
+    "bounds_check": "REPRO_GPUSIM_BOUNDS_CHECK",
+    "backend": "REPRO_EXEC_BACKEND",
+    "device": "REPRO_EXEC_DEVICE",
+}
+
+_BOOL_FIELDS = ("fused", "sanitize", "bounds_check")
+
+#: Built-in defaults — the behaviour with nothing configured anywhere.
+_BUILTIN = ExecutionConfig(
+    fused=True, sanitize=False, bounds_check=False, backend="gpusim",
+    device="P100",
+)
+
+ConfigLike = Union["ExecutionConfig", Mapping, str, None]
+
+#: Innermost-last stack of :func:`execution` context configs plus the
+#: installed process default at the bottom.
+_context_stack: ContextVar[Tuple[ExecutionConfig, ...]] = ContextVar(
+    "repro_exec_context_stack", default=()
+)
+_default_config = ExecutionConfig()
+
+
+def _coerce(config: ConfigLike, fields_: Optional[dict] = None) -> ExecutionConfig:
+    """Accept an ExecutionConfig, a mapping, or a profile name."""
+    if config is None:
+        cfg = ExecutionConfig()
+    elif isinstance(config, ExecutionConfig):
+        cfg = config
+    elif isinstance(config, str):
+        try:
+            cfg = PROFILES[config]
+        except KeyError:
+            raise ValueError(
+                f"unknown execution profile {config!r}; available: "
+                f"{sorted(PROFILES)}"
+            ) from None
+    elif isinstance(config, Mapping):
+        cfg = ExecutionConfig(**config)
+    else:
+        raise TypeError(
+            f"config must be an ExecutionConfig, mapping or profile name, "
+            f"got {type(config).__name__}"
+        )
+    if fields_:
+        cfg = ExecutionConfig(**fields_).merged_over(cfg)
+    return cfg
+
+
+def get_default_config() -> ExecutionConfig:
+    """The installed process-wide default config (possibly all-unset)."""
+    return _default_config
+
+
+def set_default_config(config: ConfigLike = None, **fields_) -> ExecutionConfig:
+    """Install the process-wide default config; returns the previous one."""
+    global _default_config
+    previous = _default_config
+    _default_config = _coerce(config, fields_)
+    return previous
+
+
+@contextmanager
+def execution(config: ConfigLike = None, **fields_) -> Iterator[ExecutionConfig]:
+    """Scope an :class:`ExecutionConfig` over a ``with`` block.
+
+    >>> with execution(sanitize=True):
+    ...     run = sat(img)          # doctest: +SKIP
+
+    Contexts nest; the innermost set field wins.  Accepts the same
+    spellings as ``config=`` call parameters: an :class:`ExecutionConfig`,
+    a mapping, or a profile name from :data:`PROFILES`.
+    """
+    cfg = _coerce(config, fields_)
+    token = _context_stack.set(_context_stack.get() + (cfg,))
+    try:
+        yield cfg
+    finally:
+        _context_stack.reset(token)
+
+
+def _env_value(field: str):
+    raw = os.environ.get(ENV_VARS[field])
+    if raw is None:
+        return None
+    if field in _BOOL_FIELDS:
+        return raw.strip().lower() not in _FALSY
+    return raw.strip() or None
+
+
+def _profile_config() -> Optional[ExecutionConfig]:
+    name = os.environ.get("REPRO_EXEC_PROFILE")
+    if name is None or not name.strip():
+        return None
+    try:
+        return PROFILES[name.strip()]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_EXEC_PROFILE {name.strip()!r}; available: "
+            f"{sorted(PROFILES)}"
+        ) from None
+
+
+def resolve_execution(config: ConfigLike = None, **overrides) -> ExecutionConfig:
+    """Resolve every field to a concrete value through the layer stack.
+
+    ``overrides`` are the explicit call-site keywords (highest precedence;
+    ``None`` means "not given"), ``config`` is the per-call config object
+    (or mapping / profile name).  Below those sit the :func:`execution`
+    contexts (innermost first), the :func:`set_default_config` default,
+    the per-field environment variables, the ``REPRO_EXEC_PROFILE``
+    profile, and finally the built-in defaults — so the returned config
+    has no ``None`` fields.
+    """
+    unknown = set(overrides) - {f.name for f in fields(ExecutionConfig)}
+    if unknown:
+        raise TypeError(f"unknown execution fields: {sorted(unknown)}")
+    layers = [ExecutionConfig(**{k: v for k, v in overrides.items() if v is not None})]
+    if config is not None:
+        layers.append(_coerce(config))
+    layers.extend(reversed(_context_stack.get()))
+    layers.append(_default_config)
+
+    out = {}
+    profile = _sentinel = object()
+    for f in (f.name for f in fields(ExecutionConfig)):
+        value = None
+        for layer in layers:
+            value = getattr(layer, f)
+            if value is not None:
+                break
+        if value is None:
+            value = _env_value(f)
+        if value is None:
+            if profile is _sentinel:
+                profile = _profile_config()
+            if profile is not None:
+                value = getattr(profile, f)
+        if value is None:
+            value = getattr(_BUILTIN, f)
+        out[f] = value
+    return ExecutionConfig(**out)

@@ -61,8 +61,15 @@ class KernelContext:
         block: Union[int, Sequence[int]],
         counters: Optional[CostCounters] = None,
         record: bool = True,
+        bounds_check: Optional[bool] = None,
     ):
         self.device = device
+        #: Whether global-memory accesses validate flat indices.  ``None``
+        #: means "not pinned at launch": each access resolves through
+        #: :mod:`repro.exec`, so directly created contexts honor the same
+        #: config/env precedence as ``launch_kernel`` (which always pins a
+        #: concrete value here).
+        self.bounds_check = bounds_check
         #: Event recording.  ``False`` is the plan-replay fast path of
         #: :func:`~repro.gpusim.launch.replay_kernel`: the kernel's data
         #: movement executes exactly as usual, but counter and

@@ -1,6 +1,10 @@
-"""Runtime switches for the simulator, read from the environment.
+"""Runtime switches for the simulator (compat shim over :mod:`repro.exec`).
 
-Two debug/compat knobs exist:
+Mode resolution lives in :mod:`repro.exec.config` — a single precedence
+chain (explicit kwarg > per-call config > context manager/default > env
+var) behind :class:`~repro.exec.config.ExecutionConfig`.  This module
+keeps the historical names importable and documents the environment
+variables, which remain the lowest-precedence layer:
 
 * ``REPRO_GPUSIM_FUSED`` (default on) — selects the fused register-bank
   execution path in the SAT kernels (tile-granular loads/stores, fused
@@ -19,37 +23,37 @@ Two debug/compat knobs exist:
   tracking and bank-conflict hazards.  ``launch_kernel(...,
   sanitize=True/False)`` overrides per launch.
 
-Values ``"0"``, ``"false"``, ``"no"``, ``""`` (case-insensitive) disable;
-anything else enables.
+Values ``"0"``, ``"false"``, ``"no"``, ``"off"``, ``""`` (case-insensitive,
+surrounding whitespace ignored) disable; anything else enables.
 """
 
 from __future__ import annotations
 
-import os
+from ..exec.config import env_flag, resolve_execution
 
 __all__ = ["env_flag", "fused_enabled", "bounds_check_enabled", "sanitize_enabled"]
 
-_FALSY = {"0", "false", "no", "off", ""}
-
-
-def env_flag(name: str, default: bool) -> bool:
-    """Read a boolean flag from the environment."""
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    return raw.strip().lower() not in _FALSY
-
 
 def fused_enabled() -> bool:
-    """Whether kernels default to the fused register-bank path."""
-    return env_flag("REPRO_GPUSIM_FUSED", True)
+    """Whether kernels default to the fused register-bank path.
+
+    .. deprecated:: use :func:`repro.exec.resolve_execution` — this now
+       reflects the full config resolution, not just the env var.
+    """
+    return resolve_execution().fused
 
 
 def bounds_check_enabled() -> bool:
-    """Whether global-memory accesses validate flat indices (debug mode)."""
-    return env_flag("REPRO_GPUSIM_BOUNDS_CHECK", False)
+    """Whether global-memory accesses validate flat indices (debug mode).
+
+    .. deprecated:: use :func:`repro.exec.resolve_execution`.
+    """
+    return resolve_execution().bounds_check
 
 
 def sanitize_enabled() -> bool:
-    """Whether kernel launches run under the sanitizer by default."""
-    return env_flag("REPRO_GPUSIM_SANITIZE", False)
+    """Whether kernel launches run under the sanitizer by default.
+
+    .. deprecated:: use :func:`repro.exec.resolve_execution`.
+    """
+    return resolve_execution().sanitize

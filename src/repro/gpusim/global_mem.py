@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from .config import bounds_check_enabled
 from .regfile import RegArray, RegBank
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -212,7 +211,12 @@ class GlobalArray:
         an ``IndexError``).
         """
         san = ctx.sanitizer
-        if not bounds_check_enabled() and san is None:
+        bc = ctx.bounds_check
+        if bc is None:
+            from ..exec.config import resolve_execution
+
+            bc = resolve_execution().bounds_check
+        if not bc and san is None:
             return
         if san is not None:
             san.gmem_checked += (

@@ -19,8 +19,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..exec.config import resolve_execution
 from .block import KernelContext
-from .config import bounds_check_enabled, sanitize_enabled
 from .counters import CostCounters
 from .device import DeviceSpec, get_device
 from .cost.model import KernelTiming, kernel_time
@@ -134,6 +134,7 @@ def replay_kernel(
     plan: LaunchPlan,
     grid: Optional[Union[int, Sequence[int]]] = None,
     args: Sequence = (),
+    bounds_check: Optional[bool] = None,
 ) -> LaunchStats:
     """Re-execute a recorded launch on new data, skipping redundant setup.
 
@@ -150,19 +151,23 @@ def replay_kernel(
     The first replay at each grid additionally records an address tape
     (:class:`~repro.gpusim.replay.ReplayTape`): later replays reuse the
     memoised gather/scatter geometry instead of recomputing index
-    arithmetic per op.  Tapes are skipped under ``REPRO_GPUSIM_BOUNDS_CHECK``
-    (the slow path carries the checks), and a kernel that diverges from
-    its taped op sequence is transparently re-run untaped.
+    arithmetic per op.  Tapes are skipped when bounds checking is active
+    (``bounds_check=True``, or ``None`` with the mode resolving on — the
+    slow path carries the checks), and a kernel that diverges from its
+    taped op sequence is transparently re-run untaped.
     """
     if plan.stats is None:
         raise RuntimeError("replay_kernel() requires a recorded plan")
+    if bounds_check is None:
+        bounds_check = resolve_execution().bounds_check
     s = plan.stats
     ctx = KernelContext(
-        s.device, grid if grid is not None else s.grid, s.block, record=False
+        s.device, grid if grid is not None else s.grid, s.block, record=False,
+        bounds_check=bounds_check,
     )
     ctx.kernel_name = s.name
     tape = None
-    if not bounds_check_enabled():
+    if not bounds_check:
         tape = plan.tapes.get(ctx.grid)
         if tape is None:
             if len(plan.tapes) >= LaunchPlan.MAX_TAPES:
@@ -183,7 +188,8 @@ def replay_kernel(
         # Kernels only read their inputs and (re)write outputs/registers,
         # so a partially-played launch is fully overwritten by the rerun.
         tape.kill()
-        ctx = KernelContext(s.device, ctx.grid, s.block, record=False)
+        ctx = KernelContext(s.device, ctx.grid, s.block, record=False,
+                            bounds_check=bounds_check)
         ctx.kernel_name = s.name
         fn(ctx, *args)
     return plan.clone_stats()
@@ -201,20 +207,24 @@ def launch_kernel(
     mlp: int = 8,
     l2_sector_reuse: float = 1.0,
     sanitize: Optional[bool] = None,
+    bounds_check: Optional[bool] = None,
 ) -> LaunchStats:
     """Execute ``fn(ctx, *args)`` over the whole grid and model its time.
 
-    ``sanitize`` enables the kernel sanitizer for this launch (``None``
-    defers to the ``REPRO_GPUSIM_SANITIZE`` environment flag); violations
-    raise :class:`~repro.gpusim.sanitize.SanitizerError` and the summary
-    report is attached to the returned timing.
+    ``sanitize`` enables the kernel sanitizer for this launch and
+    ``bounds_check`` the global-memory bounds checks; ``None`` defers to
+    the :mod:`repro.exec` resolution (context configs, then the
+    ``REPRO_GPUSIM_*`` environment flags).  Sanitizer violations raise
+    :class:`~repro.gpusim.sanitize.SanitizerError` and the summary report
+    is attached to the returned timing.
     """
     dev = get_device(device)
-    ctx = KernelContext(dev, grid, block)
+    if sanitize is None or bounds_check is None:
+        resolved = resolve_execution(sanitize=sanitize, bounds_check=bounds_check)
+        sanitize, bounds_check = resolved.sanitize, resolved.bounds_check
+    ctx = KernelContext(dev, grid, block, bounds_check=bounds_check)
     kname = name or getattr(fn, "__name__", "kernel")
     ctx.kernel_name = kname
-    if sanitize is None:
-        sanitize = sanitize_enabled()
     if sanitize:
         ctx.sanitizer = Sanitizer(ctx)
     fn(ctx, *args)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..dtypes import parse_pair
+from ..exec.config import ExecutionConfig, execution
 from ..gpusim.cost.projection import PassScaling, project_stats
 from ..gpusim.device import get_device
 from ..gpusim.launch import LaunchStats
@@ -90,10 +91,15 @@ class MeasuredPoint:
 class Runner:
     """Caches calibration runs and projects them across a size sweep."""
 
-    def __init__(self, calibration: int = 1024, validate: bool = True, seed: int = 7):
+    def __init__(self, calibration: int = 1024, validate: bool = True, seed: int = 7,
+                 config: Optional[ExecutionConfig] = None):
         self.calibration = calibration
         self.validate = validate
         self.seed = seed
+        #: Optional :class:`~repro.exec.ExecutionConfig` scoped over every
+        #: calibration run (e.g. ``ExecutionConfig(fused=False)`` to sweep
+        #: the legacy path).  ``None`` uses the ambient resolution.
+        self.config = config
         self._cache: Dict[tuple, MeasuredPoint] = {}
 
     # ------------------------------------------------------------------
@@ -105,7 +111,8 @@ class Runner:
         tp = parse_pair(pair)
         dev = get_device(device)
         img = random_matrix(size, tp.input, seed=self.seed)
-        run = ALGORITHMS[algorithm](img, pair=tp, device=dev, **opts)
+        with execution(self.config or ExecutionConfig()):
+            run = ALGORITHMS[algorithm](img, pair=tp, device=dev, **opts)
         if self.validate:
             ref = sat_reference(img, tp)
             if np.issubdtype(ref.dtype, np.floating):

@@ -23,6 +23,8 @@ from ..baselines.cpu import sat_cpu_numpy, sat_cpu_serial
 from ..baselines.npp_sat import sat_npp
 from ..baselines.opencv_sat import sat_opencv
 from ..dtypes import TYPE_PAIRS, TypePair, parse_pair
+from ..exec.config import ExecutionConfig, resolve_execution
+from ..exec.registry import has_kernel_spec
 from .brlt_scanrow import sat_brlt_scanrow
 from .common import SatRun
 from .naive import exclusive_from_inclusive
@@ -89,8 +91,10 @@ def sat(
     image: np.ndarray,
     pair: Optional[str] = None,
     algorithm: str = "brlt_scanrow",
-    device: str = "P100",
+    device: Optional[str] = None,
     exclusive: bool = False,
+    backend: Optional[str] = None,
+    config: Optional[ExecutionConfig] = None,
     **opts,
 ) -> SatRun:
     """Compute the inclusive Summed Area Table of ``image``.
@@ -109,14 +113,26 @@ def sat(
         a baseline.
     device:
         Simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
+        Defaults to the :mod:`repro.exec` resolution (``P100`` unless
+        configured otherwise).
     exclusive:
         Return the exclusive table of Eq. 2 (zero first row/column)
         instead of the inclusive one.  The conversion is the host-side
         shift the paper calls "easy" (Sec. III-A).
+    backend:
+        Execution backend name (``"gpusim"``, the simulator, or
+        ``"host"``, the pure-NumPy executor whose runs have no launches
+        and ``time_us is None``).  Only the paper's spec'd algorithms
+        support non-simulator backends.
+    config:
+        A per-call :class:`~repro.exec.ExecutionConfig` (or mapping /
+        profile name) sitting between explicit keywords and the ambient
+        :func:`~repro.exec.execution` contexts in precedence.
     **opts:
         Algorithm-specific options, e.g. ``scan="ladner_fischer"`` for the
         parallel-warp-scan kernels, or ``brlt_stride=32`` for the
-        bank-conflict ablation.
+        bank-conflict ablation; plus the execution knobs ``fused=``,
+        ``sanitize=`` and ``bounds_check=``.
 
     Returns
     -------
@@ -137,7 +153,19 @@ def sat(
         raise KeyError(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from None
-    run = fn(image, pair=tp, device=device, **opts)
+    if has_kernel_spec(algorithm):
+        # Spec'd algorithms resolve the full execution config themselves
+        # (kwargs > config > contexts > env) and dispatch to the backend.
+        run = fn(image, pair=tp, device=device, backend=backend,
+                 config=config, **opts)
+    else:
+        res = resolve_execution(config, backend=backend, device=device)
+        if res.backend != "gpusim":
+            raise ValueError(
+                f"algorithm {algorithm!r} has no kernel spec and supports "
+                f"only the 'gpusim' backend, not {res.backend!r}"
+            )
+        run = fn(image, pair=tp, device=res.device, **opts)
     if exclusive:
         run.output = exclusive_from_inclusive(run.output)
     return run

@@ -27,24 +27,15 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
-from ..gpusim.config import fused_enabled
-from ..gpusim.device import get_device
+from ..exec.config import resolve_execution
+from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
-from ..gpusim.launch import launch_kernel
 from ..scan.serial import serial_scan_bank, serial_scan_registers
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
-from .common import (
-    BatchPass,
-    BatchSpec,
-    SatRun,
-    block_threads,
-    crop,
-    pad_matrix,
-    regs_per_thread,
-)
+from .common import SatRun, block_threads
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
-__all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow", "batch_spec"]
+__all__ = ["brlt_scanrow_kernel", "brlt_scanrow_pass", "sat_brlt_scanrow", "SPEC"]
 
 
 def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: int = 33,
@@ -59,7 +50,7 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
     deliberately broken variant the sanitizer self-test must catch.
     """
     if fused is None:
-        fused = fused_enabled()
+        fused = resolve_execution().fused
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -119,78 +110,83 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
             ctx.syncthreads()
 
 
+def _tile_geometry(h, w, acc, device):
+    """Band-parallel launch: one block per 32-row band, a warp per 32-wide
+    column strip (Secs. IV-B/IV-C launch-width rule via block_threads)."""
+    wpb = min(block_threads(acc, device) // 32, max(1, w // 32))
+    return (1, h // 32, 1), (wpb * 32, 1, 1)
+
+
+def _extra_args(opts):
+    return (
+        opts.get("brlt_stride", 33),
+        opts.get("fused"),
+        opts.get("brlt_barrier", True),
+    )
+
+
+def _host_pass(a):
+    # Row prefix then transpose — exactly what one kernel pass emits.
+    # dtype pinned: NumPy would otherwise widen 32-bit integer cumsums.
+    return np.cumsum(a, axis=1, dtype=a.dtype).T
+
+
+_PASS = dict(
+    kernel=brlt_scanrow_kernel,
+    geometry=_tile_geometry,
+    extra_args=_extra_args,
+    host=_host_pass,
+    # Band-parallel over grid y: rows-stacked input (more independent
+    # 32-row bands); the transposed store emits cols-stacked output, so
+    # the engine restacks between the passes.
+    grid_axis="y",
+    stack_in="rows",
+    stack_out="cols",
+    transposed=True,
+)
+
+#: The algorithm's complete execution description — geometry, stacking and
+#: host semantics declared once; drivers, the batch engine and every
+#: backend consume this.
+SPEC = register_kernel_spec(
+    KernelSpec(
+        algorithm="brlt_scanrow",
+        pad=(32, 32),
+        passes=(
+            PassSpec(name="BRLT-ScanRow#1", **_PASS),
+            PassSpec(name="BRLT-ScanRow#2", **_PASS),
+        ),
+    )
+)
+
+
 def brlt_scanrow_pass(
     src: GlobalArray, *, device, acc, name: str, brlt_stride: int = 33,
     fused: bool = None, brlt_barrier: bool = True, sanitize: bool = None,
+    bounds_check: bool = None,
 ) -> tuple:
     """Launch one BRLT-ScanRow pass; returns ``(dst, stats)``."""
-    dev = get_device(device)
-    h, w = src.shape
-    threads = block_threads(acc, dev)
-    wpb = min(threads // 32, max(1, w // 32))
-    dst = GlobalArray.empty((w, h), acc.np_dtype, name=f"{name}_out")
-    stats = launch_kernel(
-        brlt_scanrow_kernel,
-        device=dev,
-        grid=(1, h // 32, 1),
-        block=(wpb * 32, 1, 1),
-        regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, brlt_stride, fused, brlt_barrier),
-        name=name,
-        mlp=32,  # 32 independent tile loads in flight per warp
-        sanitize=sanitize,
-    )
-    return dst, stats
+    from ..exec.backends import launch_pass
 
-
-def batch_spec(tp, device, brlt_stride: int = 33, fused: bool = None,
-               brlt_barrier: bool = True, **_opts) -> BatchSpec:
-    """Batch recipe: both passes band-parallel over grid *y*.
-
-    Each pass reads rows-stacked input (images concatenated along rows —
-    more independent 32-row bands) and, because the kernel stores
-    transposed, emits cols-stacked output; the engine restacks between the
-    passes.
-    """
-    p = dict(
-        kernel=brlt_scanrow_kernel,
-        extra_args=(brlt_stride, fused, brlt_barrier),
-        grid_axis="y",
-        stack_in="rows",
-        stack_out="cols",
-        transposed=True,
-    )
-    return BatchSpec(
-        pad=(32, 32),
-        passes=(
-            BatchPass(name="BRLT-ScanRow#1", **p),
-            BatchPass(name="BRLT-ScanRow#2", **p),
-        ),
+    return launch_pass(
+        SPEC.passes[0], src, acc=acc, device=device, name=name,
+        opts={"brlt_stride": brlt_stride, "fused": fused,
+              "brlt_barrier": brlt_barrier},
+        sanitize=sanitize, bounds_check=bounds_check,
     )
 
 
-def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device="P100", brlt_stride: int = 33,
+def sat_brlt_scanrow(image: np.ndarray, pair="32f32f", device=None, brlt_stride: int = 33,
                      fused: bool = None, brlt_barrier: bool = True,
-                     sanitize: bool = None, **_opts) -> SatRun:
+                     sanitize: bool = None, bounds_check: bool = None,
+                     backend: str = None, config=None, **_opts) -> SatRun:
     """Full SAT via two BRLT-ScanRow passes (Sec. IV-B)."""
     tp = parse_pair(pair)
-    dev = get_device(device)
-    orig = image.shape
-    padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
-
-    src = GlobalArray(padded, "input")
-    mid, s1 = brlt_scanrow_pass(
-        src, device=dev, acc=tp.output, name="BRLT-ScanRow#1", brlt_stride=brlt_stride,
-        fused=fused, brlt_barrier=brlt_barrier, sanitize=sanitize,
-    )
-    out, s2 = brlt_scanrow_pass(
-        mid, device=dev, acc=tp.output, name="BRLT-ScanRow#2", brlt_stride=brlt_stride,
-        fused=fused, brlt_barrier=brlt_barrier, sanitize=sanitize,
-    )
-    return SatRun(
-        output=crop(out.to_host(), orig),
-        launches=[s1, s2],
-        algorithm="brlt_scanrow",
-        device=dev.name,
-        pair=tp.name,
+    res = resolve_execution(config, fused=fused, sanitize=sanitize,
+                            bounds_check=bounds_check, backend=backend,
+                            device=device)
+    return get_backend(res.backend).run(
+        SPEC, image, tp=tp, device=res.device,
+        opts={"brlt_stride": brlt_stride, "brlt_barrier": brlt_barrier},
+        fused=res.fused, sanitize=res.sanitize, bounds_check=res.bounds_check,
     )

@@ -19,11 +19,12 @@ holds the pieces that are identical across them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..dtypes import DType
+from ..exec.registry import BatchPass, BatchSpec  # noqa: F401 — compat re-export
 from ..gpusim.device import DeviceSpec
 from ..gpusim.launch import LaunchStats
 
@@ -74,63 +75,31 @@ def crop(matrix: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
     return matrix[: shape[0], : shape[1]]
 
 
-@dataclass(frozen=True)
-class BatchPass:
-    """How one kernel pass of a SAT algorithm participates in batching.
-
-    All of the paper's kernels parallelise over independent blocks along
-    exactly one grid axis (row bands or column stripes) while carries run
-    along the *other* matrix axis.  A batch of same-bucket images can
-    therefore be concatenated along the grid-parallel matrix axis and run
-    as a single launch with that grid axis scaled by the batch depth —
-    block-for-block the same work as the solo launches, so the per-image
-    data is bit-identical (see docs/engine.md).
-    """
-
-    #: Kernel body, invoked as ``kernel(ctx, src, dst, *extra_args)``.
-    kernel: Callable
-    #: Display name (the recorded cold stats carry the canonical name).
-    name: str
-    #: Trailing kernel arguments after ``(src, dst)``.
-    extra_args: Tuple
-    #: Grid axis ("x" or "y") scaled by the batch depth on replay.
-    grid_axis: str
-    #: Matrix axis the *input* images are stacked along ("rows" or "cols").
-    stack_in: str
-    #: Matrix axis the *output* images come out stacked along.
-    stack_out: str
-    #: Whether the per-image output shape is the input shape transposed.
-    transposed: bool
-
-
-@dataclass(frozen=True)
-class BatchSpec:
-    """Batch-execution recipe of one SAT algorithm (all its passes)."""
-
-    #: (row, col) pad multiples — also the shape-bucket granularity.
-    pad: Tuple[int, int]
-    passes: Tuple[BatchPass, ...]
-
-
 @dataclass
 class SatRun:
-    """The result of one SAT computation on the simulator."""
+    """The result of one SAT computation."""
 
     output: np.ndarray
     launches: List[LaunchStats] = field(default_factory=list)
     algorithm: str = ""
     device: str = ""
     pair: str = ""
+    #: Executor that produced this run.  The ``host`` backend has no cost
+    #: model, so its runs report ``time_s``/``time_us`` as ``None``.
+    backend: str = "gpusim"
 
     @property
-    def time_s(self) -> float:
+    def time_s(self) -> Optional[float]:
         """Total modeled GPU time across all kernels (the paper sums the
-        row- and column-pass kernels, Sec. VI-C)."""
+        row- and column-pass kernels, Sec. VI-C); ``None`` on unmodeled
+        backends (``host``)."""
+        if self.backend == "host":
+            return None
         return sum(s.time_s for s in self.launches)
 
     @property
-    def time_us(self) -> float:
-        return self.time_s * 1e6
+    def time_us(self) -> Optional[float]:
+        return None if self.time_s is None else self.time_s * 1e6
 
     def kernel_times_us(self) -> List[Tuple[str, float]]:
         """Per-kernel breakdown, for the Fig. 8 reproduction."""

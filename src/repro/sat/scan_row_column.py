@@ -26,21 +26,12 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
-from ..gpusim.config import fused_enabled
-from ..gpusim.device import get_device
+from ..exec.config import resolve_execution
+from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
-from ..gpusim.launch import launch_kernel
 from ..scan import WARP_SCANS
 from ..scan.serial import serial_scan_bank, serial_scan_registers
-from .common import (
-    BatchPass,
-    BatchSpec,
-    SatRun,
-    block_threads,
-    crop,
-    pad_matrix,
-    regs_per_thread,
-)
+from .common import SatRun, block_threads
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
 __all__ = [
@@ -49,7 +40,7 @@ __all__ = [
     "scanrow_pass",
     "scancolumn_pass",
     "sat_scan_row_column",
-    "batch_spec",
+    "SPEC",
 ]
 
 
@@ -57,7 +48,7 @@ def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "ko
                    fused: bool = None):
     """Row-prefix kernel: one warp per row, 32-element chunks with carry."""
     if fused is None:
-        fused = fused_enabled()
+        fused = resolve_execution().fused
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
@@ -102,7 +93,7 @@ def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "ko
 def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = None):
     """Column-prefix kernel: 32-column stripes, serial scan per thread."""
     if fused is None:
-        fused = fused_enabled()
+        fused = resolve_execution().fused
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -152,74 +143,44 @@ def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = Non
             ctx.syncthreads()
 
 
-def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
-                 scan: str = "kogge_stone", fused: bool = None,
-                 sanitize: bool = None) -> tuple:
-    """Launch the ScanRow kernel; returns ``(dst, stats)``."""
-    dev = get_device(device)
-    h, w = src.shape
-    threads = block_threads(acc, dev)
+def _scanrow_geometry(h, w, acc, device):
     # One warp per row; h is padded to a multiple of 32, so wpb divides h.
-    wpb = min(threads // 32, h)
-    dst = GlobalArray.empty((h, w), acc.np_dtype, name=f"{name}_out")
-    stats = launch_kernel(
-        scanrow_kernel,
-        device=dev,
-        grid=(1, (h + wpb - 1) // wpb, 1),
-        block=(wpb * 32, 1, 1),
-        regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, scan, fused),
-        name=name,
-        mlp=32,  # 32 independent tile loads in flight per warp
-        sanitize=sanitize,
-    )
-    return dst, stats
+    wpb = min(block_threads(acc, device) // 32, h)
+    return (1, (h + wpb - 1) // wpb, 1), (wpb * 32, 1, 1)
 
 
-def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
-                    fused: bool = None, sanitize: bool = None) -> tuple:
-    """Launch the ScanColumn kernel; returns ``(dst, stats)``."""
-    dev = get_device(device)
-    h, w = src.shape
-    threads = block_threads(acc, dev)
-    wpb = min(threads // 32, max(1, h // 32))
-    dst = GlobalArray.empty((h, w), acc.np_dtype, name=f"{name}_out")
-    stats = launch_kernel(
-        scancolumn_kernel,
-        device=dev,
-        grid=(w // 32, 1, 1),
-        block=(32, wpb, 1),
-        regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, fused),
-        name=name,
-        mlp=32,  # 32 independent tile loads in flight per warp
-        sanitize=sanitize,
-    )
-    return dst, stats
+def _scancolumn_geometry(h, w, acc, device):
+    # One block per 32-column stripe, warps tiling 32-row bands down it.
+    wpb = min(block_threads(acc, device) // 32, max(1, h // 32))
+    return (w // 32, 1, 1), (32, wpb, 1)
 
 
-def batch_spec(tp, device, scan: str = "kogge_stone", fused: bool = None,
-               **_opts) -> BatchSpec:
-    """Batch recipe: ScanRow is row-parallel over grid *y* (rows-stacked in
-    and out, natural orientation); ScanColumn is stripe-parallel over grid
-    *x*, so its input must be cols-stacked — the engine restacks between
-    the passes."""
-    return BatchSpec(
+SPEC = register_kernel_spec(
+    KernelSpec(
+        algorithm="scan_row_column",
         pad=(32, 32),
         passes=(
-            BatchPass(
-                kernel=scanrow_kernel,
+            # ScanRow is row-parallel over grid y (rows-stacked in and
+            # out, natural orientation); ScanColumn is stripe-parallel
+            # over grid x, so its input must be cols-stacked — the engine
+            # restacks between the passes.
+            PassSpec(
                 name="ScanRow",
-                extra_args=(scan, fused),
+                kernel=scanrow_kernel,
+                geometry=_scanrow_geometry,
+                extra_args=lambda o: (o.get("scan", "kogge_stone"), o.get("fused")),
+                host=lambda a: np.cumsum(a, axis=1, dtype=a.dtype),
                 grid_axis="y",
                 stack_in="rows",
                 stack_out="rows",
                 transposed=False,
             ),
-            BatchPass(
-                kernel=scancolumn_kernel,
+            PassSpec(
                 name="ScanColumn",
-                extra_args=(fused,),
+                kernel=scancolumn_kernel,
+                geometry=_scancolumn_geometry,
+                extra_args=lambda o: (o.get("fused"),),
+                host=lambda a: np.cumsum(a, axis=0, dtype=a.dtype),
                 grid_axis="x",
                 stack_in="cols",
                 stack_out="cols",
@@ -227,26 +188,45 @@ def batch_spec(tp, device, scan: str = "kogge_stone", fused: bool = None,
             ),
         ),
     )
+)
 
 
-def sat_scan_row_column(image: np.ndarray, pair="32f32f", device="P100",
+def scanrow_pass(src: GlobalArray, *, device, acc, name: str = "ScanRow",
+                 scan: str = "kogge_stone", fused: bool = None,
+                 sanitize: bool = None, bounds_check: bool = None) -> tuple:
+    """Launch the ScanRow kernel; returns ``(dst, stats)``."""
+    from ..exec.backends import launch_pass
+
+    return launch_pass(
+        SPEC.passes[0], src, acc=acc, device=device, name=name,
+        opts={"scan": scan, "fused": fused},
+        sanitize=sanitize, bounds_check=bounds_check,
+    )
+
+
+def scancolumn_pass(src: GlobalArray, *, device, acc, name: str = "ScanColumn",
+                    fused: bool = None, sanitize: bool = None,
+                    bounds_check: bool = None) -> tuple:
+    """Launch the ScanColumn kernel; returns ``(dst, stats)``."""
+    from ..exec.backends import launch_pass
+
+    return launch_pass(
+        SPEC.passes[1], src, acc=acc, device=device, name=name,
+        opts={"fused": fused},
+        sanitize=sanitize, bounds_check=bounds_check,
+    )
+
+
+def sat_scan_row_column(image: np.ndarray, pair="32f32f", device=None,
                         scan: str = "kogge_stone", fused: bool = None,
-                        sanitize: bool = None, **_opts) -> SatRun:
+                        sanitize: bool = None, bounds_check: bool = None,
+                        backend: str = None, config=None, **_opts) -> SatRun:
     """Full SAT via ScanRow then ScanColumn (Sec. IV-C, Fig. 5)."""
     tp = parse_pair(pair)
-    dev = get_device(device)
-    orig = image.shape
-    padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
-
-    src = GlobalArray(padded, "input")
-    mid, s1 = scanrow_pass(src, device=dev, acc=tp.output, scan=scan, fused=fused,
-                           sanitize=sanitize)
-    out, s2 = scancolumn_pass(mid, device=dev, acc=tp.output, fused=fused,
-                              sanitize=sanitize)
-    return SatRun(
-        output=crop(out.to_host(), orig),
-        launches=[s1, s2],
-        algorithm="scan_row_column",
-        device=dev.name,
-        pair=tp.name,
+    res = resolve_execution(config, fused=fused, sanitize=sanitize,
+                            bounds_check=bounds_check, backend=backend,
+                            device=device)
+    return get_backend(res.backend).run(
+        SPEC, image, tp=tp, device=res.device, opts={"scan": scan},
+        fused=res.fused, sanitize=res.sanitize, bounds_check=res.bounds_check,
     )

@@ -30,32 +30,24 @@ from typing import List
 import numpy as np
 
 from ..dtypes import parse_pair
-from ..gpusim.config import fused_enabled
-from ..gpusim.device import get_device
+from ..exec.config import resolve_execution
+from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
-from ..gpusim.launch import launch_kernel
 from ..gpusim.regfile import RegBank
 from ..scan import WARP_SCANS, WARP_SCANS_BANK
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
-from .common import (
-    BatchPass,
-    BatchSpec,
-    SatRun,
-    block_threads,
-    crop,
-    pad_matrix,
-    regs_per_thread,
-)
+from .brlt_scanrow import _tile_geometry
+from .common import SatRun
 from .partial_sum import alloc_partial_sum_smem, block_prefix_offsets
 
-__all__ = ["scanrow_brlt_kernel", "scanrow_brlt_pass", "sat_scanrow_brlt", "batch_spec"]
+__all__ = ["scanrow_brlt_kernel", "scanrow_brlt_pass", "sat_scanrow_brlt", "SPEC"]
 
 
 def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "kogge_stone",
                         fused: bool = None):
     """The ScanRow-BRLT kernel body (one pass over ``src``)."""
     if fused is None:
-        fused = fused_enabled()
+        fused = resolve_execution().fused
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
@@ -124,68 +116,64 @@ def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str 
             ctx.syncthreads()
 
 
-def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
-                      scan: str = "kogge_stone", fused: bool = None,
-                      sanitize: bool = None) -> tuple:
-    """Launch one ScanRow-BRLT pass; returns ``(dst, stats)``."""
-    dev = get_device(device)
-    h, w = src.shape
-    threads = block_threads(acc, dev)
-    wpb = min(threads // 32, max(1, w // 32))
-    dst = GlobalArray.empty((w, h), acc.np_dtype, name=f"{name}_out")
-    stats = launch_kernel(
-        scanrow_brlt_kernel,
-        device=dev,
-        grid=(1, h // 32, 1),
-        block=(wpb * 32, 1, 1),
-        regs_per_thread=regs_per_thread(acc),
-        args=(src, dst, scan, fused),
-        name=name,
-        mlp=32,  # 32 independent tile loads in flight per warp
-        sanitize=sanitize,
-    )
-    return dst, stats
+def _extra_args(opts):
+    return (opts.get("scan", "kogge_stone"), opts.get("fused"))
 
 
-def batch_spec(tp, device, scan: str = "kogge_stone", fused: bool = None,
-               **_opts) -> BatchSpec:
-    """Batch recipe: same stacking as BRLT-ScanRow (band-parallel, stores
-    transposed)."""
-    p = dict(
-        kernel=scanrow_brlt_kernel,
-        extra_args=(scan, fused),
-        grid_axis="y",
-        stack_in="rows",
-        stack_out="cols",
-        transposed=True,
-    )
-    return BatchSpec(
+def _host_pass(a):
+    # Row prefix then transpose (the in-register BRLT makes the store
+    # transposed); dtype pinned against NumPy's integer-cumsum widening.
+    return np.cumsum(a, axis=1, dtype=a.dtype).T
+
+
+_PASS = dict(
+    kernel=scanrow_brlt_kernel,
+    geometry=_tile_geometry,
+    extra_args=_extra_args,
+    host=_host_pass,
+    # Same stacking as BRLT-ScanRow: band-parallel over grid y, stores
+    # transposed so rows-stacked input emits cols-stacked output.
+    grid_axis="y",
+    stack_in="rows",
+    stack_out="cols",
+    transposed=True,
+)
+
+SPEC = register_kernel_spec(
+    KernelSpec(
+        algorithm="scanrow_brlt",
         pad=(32, 32),
         passes=(
-            BatchPass(name="ScanRow-BRLT#1", **p),
-            BatchPass(name="ScanRow-BRLT#2", **p),
+            PassSpec(name="ScanRow-BRLT#1", **_PASS),
+            PassSpec(name="ScanRow-BRLT#2", **_PASS),
         ),
+    )
+)
+
+
+def scanrow_brlt_pass(src: GlobalArray, *, device, acc, name: str,
+                      scan: str = "kogge_stone", fused: bool = None,
+                      sanitize: bool = None, bounds_check: bool = None) -> tuple:
+    """Launch one ScanRow-BRLT pass; returns ``(dst, stats)``."""
+    from ..exec.backends import launch_pass
+
+    return launch_pass(
+        SPEC.passes[0], src, acc=acc, device=device, name=name,
+        opts={"scan": scan, "fused": fused},
+        sanitize=sanitize, bounds_check=bounds_check,
     )
 
 
-def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device="P100",
+def sat_scanrow_brlt(image: np.ndarray, pair="32f32f", device=None,
                      scan: str = "kogge_stone", fused: bool = None,
-                     sanitize: bool = None, **_opts) -> SatRun:
+                     sanitize: bool = None, bounds_check: bool = None,
+                     backend: str = None, config=None, **_opts) -> SatRun:
     """Full SAT via two ScanRow-BRLT passes (Sec. IV-A)."""
     tp = parse_pair(pair)
-    dev = get_device(device)
-    orig = image.shape
-    padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), 32, 32)
-
-    src = GlobalArray(padded, "input")
-    mid, s1 = scanrow_brlt_pass(src, device=dev, acc=tp.output, name="ScanRow-BRLT#1",
-                                scan=scan, fused=fused, sanitize=sanitize)
-    out, s2 = scanrow_brlt_pass(mid, device=dev, acc=tp.output, name="ScanRow-BRLT#2",
-                                scan=scan, fused=fused, sanitize=sanitize)
-    return SatRun(
-        output=crop(out.to_host(), orig),
-        launches=[s1, s2],
-        algorithm="scanrow_brlt",
-        device=dev.name,
-        pair=tp.name,
+    res = resolve_execution(config, fused=fused, sanitize=sanitize,
+                            bounds_check=bounds_check, backend=backend,
+                            device=device)
+    return get_backend(res.backend).run(
+        SPEC, image, tp=tp, device=res.device, opts={"scan": scan},
+        fused=res.fused, sanitize=res.sanitize, bounds_check=res.bounds_check,
     )

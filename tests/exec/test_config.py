@@ -1,0 +1,220 @@
+"""ExecutionConfig: env parsing, the resolution precedence chain, and
+bit-identical behaviour across equivalent mode spellings."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import sat
+from repro.exec.config import (
+    ENV_VARS,
+    PROFILES,
+    ExecutionConfig,
+    env_flag,
+    execution,
+    get_default_config,
+    resolve_execution,
+    set_default_config,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Every execution env var unset unless a test sets it."""
+    for var in ENV_VARS.values():
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.delenv("REPRO_EXEC_PROFILE", raising=False)
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", [
+        "0", "false", "False", "FALSE", "no", "No", "off", "Off", "OFF",
+        "", "  ", " 0 ", "\tfalse\n", " OFF ",
+    ])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", True) is False
+
+    @pytest.mark.parametrize("raw", [
+        "1", "true", "TRUE", "yes", "on", "ON", " 1 ", "2", "anything",
+    ])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", False) is True
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_unset_returns_default(self, monkeypatch, default):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG", default) is default
+
+
+class TestConfigObject:
+    def test_frozen(self):
+        cfg = ExecutionConfig(fused=True)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.fused = False
+
+    def test_with_fields(self):
+        cfg = ExecutionConfig(fused=True).with_fields(sanitize=True)
+        assert cfg.fused is True and cfg.sanitize is True
+        assert cfg.bounds_check is None
+
+    def test_merged_over(self):
+        top = ExecutionConfig(fused=False)
+        bottom = ExecutionConfig(fused=True, sanitize=True)
+        merged = top.merged_over(bottom)
+        assert merged.fused is False and merged.sanitize is True
+
+    def test_is_fully_resolved(self):
+        assert not ExecutionConfig().is_fully_resolved
+        assert resolve_execution().is_fully_resolved
+
+    def test_hashable_cache_key(self):
+        assert ExecutionConfig(fused=True) == ExecutionConfig(fused=True)
+        assert hash(ExecutionConfig()) == hash(ExecutionConfig())
+
+
+class TestPrecedence:
+    def test_builtin_defaults(self):
+        res = resolve_execution()
+        assert res == ExecutionConfig(
+            fused=True, sanitize=False, bounds_check=False,
+            backend="gpusim", device="P100",
+        )
+
+    def test_env_beats_builtin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_FUSED", "off")
+        monkeypatch.setenv("REPRO_EXEC_DEVICE", "V100")
+        res = resolve_execution()
+        assert res.fused is False and res.device == "V100"
+
+    def test_profile_below_specific_env_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_PROFILE", "sanitized")
+        assert resolve_execution().sanitize is True
+        # A specific env var wins over the profile's field.
+        monkeypatch.setenv("REPRO_GPUSIM_SANITIZE", "0")
+        assert resolve_execution().sanitize is False
+
+    def test_unknown_profile_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_PROFILE", "nope")
+        with pytest.raises(ValueError, match="nope"):
+            resolve_execution()
+
+    def test_context_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_FUSED", "0")
+        with execution(fused=True):
+            assert resolve_execution().fused is True
+        assert resolve_execution().fused is False
+
+    def test_contexts_nest_innermost_first(self):
+        with execution(fused=False, sanitize=True):
+            with execution(fused=True):
+                res = resolve_execution()
+                assert res.fused is True
+                assert res.sanitize is True  # inherited from the outer ctx
+            assert resolve_execution().fused is False
+
+    def test_default_config_below_contexts(self):
+        prev = set_default_config(sanitize=True)
+        try:
+            assert resolve_execution().sanitize is True
+            with execution(sanitize=False):
+                assert resolve_execution().sanitize is False
+        finally:
+            set_default_config(prev)
+        assert resolve_execution().sanitize is False
+
+    def test_config_object_beats_context(self):
+        with execution(fused=False):
+            res = resolve_execution(ExecutionConfig(fused=True))
+            assert res.fused is True
+
+    def test_kwarg_beats_config_object(self):
+        res = resolve_execution(ExecutionConfig(fused=True), fused=False)
+        assert res.fused is False
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_SANITIZE", "1")
+        assert resolve_execution(sanitize=False).sanitize is False
+
+    def test_none_kwarg_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_FUSED", "0")
+        assert resolve_execution(fused=None).fused is False
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError, match="unknown execution fields"):
+            resolve_execution(fuzed=True)
+
+    def test_config_as_mapping_and_profile_name(self):
+        assert resolve_execution({"fused": False}).fused is False
+        assert resolve_execution("legacy").fused is False
+        assert resolve_execution("sanitized").sanitize is True
+        with pytest.raises(ValueError, match="unknown execution profile"):
+            resolve_execution("bogus")
+
+    def test_profiles_registry(self):
+        assert {"default", "legacy", "sanitized"} <= set(PROFILES)
+        assert PROFILES["legacy"].fused is False
+        assert PROFILES["sanitized"].sanitize is True
+
+    def test_get_default_config_roundtrip(self):
+        prev = set_default_config(ExecutionConfig(device="M40"))
+        try:
+            assert get_default_config().device == "M40"
+        finally:
+            set_default_config(prev)
+
+
+def _counters(run):
+    return [s.counters.as_dict() for s in run.launches]
+
+
+def _timings(run):
+    return [dataclasses.asdict(s.timing) for s in run.launches]
+
+
+class TestEquivalentSpellingsBitIdentical:
+    """The same resolved mode must produce the same bits no matter how it
+    was spelled: kwarg, config object, context manager, or env var."""
+
+    @pytest.fixture
+    def img(self):
+        return np.random.default_rng(11).integers(
+            0, 256, (64, 96)).astype(np.uint8)
+
+    def test_fused_off_spellings(self, monkeypatch, img):
+        via_kwarg = sat(img, pair="8u32s", fused=False)
+        via_config = sat(img, pair="8u32s", config=ExecutionConfig(fused=False))
+        with execution(fused=False):
+            via_ctx = sat(img, pair="8u32s")
+        monkeypatch.setenv("REPRO_GPUSIM_FUSED", "0")
+        via_env = sat(img, pair="8u32s")
+        for other in (via_config, via_ctx, via_env):
+            np.testing.assert_array_equal(other.output, via_kwarg.output)
+            assert _counters(other) == _counters(via_kwarg)
+            assert _timings(other) == _timings(via_kwarg)
+
+    def test_fused_paths_bit_identical(self, img):
+        fast = sat(img, pair="8u32s", fused=True)
+        slow = sat(img, pair="8u32s", fused=False)
+        np.testing.assert_array_equal(fast.output, slow.output)
+        assert _counters(fast) == _counters(slow)
+        assert _timings(fast) == _timings(slow)
+
+    def test_sanitize_spellings(self, monkeypatch, img):
+        via_kwarg = sat(img, pair="8u32s", sanitize=True)
+        monkeypatch.setenv("REPRO_GPUSIM_SANITIZE", "on")
+        via_env = sat(img, pair="8u32s")
+        assert all(s.timing.sanitizer is not None for s in via_kwarg.launches)
+        assert all(s.timing.sanitizer is not None for s in via_env.launches)
+        assert _counters(via_env) == _counters(via_kwarg)
+
+    def test_device_resolves_through_config(self):
+        img = np.ones((32, 32), np.uint8)
+        with execution(device="V100"):
+            run = sat(img, pair="8u32s")
+        assert run.device == "V100"
+        # Explicit kwarg still beats the context.
+        run = sat(img, pair="8u32s", device="M40")
+        assert run.device == "M40"

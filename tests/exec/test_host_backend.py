@@ -1,0 +1,83 @@
+"""The ``host`` backend: pure-NumPy execution of the same KernelSpecs.
+
+Runs must agree with the simulator (bit-exactly for integer accumulators)
+while reporting no launches and no modeled time.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sat, sat_batch
+from repro.dtypes import TYPE_PAIRS
+from repro.engine import Engine
+from repro.exec.config import execution
+from repro.sat.api import PAPER_ALGORITHMS
+from repro.sat.naive import sat_reference
+
+from ..helpers import assert_sat_equal, make_image
+
+ALGOS = sorted(PAPER_ALGORITHMS)
+
+
+class TestHostRuns:
+    def test_no_launches_no_time(self):
+        img = make_image((48, 80), "8u32s", seed=1)
+        run = sat(img, pair="8u32s", backend="host")
+        assert run.backend == "host"
+        assert run.launches == []
+        assert run.time_s is None and run.time_us is None
+        assert run.kernel_times_us() == []
+        np.testing.assert_array_equal(run.output, sat_reference(img, "8u32s"))
+
+    @pytest.mark.parametrize("pair", sorted(TYPE_PAIRS))
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_matches_gpusim_all_pairs(self, algo, pair):
+        img = make_image((45, 70), pair, seed=7)
+        g = sat(img, pair=pair, algorithm=algo)
+        h = sat(img, pair=pair, algorithm=algo, backend="host")
+        assert g.backend == "gpusim" and h.backend == "host"
+        assert h.output.dtype == g.output.dtype
+        assert_sat_equal(h.output, g.output, pair)
+
+    def test_integer_pairs_bit_exact(self):
+        img = make_image((33, 65), "32s32s", seed=3)
+        for algo in ALGOS:
+            g = sat(img, pair="32s32s", algorithm=algo)
+            h = sat(img, pair="32s32s", algorithm=algo, backend="host")
+            np.testing.assert_array_equal(h.output, g.output)
+
+    def test_backend_via_context_and_env(self, monkeypatch):
+        img = make_image((16, 16), "8u32s", seed=5)
+        with execution(backend="host"):
+            assert sat(img, pair="8u32s").backend == "host"
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "host")
+        assert sat(img, pair="8u32s").backend == "host"
+        # Explicit kwarg beats the env var.
+        assert sat(img, pair="8u32s", backend="gpusim").backend == "gpusim"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            sat(make_image((8, 8), "8u32s"), pair="8u32s", backend="cuda")
+
+    def test_baselines_reject_host_backend(self):
+        img = make_image((32, 32), "8u32s", seed=2)
+        with pytest.raises(ValueError, match="only the 'gpusim' backend"):
+            sat(img, pair="8u32s", algorithm="opencv", backend="host")
+
+
+class TestHostBatch:
+    def test_sat_batch_host(self):
+        imgs = [make_image((40, 56), "8u32s", seed=i) for i in range(4)]
+        run = sat_batch(imgs, pair="8u32s", backend="host", engine=Engine())
+        assert run.n_images == 4
+        for im, r in zip(imgs, run.runs):
+            assert r.backend == "host" and r.launches == []
+            np.testing.assert_array_equal(r.output, sat_reference(im, "8u32s"))
+        assert run.modeled_batched_s == 0.0
+        assert run.images_per_s == 0.0  # no modeled time on host
+
+    def test_batch_baseline_rejects_host(self):
+        imgs = [make_image((16, 16), "8u32s")]
+        with pytest.raises(ValueError, match="only the 'gpusim' backend"):
+            sat_batch(imgs, pair="8u32s", algorithm="cpu_numpy",
+                      backend="host", engine=Engine())

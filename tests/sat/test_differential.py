@@ -58,6 +58,27 @@ def test_algorithms_agree_bit_exactly_on_ints(shape):
         np.testing.assert_array_equal(out, outs[0])
 
 
+@pytest.mark.parametrize("algo", ALGOS)
+@given(shape=shapes, pair=st.sampled_from(PAIRS))
+@example(shape=(1, 1), pair="8u32s")
+@example(shape=(33, 31), pair="32s32s")
+@example(shape=(31, 65), pair="64f64f")
+def test_host_backend_matches_gpusim(algo, shape, pair):
+    """The pure-NumPy ``host`` backend executes the same KernelSpec as
+    the simulator and must agree on every shape and dtype pair
+    (bit-exactly for integer accumulators)."""
+    img = make_image(shape, pair, seed=shape[0] * 31 + shape[1])
+    g = sat(img, pair=pair, algorithm=algo)
+    h = sat(img, pair=pair, algorithm=algo, backend="host")
+    assert h.backend == "host"
+    assert h.launches == [] and h.time_us is None
+    assert h.output.dtype == g.output.dtype
+    if pair in ("8u32s", "32s32s"):
+        np.testing.assert_array_equal(h.output, g.output)
+    else:
+        assert_sat_equal(h.output, g.output, pair)
+
+
 @given(shape=shapes, exclusive=st.booleans())
 def test_public_api_differential(shape, exclusive):
     """The ``sat()`` entry point (dispatch, padding, exclusive shift)

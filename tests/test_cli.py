@@ -43,6 +43,50 @@ def test_experiment_registry_complete():
             "ablation-scan", "ablation-stride"} <= set(EXPERIMENTS)
 
 
+def test_sat_host_backend(capsys):
+    assert main(["sat", "--size", "64", "--backend", "host"]) == 0
+    out = capsys.readouterr().out
+    assert "no modeled time on the 'host' backend" in out
+    assert "checksum" in out
+
+
+def test_sat_backend_agrees_across_backends(capsys):
+    main(["sat", "--size", "64", "--seed", "3"])
+    gpu = capsys.readouterr().out.splitlines()[-1]
+    main(["sat", "--size", "64", "--seed", "3", "--backend", "host"])
+    host = capsys.readouterr().out.splitlines()[-1]
+    assert gpu == host  # same checksum line
+
+
+def test_sat_mode_flags(capsys):
+    assert main(["sat", "--size", "64", "--no-fused", "--sanitize",
+                 "--bounds-check"]) == 0
+    out = capsys.readouterr().out
+    assert "total" in out and "checksum" in out
+
+
+def test_sat_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["sat", "--backend", "cuda"])
+
+
+def test_batch_host_backend(capsys):
+    assert main(["batch", "--n-images", "2", "--size", "64",
+                 "--backend", "host"]) == 0
+    out = capsys.readouterr().out
+    assert "checksum" in out
+
+
+def test_bench_alias(capsys):
+    assert main(["bench", "--size", "256", "--pair", "32f32f"]) == 0
+    assert "brlt_scanrow" in capsys.readouterr().out
+
+
+def test_compare_rejects_host_backend(capsys):
+    assert main(["compare", "--size", "256", "--backend", "host"]) == 2
+    assert "modeled timings" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
