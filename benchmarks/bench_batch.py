@@ -100,25 +100,28 @@ def run_full(n_images: int, size: int, algorithm: str, pair: str,
     warm = eng.run_batch(imgs, pair=pair, algorithm=algorithm, device=device)
     _check_identical(warm.runs, solo)
 
+    # One metric formatter for bench entries, exporters and the regression
+    # checker: BatchRun.to_dict() (key names are part of the history format).
+    metrics = run.to_dict()
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "test": "bench_batch",
-        "n_images": n_images,
+        "n_images": metrics["n_images"],
         "size": [size, size],
-        "pair": pair,
-        "algorithm": algorithm,
-        "device": device,
+        "pair": metrics["pair"],
+        "algorithm": metrics["algorithm"],
+        "device": metrics["device"],
         "wall_sequential_s": round(wall_seq, 4),
-        "wall_batch_cold_s": round(run.wall_s, 4),
-        "wall_batch_warm_s": round(warm.wall_s, 4),
+        "wall_batch_cold_s": round(metrics["wall_s"], 4),
+        "wall_batch_warm_s": round(warm.to_dict()["wall_s"], 4),
         "wall_speedup_cold": round(wall_seq / run.wall_s, 3),
         "wall_speedup_warm": round(wall_seq / warm.wall_s, 3),
-        "modeled_sequential_s": run.modeled_sequential_s,
-        "modeled_batched_s": run.modeled_batched_s,
-        "modeled_speedup": round(run.speedup_vs_sequential, 3),
-        "images_per_s_modeled": round(run.images_per_s, 1),
-        "effective_gbps_modeled": round(run.effective_gbps, 1),
-        "plan_hit_rate": round(run.plan_hit_rate, 4),
+        "modeled_sequential_s": metrics["modeled_sequential_s"],
+        "modeled_batched_s": metrics["modeled_batched_s"],
+        "modeled_speedup": round(metrics["speedup_vs_sequential"], 3),
+        "images_per_s_modeled": round(metrics["images_per_s_modeled"], 1),
+        "effective_gbps_modeled": round(metrics["effective_gbps"], 1),
+        "plan_hit_rate": round(metrics["plan_hit_rate"], 4),
         "outputs_identical": True,
     }
     _append_bench_entry(entry)

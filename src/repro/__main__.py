@@ -8,6 +8,8 @@ Commands
 ``microbench``  print the Sec. V-A latency/throughput tables
 ``experiment``  regenerate one paper table/figure by name
 ``devices``     list the simulated device registry (Table I)
+``trace``       trace one SAT call and export the span log
+``profile``     per-pass modeled-time breakdown (Fig. 8 shape) + trace.json
 
 The ``sat``, ``batch`` and ``compare``/``bench`` commands share the
 execution-mode flags ``--backend``, ``--no-fused``, ``--sanitize`` and
@@ -114,6 +116,36 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("name", choices=sorted(EXPERIMENTS))
 
     sub.add_parser("devices", help="list simulated devices (Table I)")
+
+    t = sub.add_parser("trace", help="trace one SAT call and export spans")
+    t.add_argument("--size", type=int, default=512, help="square matrix side")
+    t.add_argument("--pair", default="8u32s")
+    t.add_argument("--algorithm", default="brlt_scanrow",
+                   choices=sorted(ALGORITHMS))
+    t.add_argument("--device", default="P100")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", default="trace.json",
+                   help="output path: .jsonl writes the raw span/event log, "
+                        "anything else a Chrome/Perfetto trace (default "
+                        "trace.json)")
+    t.add_argument("--no-host", dest="include_host", action="store_false",
+                   help="omit the host wall-clock track from the Chrome "
+                        "trace (deterministic output)")
+    _add_exec_flags(t)
+
+    f = sub.add_parser("profile",
+                       help="per-pass modeled breakdown + Chrome trace")
+    f.add_argument("--size", type=int, default=512, help="square matrix side")
+    f.add_argument("--pair", default="8u32s")
+    f.add_argument("--algorithm", action="append", default=None,
+                   choices=sorted(ALGORITHMS), dest="algorithms",
+                   help="algorithm to profile (repeatable; default: the "
+                        "paper's three kernels)")
+    f.add_argument("--device", default="P100")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--out", default=None,
+                   help="also write the Chrome/Perfetto trace here")
+    _add_exec_flags(f)
     return p
 
 
@@ -189,6 +221,72 @@ def cmd_devices(_args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .dtypes import parse_pair
+    from .obs import Tracer, to_chrome_trace, tracing, write_chrome_trace, write_jsonl
+
+    tp = parse_pair(args.pair)
+    img = random_matrix((args.size, args.size), tp.input, seed=args.seed)
+    tr = Tracer()
+    with tracing(tr):
+        run = sat_api(img, pair=tp, algorithm=args.algorithm,
+                      device=args.device)
+    if args.out.endswith(".jsonl"):
+        write_jsonl(args.out, tr)
+    else:
+        write_chrome_trace(args.out, tr, include_host=args.include_host)
+    total = "n/a" if run.time_us is None else f"{run.time_us:.2f} us modeled"
+    print(f"{args.algorithm} {args.size}x{args.size} {tp.name} on "
+          f"{args.device}: {len(tr.spans)} spans, {len(tr.events)} events, "
+          f"{total}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .dtypes import parse_pair
+    from .obs import (
+        Tracer,
+        pass_breakdown,
+        to_chrome_trace,
+        tracing,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from .sat.api import PAPER_ALGORITHMS
+
+    algorithms = args.algorithms or sorted(PAPER_ALGORITHMS)
+    tp = parse_pair(args.pair)
+    img = random_matrix((args.size, args.size), tp.input, seed=args.seed)
+    tr = Tracer()
+    totals = {}
+    with tracing(tr):
+        for algo in algorithms:
+            run = sat_api(img, pair=tp, algorithm=algo, device=args.device)
+            totals[algo] = run.time_us
+    rows = pass_breakdown(tr)
+    print(format_table(
+        rows,
+        columns=["algorithm", "kernel", "bound", "t_gmem_us", "t_smem_us",
+                 "t_exec_us", "t_latency_us", "t_overhead_us", "modeled_us"],
+        title=(f"per-pass modeled breakdown: {args.size}x{args.size} "
+               f"{tp.name} on {args.device}"),
+    ))
+    print()
+    for algo in algorithms:
+        t = totals[algo]
+        shown = "n/a (unmodeled backend)" if t is None else f"{t:10.2f} us"
+        print(f"  {algo:24s} {shown}")
+    if args.out:
+        problems = validate_chrome_trace(to_chrome_trace(tr))
+        write_chrome_trace(args.out, tr)
+        if problems:  # pragma: no cover - structural self-check
+            print(f"trace self-check: {problems}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sat":
@@ -207,6 +305,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiment(args)
     if args.command == "devices":
         return cmd_devices(args)
+    if args.command == "trace":
+        with execution(_exec_config(args)):
+            return cmd_trace(args)
+    if args.command == "profile":
+        with execution(_exec_config(args)):
+            return cmd_profile(args)
     return 2  # pragma: no cover
 
 

@@ -26,12 +26,15 @@ the fixed launch overhead and partial-wave latency across the batch.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..dtypes import TypePair
+from ..obs.metrics import get_metrics
+from ..obs.trace import current_tracer
 from ..exec.config import ExecutionConfig, resolve_execution
 from ..exec.registry import (
     BatchSpec,
@@ -136,6 +139,55 @@ class BatchRun:
             f"plan hit rate {self.plan_hit_rate:.1%}"
         )
 
+    def to_dict(self) -> dict:
+        """A stable, JSON-serialisable metric view of this batch run.
+
+        The single formatter behind ``benchmarks/bench_batch.py`` entries,
+        the trace exporters and the regression checker — key names are part
+        of the ``BENCH_batch.json`` history format and must stay stable.
+        Per-image outputs/launches are deliberately excluded.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "device": self.device,
+            "pair": self.pair,
+            "n_images": self.n_images,
+            "wall_s": self.wall_s,
+            "modeled_batched_s": self.modeled_batched_s,
+            "modeled_sequential_s": self.modeled_sequential_s,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hit_rate,
+            "images_per_s_modeled": self.images_per_s,
+            "wall_images_per_s": self.wall_images_per_s,
+            "effective_gbps": self.effective_gbps,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+            "buckets": [[list(b), int(n)] for b, n in self.buckets],
+            "sector_bytes": self.sector_bytes,
+        }
+
+    @classmethod
+    def metrics_from_dict(cls, d: Mapping) -> "BatchRun":
+        """Rebuild the metric view from :meth:`to_dict` output.
+
+        The result carries no per-image runs (``runs`` is empty), so only
+        the explicitly stored fields — not the derived properties that
+        need launches, like ``effective_gbps`` — survive the round trip.
+        """
+        return cls(
+            runs=[],
+            algorithm=d["algorithm"],
+            device=d["device"],
+            pair=d["pair"],
+            wall_s=float(d.get("wall_s", 0.0)),
+            modeled_batched_s=float(d.get("modeled_batched_s", 0.0)),
+            modeled_sequential_s=float(d.get("modeled_sequential_s", 0.0)),
+            plan_hits=int(d.get("plan_hits", 0)),
+            plan_misses=int(d.get("plan_misses", 0)),
+            buckets=[(tuple(b), int(n)) for b, n in d.get("buckets", [])],
+            sector_bytes=int(d.get("sector_bytes", 32)),
+        )
+
 
 def _stacked_time_s(stats, depth: int) -> float:
     """Modeled time of a stacked launch: cold counters x depth over
@@ -212,16 +264,35 @@ class Engine:
                 call_opts["sanitize"] = sanitize
 
         spec_method = BATCH_SPECS.get(algorithm)
-        if res.backend != "gpusim" or res.sanitize or spec_method is None:
-            # Sanitized batches run cold per image so every launch is fully
-            # instrumented and sanitizer reports stay per-image accurate;
-            # baselines have no stacking recipe and non-simulator backends
-            # have no launches to stack.  Either way: a plain loop.
-            run = self._run_fallback(fn, imgs, tp, dev, algorithm, call_opts)
-        else:
-            run = self._run_batched(
-                fn, imgs, tp, dev, algorithm, spec_method, opts, call_opts, res
-            )
+        tracer = current_tracer()
+        with (tracer.span(f"batch:{algorithm}", category="batch",
+                          algorithm=algorithm, device=dev.name, pair=tp.name,
+                          n_images=len(imgs), backend=res.backend)
+              if tracer is not None else nullcontext()) as sp:
+            if res.backend != "gpusim" or res.sanitize or spec_method is None:
+                # Sanitized batches run cold per image so every launch is fully
+                # instrumented and sanitizer reports stay per-image accurate;
+                # baselines have no stacking recipe and non-simulator backends
+                # have no launches to stack.  Either way: a plain loop.
+                run = self._run_fallback(fn, imgs, tp, dev, algorithm, call_opts)
+            else:
+                run = self._run_batched(
+                    fn, imgs, tp, dev, algorithm, spec_method, opts, call_opts, res
+                )
+        if sp is not None:
+            sp.attrs["modeled_batched_s"] = run.modeled_batched_s
+            sp.attrs["modeled_sequential_s"] = run.modeled_sequential_s
+            sp.attrs["plan_hits"] = run.plan_hits
+            sp.attrs["plan_misses"] = run.plan_misses
+
+        m = get_metrics()
+        m.counter("engine.batches", algorithm=algorithm).inc()
+        m.counter("engine.images", algorithm=algorithm).inc(run.n_images)
+        m.counter("engine.plan_hits").inc(run.plan_hits)
+        m.counter("engine.plan_misses").inc(run.plan_misses)
+        m.histogram("engine.modeled_batched_s", algorithm=algorithm).observe(
+            run.modeled_batched_s
+        )
 
         if exclusive:
             for r in run.runs:
@@ -288,12 +359,16 @@ class Engine:
         # while fused/legacy and bounds-checked variants stay distinct.
         key_opts = dict(opts, fused=res.fused, bounds_check=res.bounds_check)
 
+        tracer = current_tracer()
         for grp in groups:
             key = PlanKey.make(algorithm, dev.name, tp.name, grp.bucket, key_opts)
             plan = self.cache.get_or_create(key, spec)
             pending = list(grp.indices)
             if not plan.recorded:
                 # One cold, fully-accounted run records the bucket's plan.
+                if tracer is not None:
+                    tracer.event("plan.miss", category="batch",
+                                 bucket=grp.bucket, algorithm=algorithm)
                 i0 = pending.pop(0)
                 run0 = fn(imgs[i0], pair=tp, device=dev, **call_opts)
                 for lp, s in zip(plan.launch_plans, run0.launches):
@@ -303,6 +378,10 @@ class Engine:
                 self.cache.note_miss()
                 modeled_batched += run0.time_s
             if pending:
+                if tracer is not None:
+                    tracer.event("plan.hit", category="batch",
+                                 bucket=grp.bucket, n_images=len(pending),
+                                 algorithm=algorithm)
                 hits += len(pending)
                 self.cache.note_hit(len(pending))
                 per_img = self.scheduler.stack_bytes(
@@ -345,7 +424,25 @@ class Engine:
         depth = len(chunk)
         hp, wp = plan.key.bucket
         first = spec.passes[0]
+        tracer = current_tracer()
+        chunk_scope = (
+            tracer.span(f"chunk:{algorithm}", category="chunk",
+                        algorithm=algorithm, depth=depth, bucket=(hp, wp))
+            if tracer is not None else nullcontext()
+        )
+        with chunk_scope as chunk_sp:
+            t_stacked = self._replay_chunk_inner(
+                plan, spec, tp, dev, algorithm, imgs, chunk, runs, res,
+                depth, hp, wp, first,
+            )
+        if chunk_sp is not None:
+            chunk_sp.attrs["modeled_us"] = t_stacked * 1e6
+        return t_stacked
 
+    def _replay_chunk_inner(
+        self, plan, spec, tp, dev, algorithm, imgs, chunk, runs, res,
+        depth, hp, wp, first,
+    ) -> float:
         # Stage the padded inputs into the plan's reusable buffer.  Pad
         # regions are re-zeroed on every fill so replays see exactly what
         # pad_matrix would have produced for each image.

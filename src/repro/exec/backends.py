@@ -9,6 +9,7 @@ lazily, so nothing below the API layer needs to import it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Mapping, Optional, Tuple
 
 import numpy as np
@@ -17,6 +18,8 @@ from ..dtypes import TypePair
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import LaunchStats, launch_kernel
+from ..obs.metrics import get_metrics
+from ..obs.trace import current_tracer
 from ..sat.common import SatRun, crop, pad_matrix, regs_per_thread
 from .registry import KernelSpec, PassSpec, register_backend
 
@@ -84,21 +87,32 @@ class GpusimBackend:
         pass_opts = dict(opts or {})
         if fused is not None:
             pass_opts["fused"] = fused
-        cur = GlobalArray(padded, "input")
-        launches = []
-        for p in spec.passes:
-            cur, stats = launch_pass(
-                p, cur, acc=tp.output, device=dev, opts=pass_opts,
-                sanitize=sanitize, bounds_check=bounds_check,
-            )
-            launches.append(stats)
-        return SatRun(
+        tracer = current_tracer()
+        with (tracer.span(f"sat:{spec.algorithm}", category="sat",
+                          algorithm=spec.algorithm, backend=self.name,
+                          device=dev.name, pair=tp.name, shape=orig)
+              if tracer is not None else nullcontext()) as sp:
+            cur = GlobalArray(padded, "input")
+            launches = []
+            for p in spec.passes:
+                cur, stats = launch_pass(
+                    p, cur, acc=tp.output, device=dev, opts=pass_opts,
+                    sanitize=sanitize, bounds_check=bounds_check,
+                )
+                launches.append(stats)
+        run = SatRun(
             output=crop(cur.to_host(), orig),
             launches=launches,
             algorithm=spec.algorithm,
             device=dev.name,
             pair=tp.name,
         )
+        if sp is not None:
+            sp.attrs["modeled_us"] = run.time_us
+        m = get_metrics()
+        m.counter("sat.calls", algorithm=spec.algorithm, backend=self.name).inc()
+        m.histogram("sat.modeled_us", algorithm=spec.algorithm).observe(run.time_us)
+        return run
 
 
 class HostBackend:
@@ -128,8 +142,18 @@ class HostBackend:
         orig = image.shape
         padded = pad_matrix(image.astype(tp.input.np_dtype, copy=False), *spec.pad)
         cur = padded.astype(tp.output.np_dtype)
-        for p in spec.passes:
-            cur = p.host(cur)
+        tracer = current_tracer()
+        with (tracer.span(f"sat:{spec.algorithm}", category="sat",
+                          algorithm=spec.algorithm, backend=self.name,
+                          pair=tp.name, shape=orig)
+              if tracer is not None else nullcontext()):
+            for p in spec.passes:
+                with (tracer.span(p.name, category="pass.host")
+                      if tracer is not None else nullcontext()):
+                    cur = p.host(cur)
+        get_metrics().counter(
+            "sat.calls", algorithm=spec.algorithm, backend=self.name
+        ).inc()
         return SatRun(
             output=np.ascontiguousarray(crop(cur, orig)),
             launches=[],

@@ -17,6 +17,12 @@ precedence order, highest first:
 ``None`` always means "unset — inherit from the next layer down", so a
 config object may pin one field and leave the rest floating.
 
+Tracing (``REPRO_TRACE``, :mod:`repro.obs`) is deliberately *not* an
+execution field: it resolves through the same precedence shape
+(``trace=`` kwarg > ``tracing()`` context > env) but never participates
+in mode resolution, plan-cache keys or kernel arguments — enabling it
+cannot change what executes.
+
 Environment variables (lowest-precedence layer, kept from the earlier
 env-var-only plumbing):
 

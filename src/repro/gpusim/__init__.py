@@ -10,7 +10,6 @@ with the paper's own micro-benchmarked constants.
 """
 
 from .block import KernelContext
-from .config import bounds_check_enabled, fused_enabled, sanitize_enabled
 from .counters import CostCounters
 from .device import DEVICES, DeviceSpec, M40, P100, V100, get_device
 from .global_mem import GlobalArray, clear_sector_pattern_cache, sector_count
@@ -65,3 +64,15 @@ __all__ = [
     "occupancy",
     "project_stats",
 ]
+
+#: Deprecated mode helpers, forwarded lazily so plain ``import repro``
+#: never triggers their DeprecationWarning (see :mod:`repro.gpusim.config`).
+_DEPRECATED_CONFIG = ("fused_enabled", "bounds_check_enabled", "sanitize_enabled")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONFIG:
+        from . import config
+
+        return getattr(config, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -29,12 +29,14 @@ surrounding whitespace ignored) disable; anything else enables.
 
 from __future__ import annotations
 
+import warnings
+
 from ..exec.config import env_flag, resolve_execution
 
 __all__ = ["env_flag", "fused_enabled", "bounds_check_enabled", "sanitize_enabled"]
 
 
-def fused_enabled() -> bool:
+def _fused_enabled() -> bool:
     """Whether kernels default to the fused register-bank path.
 
     .. deprecated:: use :func:`repro.exec.resolve_execution` — this now
@@ -43,7 +45,7 @@ def fused_enabled() -> bool:
     return resolve_execution().fused
 
 
-def bounds_check_enabled() -> bool:
+def _bounds_check_enabled() -> bool:
     """Whether global-memory accesses validate flat indices (debug mode).
 
     .. deprecated:: use :func:`repro.exec.resolve_execution`.
@@ -51,9 +53,41 @@ def bounds_check_enabled() -> bool:
     return resolve_execution().bounds_check
 
 
-def sanitize_enabled() -> bool:
+def _sanitize_enabled() -> bool:
     """Whether kernel launches run under the sanitizer by default.
 
     .. deprecated:: use :func:`repro.exec.resolve_execution`.
     """
     return resolve_execution().sanitize
+
+
+#: name -> (implementation, the ExecutionConfig-resolution replacement).
+_SHIMS = {
+    "fused_enabled": (_fused_enabled, "resolve_execution().fused"),
+    "bounds_check_enabled": (_bounds_check_enabled,
+                             "resolve_execution().bounds_check"),
+    "sanitize_enabled": (_sanitize_enabled, "resolve_execution().sanitize"),
+}
+
+#: Symbols whose DeprecationWarning already fired (one warning per symbol
+#: per process; tests clear this to re-arm).
+_warned = set()
+
+
+def __getattr__(name: str):
+    try:
+        fn, replacement = _SHIMS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.gpusim.config.{name}() is deprecated; mode resolution "
+            f"lives in repro.exec.ExecutionConfig — use "
+            f"repro.exec.{replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return fn

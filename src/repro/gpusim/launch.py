@@ -14,12 +14,15 @@ register-pressure behaviour for ``64f``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exec.config import resolve_execution
+from ..obs.metrics import get_metrics
+from ..obs.trace import annotate_launch, current_tracer
 from .block import KernelContext
 from .counters import CostCounters
 from .device import DeviceSpec, get_device
@@ -179,20 +182,35 @@ def replay_kernel(
         else:
             tape.rewind()
             ctx.tape = tape
-    try:
-        fn(ctx, *args)
-        if tape is not None:
-            tape.finish()
-    except TapeMismatchError:
-        # Data-dependent op sequence: drop the tape and re-run untaped.
-        # Kernels only read their inputs and (re)write outputs/registers,
-        # so a partially-played launch is fully overwritten by the rerun.
-        tape.kill()
-        ctx = KernelContext(s.device, ctx.grid, s.block, record=False,
-                            bounds_check=bounds_check)
-        ctx.kernel_name = s.name
-        fn(ctx, *args)
-    return plan.clone_stats()
+    tracer = current_tracer()
+    get_metrics().counter("gpusim.replays", kernel=s.name).inc()
+    with (tracer.span(s.name, category="replay", grid=ctx.grid,
+                      taped=tape is not None)
+          if tracer is not None else nullcontext()) as sp:
+        try:
+            fn(ctx, *args)
+            if tape is not None:
+                tape.finish()
+        except TapeMismatchError:
+            # Data-dependent op sequence: drop the tape and re-run untaped.
+            # Kernels only read their inputs and (re)write outputs/registers,
+            # so a partially-played launch is fully overwritten by the rerun.
+            tape.kill()
+            if tracer is not None:
+                tracer.event("tape.mismatch", category="replay", kernel=s.name)
+            get_metrics().counter("gpusim.tape_mismatches", kernel=s.name).inc()
+            ctx = KernelContext(s.device, ctx.grid, s.block, record=False,
+                                bounds_check=bounds_check)
+            ctx.kernel_name = s.name
+            fn(ctx, *args)
+    out = plan.clone_stats()
+    if sp is not None:
+        # Replay stats are clones of the recorded cold launch; the span
+        # keeps the replay grid it ran at (batched stacks scale one axis).
+        replay_grid = sp.attrs.pop("grid")
+        annotate_launch(sp, out, bounds_check=bounds_check)
+        sp.attrs["grid"] = tuple(replay_grid)
+    return out
 
 
 def launch_kernel(
@@ -227,7 +245,11 @@ def launch_kernel(
     ctx.kernel_name = kname
     if sanitize:
         ctx.sanitizer = Sanitizer(ctx)
-    fn(ctx, *args)
+    tracer = current_tracer()
+    get_metrics().counter("gpusim.launches", kernel=kname).inc()
+    with (tracer.span(kname, category="launch")
+          if tracer is not None else nullcontext()) as sp:
+        fn(ctx, *args)
     timing = kernel_time(
         dev,
         ctx.counters,
@@ -241,7 +263,7 @@ def launch_kernel(
     )
     if ctx.sanitizer is not None:
         timing = replace(timing, sanitizer=ctx.sanitizer.report())
-    return LaunchStats(
+    stats = LaunchStats(
         name=kname,
         device=dev,
         grid=ctx.grid,
@@ -253,3 +275,6 @@ def launch_kernel(
         mlp=mlp,
         l2_sector_reuse=l2_sector_reuse,
     )
+    if sp is not None:
+        annotate_launch(sp, stats, sanitize=sanitize, bounds_check=bounds_check)
+    return stats

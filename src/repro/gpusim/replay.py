@@ -36,6 +36,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["ReplayTape", "TapeMismatchError"]
 
 _AFFINE = 0
@@ -198,6 +200,8 @@ class ReplayTape:
         self.pos = 0
 
     def kill(self) -> None:
+        if not self.dead:
+            get_metrics().counter("gpusim.tape.killed").inc()
         self.dead = True
         self.entries.clear()
 
@@ -205,10 +209,13 @@ class ReplayTape:
         """Seal after recording; verify full consumption after playing."""
         if not self.sealed:
             self.sealed = True
+            get_metrics().counter("gpusim.tape.recorded").inc()
         elif not self.dead and self.pos != len(self.entries):
             raise TapeMismatchError(
                 f"replay consumed {self.pos} of {len(self.entries)} taped ops"
             )
+        elif not self.dead:
+            get_metrics().counter("gpusim.tape.replayed").inc()
 
     def next(self, site: str):
         if self.pos >= len(self.entries):

@@ -16,6 +16,7 @@ asserts projection == full execution on sizes it can afford.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +27,8 @@ from ..exec.config import ExecutionConfig, execution
 from ..gpusim.cost.projection import PassScaling, project_stats
 from ..gpusim.device import get_device
 from ..gpusim.launch import LaunchStats
+from ..obs.metrics import get_metrics
+from ..obs.trace import current_tracer
 from ..sat.api import ALGORITHMS
 from ..sat.naive import sat_reference
 from ..workloads.generators import random_matrix
@@ -102,6 +105,16 @@ class Runner:
         self.config = config
         self._cache: Dict[tuple, MeasuredPoint] = {}
 
+    @property
+    def metrics(self):
+        """The process-wide :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Calibrations and projections increment ``runner.calibrations`` /
+        ``runner.projections`` here, alongside the simulator and engine
+        counters the sweep's sat calls produce.
+        """
+        return get_metrics()
+
     # ------------------------------------------------------------------
     def _calibrate(self, algorithm: str, pair: str, device: str,
                    size: Tuple[int, int], **opts) -> MeasuredPoint:
@@ -111,7 +124,13 @@ class Runner:
         tp = parse_pair(pair)
         dev = get_device(device)
         img = random_matrix(size, tp.input, seed=self.seed)
-        with execution(self.config or ExecutionConfig()):
+        get_metrics().counter("runner.calibrations", algorithm=algorithm).inc()
+        tracer = current_tracer()
+        with (tracer.span(f"calibrate:{algorithm}", category="calibrate",
+                          algorithm=algorithm, pair=tp.name, device=dev.name,
+                          size=size, validate=self.validate)
+              if tracer is not None else nullcontext()), \
+                execution(self.config or ExecutionConfig()):
             run = ALGORITHMS[algorithm](img, pair=tp, device=dev, **opts)
         if self.validate:
             ref = sat_reference(img, tp)
@@ -147,6 +166,7 @@ class Runner:
                 f"{algorithm}: {len(base.launches)} kernels but "
                 f"{len(scalings)} scaling descriptors"
             )
+        get_metrics().counter("runner.projections", algorithm=algorithm).inc()
         launches = [
             project_stats(stats, cal, size, scal)
             for stats, scal in zip(base.launches, scalings)

@@ -1,0 +1,60 @@
+"""repro.obs — unified tracing, metrics and profiling.
+
+One instrumentation layer over the whole stack (simulator launches, kernel
+phases, engine batches and plan-cache traffic, harness calibrations):
+
+* :mod:`.trace` — low-overhead structured spans/events with
+  ``ExecutionConfig``-style resolution (call-site ``trace=`` keyword >
+  :func:`tracing` context > ``REPRO_TRACE`` env).  Disabled tracing is a
+  guarded no-op and is bit-identical in counters, timings, outputs and
+  sanitizer reports.
+* :mod:`.metrics` — an in-process :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters/gauges/histograms) aggregating across ``sat()``/``sat_batch()``
+  calls.
+* :mod:`.exporters` — Chrome/Perfetto ``trace.json`` on the *modeled*
+  timeline, a JSONL event log, and the per-pass Fig.-8 breakdown rows.
+* :mod:`.regress` — compares fresh profiles against the checked-in
+  ``BENCH_*.json`` histories (``python -m repro.obs.regress``).
+
+See ``docs/observability.md``.
+"""
+
+from .exporters import (
+    pass_breakdown,
+    span_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import MetricsRegistry, get_metrics, reset_metrics
+from .trace import (
+    TRACE_ENV,
+    Span,
+    Tracer,
+    current_tracer,
+    env_tracer,
+    resolve_tracer,
+    tracing,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "env_tracer",
+    "resolve_tracer",
+    "tracing",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "pass_breakdown",
+    "span_to_dict",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,263 @@
+"""Trace exporters: Chrome/Perfetto ``trace.json``, JSONL, breakdown tables.
+
+The Chrome exporter builds a **modeled-time** timeline: launch/replay
+spans are laid out back-to-back with their modeled durations (the
+simulator's ``KernelTiming`` totals, microseconds), and kernel-phase spans
+are placed *inside* their launch proportionally to the dependency-chain
+clocks they covered — the per-stage attribution of the paper's Fig. 8,
+viewable in ``chrome://tracing`` or https://ui.perfetto.dev.  Host-side
+spans (engine batches, chunks, calibrations) go on a separate wall-clock
+track so plan-cache and staging behaviour is visible next to the modeled
+kernels.
+
+Everything here consumes plain :class:`~repro.obs.trace.Span` objects and
+emits JSON-serialisable structures; nothing imports the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "span_to_dict",
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "pass_breakdown",
+]
+
+#: Span categories that live on the modeled-GPU timeline.
+MODELED_CATEGORIES = ("launch", "replay")
+
+#: pid of the modeled-GPU track / the host wall-clock track.
+MODELED_PID = 0
+HOST_PID = 1
+
+
+def _spans_of(source) -> List[Span]:
+    if isinstance(source, Tracer):
+        return list(source.spans)
+    return list(source)
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """JSON-friendly record of one span (the JSONL row shape)."""
+    return {
+        "id": span.id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "wall_us": span.wall_us,
+        "attrs": _jsonable(span.attrs),
+    }
+
+
+def _jsonable(value):
+    """Coerce attrs to JSON-clean types (tuples to lists, sets sorted)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_jsonl(source) -> List[str]:
+    """One JSON line per span (and per event, tagged ``"event": true``)."""
+    lines = [json.dumps(span_to_dict(s), sort_keys=True) for s in _spans_of(source)]
+    if isinstance(source, Tracer):
+        for ev in source.events:
+            rec = dict(_jsonable({k: v for k, v in ev.items() if k != "t_ns"}))
+            rec["event"] = True
+            lines.append(json.dumps(rec, sort_keys=True))
+    return lines
+
+
+def write_jsonl(path, source) -> int:
+    """Write the JSONL event log; returns the number of lines."""
+    lines = to_jsonl(source)
+    with open(path, "w") as f:
+        for line in lines:
+            f.write(line + "\n")
+    return len(lines)
+
+
+# -- Chrome trace ----------------------------------------------------------
+
+def _meta(pid: int, tid: int, what: str, name: str) -> Dict[str, Any]:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": what,
+            "args": {"name": name}}
+
+
+def _complete(name: str, cat: str, pid: int, tid: int, ts: float, dur: float,
+              args: Optional[dict] = None) -> Dict[str, Any]:
+    ev = {"ph": "X", "name": name, "cat": cat, "pid": pid, "tid": tid,
+          "ts": round(ts, 6), "dur": round(dur, 6)}
+    if args:
+        ev["args"] = _jsonable(args)
+    return ev
+
+
+def to_chrome_trace(source, include_host: bool = True) -> Dict[str, Any]:
+    """Build a Chrome/Perfetto trace document from spans.
+
+    The modeled track (pid 0) is fully deterministic — it depends only on
+    modeled durations and chain clocks, never on host wall time — so it
+    can be snapshot-tested.  ``include_host=False`` omits the wall-clock
+    track (pid 1) entirely for that purpose.
+    """
+    spans = _spans_of(source)
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for s in spans:
+        by_parent.setdefault(s.parent_id, []).append(s)
+
+    events: List[Dict[str, Any]] = [
+        _meta(MODELED_PID, 0, "process_name", "repro modeled GPU"),
+        _meta(MODELED_PID, 0, "thread_name", "kernels"),
+        _meta(MODELED_PID, 1, "thread_name", "kernel phases"),
+    ]
+
+    cursor = 0.0
+    for sp in spans:
+        if sp.category not in MODELED_CATEGORIES:
+            continue
+        dur = float(sp.attrs.get("modeled_us") or 0.0)
+        events.append(_complete(
+            sp.name, sp.category, MODELED_PID, 0, cursor, dur,
+            args={k: v for k, v in sp.attrs.items()},
+        ))
+        phases = [c for c in by_parent.get(sp.id, ())
+                  if c.category == "kernel.phase"]
+        if phases and dur > 0.0:
+            chain_total = float(
+                (sp.attrs.get("counters") or {}).get("chain_clocks", 0.0)
+            )
+            if chain_total > 0.0:
+                # Chain clocks are within-launch absolute, so each phase
+                # maps linearly into the launch's modeled duration.
+                scale = dur / chain_total
+                for ph in phases:
+                    c0 = float(ph.attrs.get("chain0", 0.0))
+                    c1 = float(ph.attrs.get("chain1", c0))
+                    events.append(_complete(
+                        ph.name, ph.category, MODELED_PID, 1,
+                        cursor + c0 * scale, max(c1 - c0, 0.0) * scale,
+                        args={"chain0": c0, "chain1": c1},
+                    ))
+            else:
+                # Replays record no chain clocks; spread phases evenly so
+                # the stage structure stays visible on the timeline.
+                step = dur / len(phases)
+                for i, ph in enumerate(phases):
+                    events.append(_complete(
+                        ph.name, ph.category, MODELED_PID, 1,
+                        cursor + i * step, step, args=None,
+                    ))
+        cursor += dur
+
+    if include_host and spans:
+        events.append(_meta(HOST_PID, 0, "process_name", "repro host"))
+        events.append(_meta(HOST_PID, 0, "thread_name", "host wall clock"))
+        t_base = min(s.t0_ns for s in spans)
+        for sp in spans:
+            if sp.category == "kernel.phase":
+                continue  # already on the modeled track; wall dur is noise
+            events.append(_complete(
+                sp.name, sp.category, HOST_PID, 0,
+                (sp.t0_ns - t_base) / 1e3, sp.wall_us,
+                args={"span_id": sp.id},
+            ))
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, source, include_host: bool = True) -> Dict[str, Any]:
+    """Write ``trace.json``; returns the document written."""
+    doc = to_chrome_trace(source, include_host=include_host)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Schema-check a Chrome trace document; returns a list of problems.
+
+    An empty list means the document is a well-formed JSON-object trace
+    (``traceEvents`` list; every event a dict with ``ph``/``pid``/``tid``;
+    complete events additionally carry numeric ``ts``/``dur``).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for k in ("ph", "pid", "tid"):
+            if k not in ev:
+                problems.append(f"event {i}: missing {k!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            for k in ("name", "ts", "dur"):
+                if not isinstance(ev.get(k), (str if k == "name" else (int, float))):
+                    problems.append(f"event {i}: X event needs {k}")
+        elif ph == "M":
+            if "name" not in ev:
+                problems.append(f"event {i}: M event needs a name")
+        elif ph not in ("B", "E", "i", "I", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+    return problems
+
+
+# -- per-pass breakdown (the Fig. 8 shape) --------------------------------
+
+BREAKDOWN_COLUMNS = (
+    "t_gmem_us", "t_smem_us", "t_exec_us", "t_latency_us", "t_overhead_us",
+)
+
+
+def pass_breakdown(source, algorithm: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Per-pass modeled-time rows from launch/replay spans.
+
+    Each row decomposes one kernel pass into the cost model's roofline
+    components (Fig. 8's stacked bars); ``modeled_us`` is the authoritative
+    :class:`~repro.gpusim.cost.model.KernelTiming` total, so summing rows
+    reproduces ``SatRun.time_us`` to the microsecond.  ``algorithm`` labels
+    come from the enclosing ``sat`` span when present.
+    """
+    spans = _spans_of(source)
+    by_id = {s.id: s for s in spans}
+    rows: List[Dict[str, Any]] = []
+    for sp in spans:
+        if sp.category not in MODELED_CATEGORIES:
+            continue
+        algo = ""
+        parent = by_id.get(sp.parent_id)
+        while parent is not None:
+            if parent.category in ("sat", "batch"):
+                algo = parent.attrs.get("algorithm", "")
+                break
+            parent = by_id.get(parent.parent_id)
+        if algorithm is not None and algo and algo != algorithm:
+            continue
+        row: Dict[str, Any] = {
+            "algorithm": algo,
+            "kernel": sp.name,
+            "mode": sp.category,
+            "bound": sp.attrs.get("bound", ""),
+        }
+        for col in BREAKDOWN_COLUMNS:
+            row[col] = float(sp.attrs.get(col, 0.0))
+        row["modeled_us"] = float(sp.attrs.get("modeled_us") or 0.0)
+        rows.append(row)
+    return rows

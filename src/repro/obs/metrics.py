@@ -1,0 +1,173 @@
+"""In-process metrics: counters, gauges and histograms.
+
+One process-global :class:`MetricsRegistry` (:func:`get_metrics`)
+aggregates across every ``sat()`` / ``sat_batch()`` call — LightScan-style
+throughput figures (images/s, effective GB/s) and plan-cache / tape-reuse
+rates fall out of the same data instead of being recomputed ad hoc per
+benchmark.  Instruments are labelled, e.g.::
+
+    get_metrics().counter("sat.calls", algorithm="brlt_scanrow").inc()
+
+Updates are O(1) dictionary operations with no I/O; the registry never
+touches simulator state, so it cannot perturb counters, timings or
+sanitizer reports.  ``snapshot()`` returns a plain JSON-friendly dict for
+harness reports and exporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+]
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_key(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-set value."""
+
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary: count/sum/min/max (enough for rates and means)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Keyed store of instruments; one per process by default."""
+
+    def __init__(self):
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ---------------------
+    def counter(self, name: str, **labels) -> Counter:
+        k = _key(name, labels)
+        c = self._counters.get(k)
+        if c is None:
+            c = self._counters[k] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        k = _key(name, labels)
+        g = self._gauges.get(k)
+        if g is None:
+            g = self._gauges[k] = Gauge()
+        return g
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        k = _key(name, labels)
+        h = self._histograms.get(k)
+        if h is None:
+            h = self._histograms[k] = Histogram()
+        return h
+
+    # -- queries ---------------------------------------------------------
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Counter/gauge value for an exact key, ``None`` if never touched."""
+        k = _key(name, labels)
+        if k in self._counters:
+            return self._counters[k].value
+        if k in self._gauges:
+            return self._gauges[k].value
+        return None
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter name across all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """JSON-friendly view of every instrument, sorted by formatted key."""
+        out: Dict[str, Any] = {}
+        for k, c in self._counters.items():
+            out[_format_key(k)] = c.value
+        for k, g in self._gauges.items():
+            out[_format_key(k)] = g.value
+        for k, h in self._histograms.items():
+            out[_format_key(k)] = h.summary()
+        if prefix:
+            out = {k: v for k, v in out.items() if k.startswith(prefix)}
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_global = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry shared by the whole stack."""
+    return _global
+
+
+def reset_metrics() -> None:
+    """Clear the process-global registry (tests, benchmark isolation)."""
+    _global.reset()

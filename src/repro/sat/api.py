@@ -14,6 +14,7 @@ the same signature ``(image, pair=..., device=..., **opts) -> SatRun``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..baselines.opencv_sat import sat_opencv
 from ..dtypes import TYPE_PAIRS, TypePair, parse_pair
 from ..exec.config import ExecutionConfig, resolve_execution
 from ..exec.registry import has_kernel_spec
+from ..obs.trace import resolve_tracer, tracing
 from .brlt_scanrow import sat_brlt_scanrow
 from .common import SatRun
 from .naive import exclusive_from_inclusive
@@ -95,6 +97,7 @@ def sat(
     exclusive: bool = False,
     backend: Optional[str] = None,
     config: Optional[ExecutionConfig] = None,
+    trace=None,
     **opts,
 ) -> SatRun:
     """Compute the inclusive Summed Area Table of ``image``.
@@ -128,6 +131,12 @@ def sat(
         A per-call :class:`~repro.exec.ExecutionConfig` (or mapping /
         profile name) sitting between explicit keywords and the ambient
         :func:`~repro.exec.execution` contexts in precedence.
+    trace:
+        Per-call tracing override: a :class:`~repro.obs.Tracer` to record
+        into, ``True`` for the process-wide env tracer, ``False`` to
+        disable, ``None`` (default) to defer to the ambient
+        :func:`~repro.obs.tracing` context and the ``REPRO_TRACE`` env
+        flag.  Tracing never changes outputs, counters or timings.
     **opts:
         Algorithm-specific options, e.g. ``scan="ladner_fischer"`` for the
         parallel-warp-scan kernels, or ``brlt_stride=32`` for the
@@ -153,19 +162,24 @@ def sat(
         raise KeyError(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from None
-    if has_kernel_spec(algorithm):
-        # Spec'd algorithms resolve the full execution config themselves
-        # (kwargs > config > contexts > env) and dispatch to the backend.
-        run = fn(image, pair=tp, device=device, backend=backend,
-                 config=config, **opts)
-    else:
-        res = resolve_execution(config, backend=backend, device=device)
-        if res.backend != "gpusim":
-            raise ValueError(
-                f"algorithm {algorithm!r} has no kernel spec and supports "
-                f"only the 'gpusim' backend, not {res.backend!r}"
-            )
-        run = fn(image, pair=tp, device=res.device, **opts)
+    scope = (
+        tracing(resolve_tracer(trace), enabled=trace is not False)
+        if trace is not None else nullcontext()
+    )
+    with scope:
+        if has_kernel_spec(algorithm):
+            # Spec'd algorithms resolve the full execution config themselves
+            # (kwargs > config > contexts > env) and dispatch to the backend.
+            run = fn(image, pair=tp, device=device, backend=backend,
+                     config=config, **opts)
+        else:
+            res = resolve_execution(config, backend=backend, device=device)
+            if res.backend != "gpusim":
+                raise ValueError(
+                    f"algorithm {algorithm!r} has no kernel spec and supports "
+                    f"only the 'gpusim' backend, not {res.backend!r}"
+                )
+            run = fn(image, pair=tp, device=res.device, **opts)
     if exclusive:
         run.output = exclusive_from_inclusive(run.output)
     return run

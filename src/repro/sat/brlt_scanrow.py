@@ -30,6 +30,7 @@ from ..dtypes import parse_pair
 from ..exec.config import resolve_execution
 from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
+from ..obs.trace import current_tracer, kernel_phase
 from ..scan.serial import serial_scan_bank, serial_scan_registers
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
 from .common import SatRun, block_threads
@@ -51,6 +52,7 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
     """
     if fused is None:
         fused = resolve_execution().fused
+    tr = current_tracer()
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -72,40 +74,50 @@ def brlt_scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, brlt_stride: in
         with scope:
             if fused:
                 # 1. coalesced tile load (+ accumulator-type conversion)
-                bank = src.load_tile(
-                    ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
-                ).astype(acc)
+                with kernel_phase(tr, ctx, "load"):
+                    bank = src.load_tile(
+                        ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
+                    ).astype(acc)
                 # 2. BRLT: thread <- row, register index <- column
-                bank = brlt_transpose_bank(ctx, bank, smem_t, barrier=brlt_barrier)
+                with kernel_phase(tr, ctx, "brlt"):
+                    bank = brlt_transpose_bank(ctx, bank, smem_t, barrier=brlt_barrier)
                 # 3. per-thread serial scan along the 32 registers (Alg. 2)
-                bank = serial_scan_bank(ctx, bank)
+                with kernel_phase(tr, ctx, "scan"):
+                    bank = serial_scan_bank(ctx, bank)
                 # 4. cross-warp offsets within the strip + the strip carry
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
-                offs = offs + carry
-                bank = bank + offs
-                carry = carry + total
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                    offs = offs + carry
+                    bank = bank + offs
+                    carry = carry + total
                 # 5. transposed, coalesced store: dst[col, row]
-                dst.store_tile(ctx, col0, row0 + lane, bank=bank,
-                               reg_stride=dst.elem_stride(0))
+                with kernel_phase(tr, ctx, "store"):
+                    dst.store_tile(ctx, col0, row0 + lane, bank=bank,
+                                   reg_stride=dst.elem_stride(0))
             else:
                 # 1. coalesced tile load (+ conversion into the accumulator type)
-                data: List = [
-                    src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
-                ]
+                with kernel_phase(tr, ctx, "load"):
+                    data: List = [
+                        src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
+                    ]
                 # 2. BRLT: thread <- row, register index <- column
-                data = brlt_transpose(ctx, data, smem_t, barrier=brlt_barrier)
+                with kernel_phase(tr, ctx, "brlt"):
+                    data = brlt_transpose(ctx, data, smem_t, barrier=brlt_barrier)
                 # 3. per-thread serial scan along the 32 registers (Alg. 2)
-                data = serial_scan_registers(ctx, data)
+                with kernel_phase(tr, ctx, "scan"):
+                    data = serial_scan_registers(ctx, data)
                 # 4. cross-warp offsets within the strip, plus the strip carry
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-                offs = offs + carry
-                data = [d + offs for d in data]
-                carry = carry + total
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                    offs = offs + carry
+                    data = [d + offs for d in data]
+                    carry = carry + total
                 # 5. transposed, coalesced store: dst[col, row]
-                for j in range(32):
-                    dst.store(ctx, col0 + j, row0 + lane, value=data[j])
+                with kernel_phase(tr, ctx, "store"):
+                    for j in range(32):
+                        dst.store(ctx, col0 + j, row0 + lane, value=data[j])
         if strip + 1 < n_strips:
             ctx.syncthreads()
 

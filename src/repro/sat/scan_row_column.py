@@ -29,6 +29,7 @@ from ..dtypes import parse_pair
 from ..exec.config import resolve_execution
 from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
+from ..obs.trace import current_tracer, kernel_phase
 from ..scan import WARP_SCANS
 from ..scan.serial import serial_scan_bank, serial_scan_registers
 from .common import SatRun, block_threads
@@ -49,6 +50,7 @@ def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "ko
     """Row-prefix kernel: one warp per row, 32-element chunks with carry."""
     if fused is None:
         fused = resolve_execution().fused
+    tr = current_tracer()
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
@@ -66,27 +68,33 @@ def scanrow_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str = "ko
         if fused:
             # Fused tile load/store; the scan-and-carry chain stays a
             # per-register loop — the carry makes it inherently serial.
-            bank = src.load_tile(
-                ctx, row, c * 32 + lane, count=batch, reg_stride=32
-            ).astype(acc)
-            for j in range(batch):
-                # Inject the running carry into lane 0; the scan propagates it.
-                r = bank.reg(j).add_where(lane == 0, carry)
-                r = warp_scan(ctx, r)
-                bank.set_reg(j, r)
-                carry = ctx.shfl(r, 31)
-            dst.store_tile(ctx, row, c * 32 + lane, bank=bank, reg_stride=32)
+            with kernel_phase(tr, ctx, "load"):
+                bank = src.load_tile(
+                    ctx, row, c * 32 + lane, count=batch, reg_stride=32
+                ).astype(acc)
+            with kernel_phase(tr, ctx, "scan_carry"):
+                for j in range(batch):
+                    # Inject the running carry into lane 0; the scan propagates it.
+                    r = bank.reg(j).add_where(lane == 0, carry)
+                    r = warp_scan(ctx, r)
+                    bank.set_reg(j, r)
+                    carry = ctx.shfl(r, 31)
+            with kernel_phase(tr, ctx, "store"):
+                dst.store_tile(ctx, row, c * 32 + lane, bank=bank, reg_stride=32)
         else:
-            data: List = [
-                src.load(ctx, row, (c + j) * 32 + lane).astype(acc) for j in range(batch)
-            ]
-            for j in range(batch):
-                # Inject the running carry into lane 0; the scan propagates it.
-                data[j] = data[j].add_where(lane == 0, carry)
-                data[j] = warp_scan(ctx, data[j])
-                carry = ctx.shfl(data[j], 31)
-            for j in range(batch):
-                dst.store(ctx, row, (c + j) * 32 + lane, value=data[j])
+            with kernel_phase(tr, ctx, "load"):
+                data: List = [
+                    src.load(ctx, row, (c + j) * 32 + lane).astype(acc) for j in range(batch)
+                ]
+            with kernel_phase(tr, ctx, "scan_carry"):
+                for j in range(batch):
+                    # Inject the running carry into lane 0; the scan propagates it.
+                    data[j] = data[j].add_where(lane == 0, carry)
+                    data[j] = warp_scan(ctx, data[j])
+                    carry = ctx.shfl(data[j], 31)
+            with kernel_phase(tr, ctx, "store"):
+                for j in range(batch):
+                    dst.store(ctx, row, (c + j) * 32 + lane, value=data[j])
         c += batch
 
 
@@ -94,6 +102,7 @@ def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = Non
     """Column-prefix kernel: 32-column stripes, serial scan per thread."""
     if fused is None:
         fused = resolve_execution().fused
+    tr = current_tracer()
     h, w = src.shape
     acc = dst.dtype
     lane = ctx.lane_id()
@@ -113,32 +122,40 @@ def scancolumn_kernel(ctx, src: GlobalArray, dst: GlobalArray, fused: bool = Non
         with scope:
             if fused:
                 # Coalesced tile load: lanes walk adjacent columns.
-                bank = src.load_tile(
-                    ctx, row0, col, count=32, reg_stride=src.elem_stride(0)
-                ).astype(acc)
+                with kernel_phase(tr, ctx, "load"):
+                    bank = src.load_tile(
+                        ctx, row0, col, count=32, reg_stride=src.elem_stride(0)
+                    ).astype(acc)
                 # Serial scan straight down the column (Alg. 2).
-                bank = serial_scan_bank(ctx, bank)
+                with kernel_phase(tr, ctx, "scan"):
+                    bank = serial_scan_bank(ctx, bank)
                 # Cross-warp fix-up within the band + running band carry.
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
-                offs = offs + carry
-                bank = bank + offs
-                carry = carry + total
-                dst.store_tile(ctx, row0, col, bank=bank,
-                               reg_stride=dst.elem_stride(0))
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                    offs = offs + carry
+                    bank = bank + offs
+                    carry = carry + total
+                with kernel_phase(tr, ctx, "store"):
+                    dst.store_tile(ctx, row0, col, bank=bank,
+                                   reg_stride=dst.elem_stride(0))
             else:
                 # Coalesced loads: lanes walk adjacent columns.
-                data: List = [src.load(ctx, row0 + j, col).astype(acc) for j in range(32)]
+                with kernel_phase(tr, ctx, "load"):
+                    data: List = [src.load(ctx, row0 + j, col).astype(acc) for j in range(32)]
                 # Serial scan straight down the column (Alg. 2).
-                data = serial_scan_registers(ctx, data)
+                with kernel_phase(tr, ctx, "scan"):
+                    data = serial_scan_registers(ctx, data)
                 # Cross-warp fix-up within the band + running band carry.
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-                offs = offs + carry
-                data = [d + offs for d in data]
-                carry = carry + total
-                for j in range(32):
-                    dst.store(ctx, row0 + j, col, value=data[j])
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                    offs = offs + carry
+                    data = [d + offs for d in data]
+                    carry = carry + total
+                with kernel_phase(tr, ctx, "store"):
+                    for j in range(32):
+                        dst.store(ctx, row0 + j, col, value=data[j])
         if band + 1 < n_bands:
             ctx.syncthreads()
 

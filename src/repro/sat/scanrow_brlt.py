@@ -34,6 +34,7 @@ from ..exec.config import resolve_execution
 from ..exec.registry import KernelSpec, PassSpec, get_backend, register_kernel_spec
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.regfile import RegBank
+from ..obs.trace import current_tracer, kernel_phase
 from ..scan import WARP_SCANS, WARP_SCANS_BANK
 from .brlt import alloc_brlt_smem, brlt_transpose, brlt_transpose_bank
 from .brlt_scanrow import _tile_geometry
@@ -48,6 +49,7 @@ def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str 
     """The ScanRow-BRLT kernel body (one pass over ``src``)."""
     if fused is None:
         fused = resolve_execution().fused
+    tr = current_tracer()
     h, w = src.shape
     acc = dst.dtype
     warp_scan = WARP_SCANS[scan_name]
@@ -71,47 +73,57 @@ def scanrow_brlt_kernel(ctx, src: GlobalArray, dst: GlobalArray, scan_name: str 
         with scope:
             if fused:
                 # 1. coalesced tile load
-                bank = src.load_tile(
-                    ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
-                ).astype(acc)
+                with kernel_phase(tr, ctx, "load"):
+                    bank = src.load_tile(
+                        ctx, row0, col0 + lane, count=32, reg_stride=src.elem_stride(0)
+                    ).astype(acc)
                 # 2. parallel warp-scan of every register along the lanes
-                if warp_scan_bank is not None:
-                    bank = warp_scan_bank(ctx, bank)
-                else:
-                    # Scans without a fused variant: per-register loop over
-                    # bank views — identical counters, slower dispatch.
-                    bank = RegBank.from_regs(
-                        ctx, [warp_scan(ctx, bank.reg(j)) for j in range(bank.nregs)]
-                    )
+                with kernel_phase(tr, ctx, "warp_scan"):
+                    if warp_scan_bank is not None:
+                        bank = warp_scan_bank(ctx, bank)
+                    else:
+                        # Scans without a fused variant: per-register loop over
+                        # bank views — identical counters, slower dispatch.
+                        bank = RegBank.from_regs(
+                            ctx, [warp_scan(ctx, bank.reg(j)) for j in range(bank.nregs)]
+                        )
                 # 3. BRLT: thread <- row, register index <- column
-                bank = brlt_transpose_bank(ctx, bank, smem_t)
+                with kernel_phase(tr, ctx, "brlt"):
+                    bank = brlt_transpose_bank(ctx, bank, smem_t)
                 # 4. cross-warp offsets + strip carry (Fig. 3c)
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
-                offs = offs + carry
-                bank = bank + offs
-                carry = carry + total
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, bank.reg(31), smem_p)
+                    offs = offs + carry
+                    bank = bank + offs
+                    carry = carry + total
                 # 5. transposed, coalesced store
-                dst.store_tile(ctx, col0, row0 + lane, bank=bank,
-                               reg_stride=dst.elem_stride(0))
+                with kernel_phase(tr, ctx, "store"):
+                    dst.store_tile(ctx, col0, row0 + lane, bank=bank,
+                                   reg_stride=dst.elem_stride(0))
             else:
                 # 1. coalesced tile load
-                data: List = [
-                    src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
-                ]
+                with kernel_phase(tr, ctx, "load"):
+                    data: List = [
+                        src.load(ctx, row0 + j, col0 + lane).astype(acc) for j in range(32)
+                    ]
                 # 2. parallel warp-scan of every register along the lanes
-                data = [warp_scan(ctx, d) for d in data]
+                with kernel_phase(tr, ctx, "warp_scan"):
+                    data = [warp_scan(ctx, d) for d in data]
                 # 3. BRLT: thread <- row, register index <- column
-                data = brlt_transpose(ctx, data, smem_t)
+                with kernel_phase(tr, ctx, "brlt"):
+                    data = brlt_transpose(ctx, data, smem_t)
                 # 4. cross-warp offsets + strip carry (Fig. 3c)
-                ctx.syncthreads()
-                offs, total = block_prefix_offsets(ctx, data[31], smem_p)
-                offs = offs + carry
-                data = [d + offs for d in data]
-                carry = carry + total
+                with kernel_phase(tr, ctx, "offsets"):
+                    ctx.syncthreads()
+                    offs, total = block_prefix_offsets(ctx, data[31], smem_p)
+                    offs = offs + carry
+                    data = [d + offs for d in data]
+                    carry = carry + total
                 # 5. transposed, coalesced store
-                for j in range(32):
-                    dst.store(ctx, col0 + j, row0 + lane, value=data[j])
+                with kernel_phase(tr, ctx, "store"):
+                    for j in range(32):
+                        dst.store(ctx, col0 + j, row0 + lane, value=data[j])
         if strip + 1 < n_strips:
             ctx.syncthreads()
 

@@ -1,0 +1,90 @@
+"""The deprecated repro.gpusim.config shims: one warning each, still work."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.gpusim as gpusim
+import repro.gpusim.config as config_mod
+from repro.exec.config import ExecutionConfig, execution, resolve_execution
+
+SHIM_NAMES = ("fused_enabled", "bounds_check_enabled", "sanitize_enabled")
+
+
+@pytest.fixture(autouse=True)
+def rearm_warnings():
+    """Each test sees fresh once-per-symbol state."""
+    saved = set(config_mod._warned)
+    config_mod._warned.clear()
+    yield
+    config_mod._warned.clear()
+    config_mod._warned.update(saved)
+
+
+@pytest.mark.parametrize("name", SHIM_NAMES)
+def test_access_warns_and_names_the_replacement(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(config_mod, name)
+    assert len(caught) == 1
+    w = caught[0]
+    assert issubclass(w.category, DeprecationWarning)
+    msg = str(w.message)
+    assert name in msg
+    assert "ExecutionConfig" in msg
+    assert "resolve_execution" in msg
+
+
+@pytest.mark.parametrize("name", SHIM_NAMES)
+def test_warns_only_once_per_symbol(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(config_mod, name)
+        getattr(config_mod, name)
+        getattr(gpusim, name)
+    assert len(caught) == 1
+
+
+def test_each_symbol_warns_independently():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for name in SHIM_NAMES:
+            getattr(config_mod, name)
+    assert len(caught) == len(SHIM_NAMES)
+
+
+def test_package_import_does_not_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import importlib
+
+        import repro
+        import repro.gpusim
+        importlib.reload(config_mod)
+    assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_shims_still_resolve_the_execution_config():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        fused = gpusim.fused_enabled
+        sanitize = gpusim.sanitize_enabled
+        bounds = gpusim.bounds_check_enabled
+    res = resolve_execution()
+    assert fused() == res.fused
+    assert sanitize() == res.sanitize
+    assert bounds() == res.bounds_check
+    with execution(ExecutionConfig(fused=False, sanitize=True,
+                                   bounds_check=True)):
+        assert fused() is False
+        assert sanitize() is True
+        assert bounds() is True
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        config_mod.not_a_real_shim
+    with pytest.raises(AttributeError):
+        gpusim.not_a_real_symbol

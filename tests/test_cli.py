@@ -98,3 +98,48 @@ def test_seed_changes_checksum(capsys):
     main(["sat", "--size", "64", "--seed", "2"])
     b = capsys.readouterr().out
     assert a.splitlines()[-1] != b.splitlines()[-1]
+
+
+def test_trace_command_chrome(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--size", "128", "--pair", "8u32s",
+                 "--algorithm", "brlt_scanrow", "--out", str(out)]) == 0
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert any(e.get("cat") == "launch" for e in doc["traceEvents"])
+    assert "spans" in capsys.readouterr().out
+
+
+def test_trace_command_jsonl(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "--size", "64", "--algorithm", "scan_row_column",
+                 "--out", str(out)]) == 0
+    recs = [json.loads(l) for l in out.read_text().splitlines()]
+    assert any(r["category"] == "kernel.phase" for r in recs)
+
+
+def test_profile_command_table(capsys):
+    assert main(["profile", "--size", "64", "--pair", "8u32s",
+                 "--algorithm", "brlt_scanrow"]) == 0
+    out = capsys.readouterr().out
+    assert "BRLT-ScanRow#1" in out and "BRLT-ScanRow#2" in out
+    assert "brlt_scanrow" in out
+
+
+def test_profile_command_all_algorithms_with_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "profile.json"
+    assert main(["profile", "--size", "64", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    for algo in ("scan_row_column", "brlt_scanrow", "scanrow_brlt"):
+        assert algo in text
+    doc = json.loads(out.read_text())
+    cats = {e.get("cat") for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert "launch" in cats and "kernel.phase" in cats
