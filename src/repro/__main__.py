@@ -187,8 +187,8 @@ def cmd_batch(args) -> int:
 
 def cmd_compare(args) -> int:
     if getattr(args, "backend", None) not in (None, "gpusim"):
-        print(f"compare needs modeled timings; backend {args.backend!r} "
-              f"has none", file=sys.stderr)
+        print(f"compare drives the calibrated gpusim runner; backend "
+              f"{args.backend!r} is not supported here", file=sys.stderr)
         return 2
     runner = Runner(calibration=min(1024, args.size))
     rows = []

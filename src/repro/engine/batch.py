@@ -35,7 +35,7 @@ import numpy as np
 from ..dtypes import TypePair
 from ..obs.metrics import get_metrics
 from ..obs.trace import current_tracer
-from ..exec.config import ExecutionConfig, resolve_execution
+from ..exec.config import ExecutionConfig, requested_backend, resolve_execution
 from ..exec.registry import (
     BatchSpec,
     get_kernel_spec,
@@ -254,14 +254,24 @@ class Engine:
             call_opts = dict(opts, fused=res.fused, sanitize=res.sanitize,
                              bounds_check=res.bounds_check, backend=res.backend)
         else:
-            if res.backend != "gpusim":
+            # Spec-less baselines run their own (CPU) path: an explicitly
+            # requested backend is an error, a floating one (env/profile/
+            # context preference) is quietly ignored.
+            req = requested_backend(config, backend)
+            if req not in (None, "gpusim"):
                 raise ValueError(
                     f"algorithm {algorithm!r} has no kernel spec and supports "
-                    f"only the 'gpusim' backend, not {res.backend!r}"
+                    f"only the 'gpusim' backend, not {req!r}"
                 )
             call_opts = dict(opts)
             if sanitize is not None:
                 call_opts["sanitize"] = sanitize
+
+        # gpusim batches stack interpreted replays; compiled batches stack
+        # lowered whole-grid programs over the same plans.  Everything else
+        # (host, baselines, sanitized runs) loops per image — the sanitizer
+        # is the trusted slow mode and never runs over compiled code.
+        batchable = res.backend in ("gpusim", "compiled")
 
         spec_method = BATCH_SPECS.get(algorithm)
         tracer = current_tracer()
@@ -269,11 +279,11 @@ class Engine:
                           algorithm=algorithm, device=dev.name, pair=tp.name,
                           n_images=len(imgs), backend=res.backend)
               if tracer is not None else nullcontext()) as sp:
-            if res.backend != "gpusim" or res.sanitize or spec_method is None:
+            if not batchable or res.sanitize or spec_method is None:
                 # Sanitized batches run cold per image so every launch is fully
                 # instrumented and sanitizer reports stay per-image accurate;
-                # baselines have no stacking recipe and non-simulator backends
-                # have no launches to stack.  Either way: a plain loop.
+                # baselines have no stacking recipe and the host backend has
+                # no launches to stack.  Either way: a plain loop.
                 run = self._run_fallback(fn, imgs, tp, dev, algorithm, call_opts)
             else:
                 run = self._run_batched(
@@ -356,12 +366,21 @@ class Engine:
 
         # Key plans on the *resolved* modes, so equivalent spellings (env
         # var vs. config object vs. kwarg) share plans and address tapes,
-        # while fused/legacy and bounds-checked variants stay distinct.
+        # while fused/legacy, bounds-checked and compiled variants stay
+        # distinct.
         key_opts = dict(opts, fused=res.fused, bounds_check=res.bounds_check)
+        compiled_mode = res.backend == "compiled"
+        if compiled_mode:
+            # The cold run must be the fully-accounted simulator run that
+            # records the plan this engine compiles; routing it through the
+            # compiled backend would record into the default engine's cache
+            # instead of this one's.
+            call_opts = dict(call_opts, backend="gpusim")
 
         tracer = current_tracer()
         for grp in groups:
-            key = PlanKey.make(algorithm, dev.name, tp.name, grp.bucket, key_opts)
+            key = PlanKey.make(algorithm, dev.name, tp.name, grp.bucket,
+                               key_opts, backend=res.backend)
             plan = self.cache.get_or_create(key, spec)
             pending = list(grp.indices)
             if not plan.recorded:
@@ -373,10 +392,19 @@ class Engine:
                 run0 = fn(imgs[i0], pair=tp, device=dev, **call_opts)
                 for lp, s in zip(plan.launch_plans, run0.launches):
                     lp.record(replace(s, counters=s.counters.copy()))
+                if compiled_mode:
+                    run0.backend = "compiled"
                 runs[i0] = run0
                 misses += 1
                 self.cache.note_miss()
                 modeled_batched += run0.time_s
+            if compiled_mode and not res.bounds_check:
+                # Lower the recorded plan once per bucket; failure leaves
+                # the bucket on the interpreted replay path.
+                from ..exec.backends import ensure_compiled
+
+                ensure_compiled(plan, get_kernel_spec(algorithm), tp,
+                                dict(opts, fused=res.fused))
             if pending:
                 if tracer is not None:
                     tracer.event("plan.hit", category="batch",
@@ -391,9 +419,16 @@ class Engine:
                     BucketGroup(grp.bucket, pending), per_img
                 )
                 for chunk in chunks:
-                    modeled_batched += self._replay_chunk(
-                        plan, spec, tp, dev, algorithm, imgs, chunk, runs, res
-                    )
+                    if compiled_mode and plan.compiled is not None:
+                        modeled_batched += self._compiled_chunk(
+                            plan, spec, tp, dev, algorithm, imgs, chunk,
+                            runs, res,
+                        )
+                    else:
+                        modeled_batched += self._replay_chunk(
+                            plan, spec, tp, dev, algorithm, imgs, chunk,
+                            runs, res,
+                        )
 
         return BatchRun(
             runs=runs,  # type: ignore[arg-type]
@@ -533,6 +568,84 @@ class Engine:
                 algorithm=algorithm,
                 device=dev.name,
                 pair=tp.name,
+            )
+        return t_stacked
+
+    def _compiled_chunk(
+        self,
+        plan: SatPlan,
+        spec: BatchSpec,
+        tp: TypePair,
+        dev,
+        algorithm: str,
+        imgs: List[np.ndarray],
+        chunk: List[int],
+        runs: List[Optional[SatRun]],
+        res: ExecutionConfig,
+    ) -> float:
+        """Run one chunk through the plan's compiled program.
+
+        The ``(depth, hp, wp)`` stack *is* the stacked launch — every
+        lowered pass vectorises over the leading batch axis exactly as the
+        interpreted replay scales its grid axis, with no restacking
+        between passes.  Outputs, per-image counters and the modeled
+        stacked time are bit-identical to :meth:`_replay_chunk`; an
+        execute-time failure drops the program (``compile.fallback``) and
+        reruns the chunk interpreted.
+        """
+        depth = len(chunk)
+        hp, wp = plan.key.bucket
+        # Stage straight into the accumulator dtype: the per-element cast
+        # input->acc is exactly the kernels' load-time astype, and the pad
+        # zeros are cast-invariant.  Images are first brought to the input
+        # dtype so a foreign-dtype image quantises identically to the
+        # interpreted staging path.
+        x3 = plan.get_staging("compiled_input", (depth, hp, wp),
+                              tp.output.np_dtype)
+        for j, i in enumerate(chunk):
+            im = imgs[i].astype(tp.input.np_dtype, copy=False)
+            h, w = im.shape
+            blk = x3[j]
+            blk[:h, :w] = im
+            if h < hp:
+                blk[h:, :] = 0
+            if w < wp:
+                blk[:h, w:] = 0
+
+        tracer = current_tracer()
+        try:
+            with (tracer.span(f"chunk:{algorithm}", category="chunk",
+                              algorithm=algorithm, depth=depth,
+                              bucket=(hp, wp), backend="compiled")
+                  if tracer is not None else nullcontext()) as sp:
+                out3 = plan.compiled.run(x3)
+        except Exception as e:
+            plan.compiled = None
+            get_metrics().counter("compile.fallback",
+                                  algorithm=algorithm).inc()
+            if tracer is not None:
+                tracer.event("compile.fallback", category="compile",
+                             level="warning", algorithm=algorithm,
+                             reason=str(e))
+            return self._replay_chunk(
+                plan, spec, tp, dev, algorithm, imgs, chunk, runs, res
+            )
+
+        t_stacked = sum(
+            _stacked_time_s(lp.stats, depth) for lp in plan.launch_plans
+        )
+        if sp is not None:
+            sp.attrs["modeled_us"] = t_stacked * 1e6
+        get_metrics().counter("compile.hit", algorithm=algorithm).inc(depth)
+        for j, i in enumerate(chunk):
+            h, w = imgs[i].shape
+            runs[i] = SatRun(
+                output=out3[j, :h, :w].copy(),
+                launches=[lp.clone_stats() for lp in plan.launch_plans],
+                algorithm=algorithm,
+                device=dev.name,
+                pair=tp.name,
+                backend="compiled",
             )
         return t_stacked
 

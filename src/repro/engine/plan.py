@@ -4,18 +4,26 @@ Every ``sat()`` call pays per-launch fixed costs that are pure functions of
 the launch *geometry*: padded shapes, grid/block dims, shared-memory
 layout, coalescing/bank-conflict analysis and cost-model setup.  None of
 them depend on the pixel values.  A :class:`SatPlan` memoises all of that
-for one ``(shape-bucket, pair, algorithm, device, opts)`` key — recorded
-once from a cold run, then replayed for every further image in the bucket
-via :func:`~repro.gpusim.launch.replay_kernel`, which executes the data
-movement with accounting disabled and clones the recorded (bit-identical)
-counters and timings.
+for one ``(shape-bucket, pair, algorithm, device, opts, backend)`` key —
+recorded once from a cold run, then replayed for every further image in
+the bucket via :func:`~repro.gpusim.launch.replay_kernel` (interpreted
+replay) or, on the ``compiled`` backend, executed as the plan's
+:class:`~repro.compile.lower.CompiledPlan` with zero interpreter steps.
 
 The plan also owns the reusable padded staging buffers the batch path
 stacks images into, so steady-state batches allocate nothing per image.
+
+The cache is LRU-bounded (``max_plans``, default 256, overridable with
+``REPRO_ENGINE_MAX_PLANS``) so varied shape streams cannot hoard plans,
+tapes and staging buffers without limit; evictions and the live size are
+exported through :func:`repro.obs.metrics.get_metrics` as
+``engine.plan_cache.evictions`` / ``engine.plan_cache.size``.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -23,6 +31,7 @@ import numpy as np
 
 from ..exec.registry import BatchSpec
 from ..gpusim.launch import LaunchPlan
+from ..obs.metrics import get_metrics
 
 __all__ = ["PlanKey", "SatPlan", "LaunchPlanCache"]
 
@@ -34,7 +43,8 @@ class PlanKey:
     ``bucket`` is the *padded* image shape — images whose raw shapes pad to
     the same multiple share every counter and timing, so they share a plan.
     ``opts`` is the canonicalised (sorted) tuple of algorithm options that
-    reach the kernels.
+    reach the kernels.  ``backend`` keeps compiled and interpreted plans
+    distinct: a compiled plan additionally carries its lowered program.
     """
 
     algorithm: str
@@ -42,16 +52,19 @@ class PlanKey:
     pair: str
     bucket: Tuple[int, int]
     opts: Tuple[Tuple[str, object], ...] = ()
+    backend: str = "gpusim"
 
     @classmethod
     def make(cls, algorithm: str, device: str, pair: str,
-             bucket: Tuple[int, int], opts: dict) -> "PlanKey":
+             bucket: Tuple[int, int], opts: dict,
+             backend: str = "gpusim") -> "PlanKey":
         return cls(
             algorithm=algorithm,
             device=device,
             pair=pair,
             bucket=(int(bucket[0]), int(bucket[1])),
             opts=tuple(sorted(opts.items())),
+            backend=backend,
         )
 
 
@@ -65,6 +78,16 @@ class SatPlan:
     launch_plans: List[LaunchPlan] = field(default_factory=list)
     #: Reusable padded staging buffers, keyed ``(role, shape, dtype-str)``.
     staging: Dict[tuple, np.ndarray] = field(default_factory=dict)
+    #: Lowered program (:class:`~repro.compile.lower.CompiledPlan`) for
+    #: the ``compiled`` backend; ``None`` until compiled (or after an
+    #: execute-time fallback dropped it).
+    compiled: Optional[object] = None
+    #: Lowering attempts so far; a deterministic :class:`~repro.compile.
+    #: lower.CompileError` pins this to ``MAX_COMPILE_ATTEMPTS`` so the
+    #: bucket stays on the interpreted path instead of recompiling forever.
+    compile_attempts: int = 0
+
+    MAX_COMPILE_ATTEMPTS = 2
 
     def __post_init__(self) -> None:
         if not self.launch_plans:
@@ -97,19 +120,34 @@ class SatPlan:
         return buf
 
 
+def _default_max_plans() -> int:
+    raw = os.environ.get("REPRO_ENGINE_MAX_PLANS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 256
+
+
 class LaunchPlanCache:
-    """FIFO-bounded cache of :class:`SatPlan` keyed by :class:`PlanKey`.
+    """LRU-bounded cache of :class:`SatPlan` keyed by :class:`PlanKey`.
 
     Hits and misses are counted *per image*: an image whose bucket plan was
     already recorded (by an earlier call or earlier in the same batch)
     counts as a hit; the one cold run that records a plan is the miss.
+    Lookups refresh recency, so steady shape mixes keep their plans while
+    one-off shapes age out; evictions and the live size are mirrored into
+    the process :class:`~repro.obs.metrics.MetricsRegistry`.
     """
 
-    def __init__(self, max_plans: int = 256):
-        self.max_plans = int(max_plans)
-        self._plans: Dict[PlanKey, SatPlan] = {}
+    def __init__(self, max_plans: Optional[int] = None):
+        self.max_plans = int(max_plans if max_plans is not None
+                             else _default_max_plans())
+        self._plans: "OrderedDict[PlanKey, SatPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -132,17 +170,22 @@ class LaunchPlanCache:
     def get_or_create(self, key: PlanKey, spec: BatchSpec) -> SatPlan:
         """The plan for ``key``, creating (and possibly evicting) as needed."""
         plan = self._plans.get(key)
-        if plan is None:
-            if len(self._plans) >= self.max_plans:
-                # FIFO eviction: dicts preserve insertion order.
-                oldest = next(iter(self._plans))
-                del self._plans[oldest]
-            plan = SatPlan(key=key, spec=spec)
-            self._plans[key] = plan
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        while len(self._plans) >= self.max_plans:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            get_metrics().counter("engine.plan_cache.evictions").inc()
+        plan = SatPlan(key=key, spec=spec)
+        self._plans[key] = plan
+        get_metrics().gauge("engine.plan_cache.size").set(len(self._plans))
         return plan
 
     def clear(self) -> None:
-        """Drop every plan and reset the hit/miss statistics."""
+        """Drop every plan and reset the hit/miss/eviction statistics."""
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        get_metrics().gauge("engine.plan_cache.size").set(0)

@@ -63,6 +63,7 @@ __all__ = [
     "get_default_config",
     "set_default_config",
     "resolve_execution",
+    "requested_backend",
 ]
 
 _FALSY = {"0", "false", "no", "off", ""}
@@ -97,7 +98,8 @@ class ExecutionConfig:
     #: Global-memory bounds checking debug mode.
     bounds_check: Optional[bool] = None
     #: Execution backend name from the :mod:`repro.exec.registry`
-    #: (``"gpusim"`` — the simulator — or ``"host"``, pure NumPy).
+    #: (``"gpusim"`` — the simulator —, ``"host"`` — pure NumPy pass
+    #: semantics —, or ``"compiled"`` — tape-compiled plan replay).
     backend: Optional[str] = None
     #: Default simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
     device: Optional[str] = None
@@ -126,6 +128,7 @@ PROFILES: Dict[str, ExecutionConfig] = {
     "default": ExecutionConfig(),
     "legacy": ExecutionConfig(fused=False),
     "sanitized": ExecutionConfig(sanitize=True),
+    "compiled": ExecutionConfig(backend="compiled"),
 }
 
 #: Per-field environment variables (the lowest-precedence explicit layer).
@@ -233,6 +236,24 @@ def _profile_config() -> Optional[ExecutionConfig]:
             f"unknown REPRO_EXEC_PROFILE {name.strip()!r}; available: "
             f"{sorted(PROFILES)}"
         ) from None
+
+
+def requested_backend(config: ConfigLike = None,
+                      backend: Optional[str] = None) -> Optional[str]:
+    """The backend explicitly requested *at the call site*, or ``None``.
+
+    Only the ``backend=`` keyword and the per-call ``config`` count as
+    explicit; contexts, the installed default, environment variables and
+    profiles are floating preferences.  Callers that cannot honour a
+    backend (spec-less baseline algorithms) reject explicit requests but
+    quietly ignore floating ones — a profile like ``compiled`` must not
+    make the CPU baselines unusable.
+    """
+    if backend is not None:
+        return backend
+    if config is not None:
+        return _coerce(config).backend
+    return None
 
 
 def resolve_execution(config: ConfigLike = None, **overrides) -> ExecutionConfig:

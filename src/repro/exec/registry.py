@@ -26,7 +26,7 @@ it without cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "PassSpec",
@@ -53,7 +53,11 @@ class PassSpec:
     ``(src, dst)`` from the algorithm options (including the resolved
     ``fused`` mode); ``host(arr)`` is the pass's mathematical semantics on
     a host array (already in the accumulator dtype), used by the ``host``
-    backend and by nothing else.
+    backend and by nothing else; ``lower(stats, tp, opts)`` (optional)
+    returns the pass's closed-form NumPy program for the ``compiled``
+    backend — a ``(depth, H, W) -> (depth, H', W')`` function bit-identical
+    to the kernel, built from the *recorded* launch stats (see
+    :mod:`repro.compile`).
     """
 
     #: Display/launch name, e.g. ``"BRLT-ScanRow#1"``.
@@ -76,6 +80,10 @@ class PassSpec:
     transposed: bool
     #: Outstanding loads per warp fed to the cost model.
     mlp: int = 32
+    #: Optional tape-compiler hook: ``(LaunchStats, TypePair, opts) ->
+    #: callable`` lowering this pass for the ``compiled`` backend, or
+    #: ``None`` when the pass cannot be compiled.
+    lower: Optional[Callable] = None
 
 
 @dataclass(frozen=True)

@@ -198,7 +198,13 @@ def replay_kernel(
             tape.kill()
             if tracer is not None:
                 tracer.event("tape.mismatch", category="replay", kernel=s.name)
+                # Warning-level twin of the mismatch event: the untaped
+                # rerun is a silent slow path, surfaced so `repro profile`
+                # makes regressions visible.
+                tracer.event("tape.fallback", category="replay",
+                             level="warning", kernel=s.name, grid=ctx.grid)
             get_metrics().counter("gpusim.tape_mismatches", kernel=s.name).inc()
+            get_metrics().counter("tape.fallback", kernel=s.name).inc()
             ctx = KernelContext(s.device, ctx.grid, s.block, record=False,
                                 bounds_check=bounds_check)
             ctx.kernel_name = s.name

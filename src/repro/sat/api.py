@@ -24,7 +24,7 @@ from ..baselines.cpu import sat_cpu_numpy, sat_cpu_serial
 from ..baselines.npp_sat import sat_npp
 from ..baselines.opencv_sat import sat_opencv
 from ..dtypes import TYPE_PAIRS, TypePair, parse_pair
-from ..exec.config import ExecutionConfig, resolve_execution
+from ..exec.config import ExecutionConfig, requested_backend, resolve_execution
 from ..exec.registry import has_kernel_spec
 from ..obs.trace import resolve_tracer, tracing
 from .brlt_scanrow import sat_brlt_scanrow
@@ -174,10 +174,14 @@ def sat(
                      config=config, **opts)
         else:
             res = resolve_execution(config, backend=backend, device=device)
-            if res.backend != "gpusim":
+            # Spec-less algorithms run their own (CPU) path: an explicitly
+            # requested backend is an error, a floating one (env/profile/
+            # context preference) is quietly ignored.
+            req = requested_backend(config, backend)
+            if req not in (None, "gpusim"):
                 raise ValueError(
                     f"algorithm {algorithm!r} has no kernel spec and supports "
-                    f"only the 'gpusim' backend, not {res.backend!r}"
+                    f"only the 'gpusim' backend, not {req!r}"
                 )
             run = fn(image, pair=tp, device=res.device, **opts)
     if exclusive:

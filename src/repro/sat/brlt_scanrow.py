@@ -143,11 +143,28 @@ def _host_pass(a):
     return np.cumsum(a, axis=1, dtype=a.dtype).T
 
 
+def _lower_pass(stats, tp, opts):
+    # Closed-form pass: serial chunk scans with Fig.-3c strip offsets
+    # sized by the *recorded* warps-per-block.  Integer accumulators are
+    # association-free, so they lower to whole-axis accumulates on both
+    # physical axes and the executor elides every transpose.
+    from ..compile.lower import LoweredPass
+    from ..compile.ops import (chunked_row_scan, int_col_scan, int_row_scan,
+                               is_integer_acc, serial_chunk_scan)
+
+    if is_integer_acc(tp.output.np_dtype):
+        return LoweredPass(rows=int_row_scan, cols=int_col_scan)
+    wpb = int(np.prod(stats.block)) // 32
+    return LoweredPass(
+        rows=lambda stack: chunked_row_scan(stack, wpb, serial_chunk_scan))
+
+
 _PASS = dict(
     kernel=brlt_scanrow_kernel,
     geometry=_tile_geometry,
     extra_args=_extra_args,
     host=_host_pass,
+    lower=_lower_pass,
     # Band-parallel over grid y: rows-stacked input (more independent
     # 32-row bands); the transposed store emits cols-stacked output, so
     # the engine restacks between the passes.

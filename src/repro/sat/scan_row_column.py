@@ -172,6 +172,42 @@ def _scancolumn_geometry(h, w, acc, device):
     return (w // 32, 1, 1), (32, wpb, 1)
 
 
+def _lower_scanrow(stats, tp, opts):
+    # The carry flows *through* the warp scan (injected at lane 0, read
+    # back from lane 31), so chunks are sequential; each chunk is one
+    # vectorised whole-grid scan over every row at once.  For integer
+    # accumulators the carry chain is just a continued sum, so the pass
+    # reduces to one whole-row accumulate.
+    from ..compile.lower import CompileError, LoweredPass
+    from ..compile.ops import (WARP_SCAN_LOWERED, carry_through_row_scan,
+                               int_col_scan, int_row_scan, is_integer_acc)
+
+    if is_integer_acc(tp.output.np_dtype):
+        return LoweredPass(rows=int_row_scan, cols=int_col_scan)
+    scan = WARP_SCAN_LOWERED.get(opts.get("scan", "kogge_stone"))
+    if scan is None:
+        raise CompileError(f"no lowered warp scan for {opts.get('scan')!r}")
+    return LoweredPass(rows=lambda stack: carry_through_row_scan(stack, scan))
+
+
+def _lower_scancolumn(stats, tp, opts):
+    # Serial scans down 32-row chunks with Fig.-3c band offsets sized by
+    # the recorded warps-per-block — the row program on the column axis
+    # (col_major: the executor transposes to reach the float row body;
+    # integer plans scan axis 1 directly and stay transpose-free).
+    from ..compile.lower import LoweredPass
+    from ..compile.ops import (chunked_row_scan, int_col_scan, int_row_scan,
+                               is_integer_acc, serial_chunk_scan)
+
+    if is_integer_acc(tp.output.np_dtype):
+        return LoweredPass(rows=int_row_scan, cols=int_col_scan,
+                           col_major=True)
+    wpb = int(np.prod(stats.block)) // 32
+    return LoweredPass(
+        rows=lambda stack: chunked_row_scan(stack, wpb, serial_chunk_scan),
+        col_major=True)
+
+
 SPEC = register_kernel_spec(
     KernelSpec(
         algorithm="scan_row_column",
@@ -191,6 +227,7 @@ SPEC = register_kernel_spec(
                 stack_in="rows",
                 stack_out="rows",
                 transposed=False,
+                lower=_lower_scanrow,
             ),
             PassSpec(
                 name="ScanColumn",
@@ -202,6 +239,7 @@ SPEC = register_kernel_spec(
                 stack_in="cols",
                 stack_out="cols",
                 transposed=False,
+                lower=_lower_scancolumn,
             ),
         ),
     )

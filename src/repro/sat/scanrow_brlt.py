@@ -138,11 +138,32 @@ def _host_pass(a):
     return np.cumsum(a, axis=1, dtype=a.dtype).T
 
 
+def _lower_pass(stats, tp, opts):
+    # Same strip/offset/carry structure as BRLT-ScanRow, but the inner
+    # chunk scan is the lowered warp scan the cold run selected.  Integer
+    # accumulators reduce to whole-axis accumulates (association-free),
+    # with both physical axes so the executor elides the transposes.
+    from ..compile.lower import CompileError, LoweredPass
+    from ..compile.ops import (WARP_SCAN_LOWERED, chunked_row_scan,
+                               int_col_scan, int_row_scan, is_integer_acc)
+
+    if is_integer_acc(tp.output.np_dtype):
+        return LoweredPass(rows=int_row_scan, cols=int_col_scan)
+    scan = WARP_SCAN_LOWERED.get(opts.get("scan", "kogge_stone"))
+    if scan is None:
+        raise CompileError(
+            f"no lowered warp scan for {opts.get('scan')!r}"
+        )
+    wpb = int(np.prod(stats.block)) // 32
+    return LoweredPass(rows=lambda stack: chunked_row_scan(stack, wpb, scan))
+
+
 _PASS = dict(
     kernel=scanrow_brlt_kernel,
     geometry=_tile_geometry,
     extra_args=_extra_args,
     host=_host_pass,
+    lower=_lower_pass,
     # Same stacking as BRLT-ScanRow: band-parallel over grid y, stores
     # transposed so rows-stacked input emits cols-stacked output.
     grid_axis="y",

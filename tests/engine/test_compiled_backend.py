@@ -1,0 +1,180 @@
+"""Compiled-backend lifecycle: cold record → warm replay → fallback.
+
+Covers the plan-state machine the ``compiled`` backend drives through the
+shared plan cache: a cold call records and lowers, warm calls execute the
+compiled program, lowering refusals pin the bucket to the interpreted
+path, execute-time failures drop the program and recompile on the next
+call, and the trusted slow modes (sanitizer, bounds checks) never run
+over compiled code.  The ``tape.fallback`` twin of the replay tape's
+mismatch path is checked here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.engine.batch import default_engine
+from repro.gpusim.launch import LaunchPlan, launch_kernel, replay_kernel
+from repro.gpusim.replay import TapeMismatchError
+from repro.obs import get_metrics, reset_metrics
+from repro.obs.trace import Tracer, tracing
+from repro.sat.api import sat
+
+from ..helpers import make_image
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    monkeypatch.setenv("REPRO_GPUSIM_SANITIZE", "0")
+    default_engine().cache.clear()
+    reset_metrics()
+    yield
+    default_engine().cache.clear()
+
+
+def _compiled_plans(cache):
+    return [p for p in cache._plans.values() if p.key.backend == "compiled"]
+
+
+class TestLifecycle:
+    def test_cold_records_and_lowers_then_warm_replays(self):
+        img = make_image((64, 48), "8u32s", seed=1)
+        m = get_metrics()
+        cold = sat(img, pair="8u32s", backend="compiled")
+        assert cold.backend == "compiled"
+        assert m.counter_total("compile.miss") == 1
+        assert m.counter_total("compile.hit") == 0
+        (plan,) = _compiled_plans(default_engine().cache)
+        assert plan.recorded and plan.compiled is not None
+        assert plan.compiled.executions == 0
+
+        warm = sat(img, pair="8u32s", backend="compiled")
+        assert warm.backend == "compiled"
+        assert plan.compiled.executions == 1
+        assert m.counter_total("compile.hit") == 1
+        assert warm.output.tobytes() == cold.output.tobytes()
+        # Warm counters/timings are clones of the recorded cold launch.
+        assert warm.time_us == pytest.approx(cold.time_us)
+        for a, b in zip(warm.launches, cold.launches):
+            assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_integer_plans_run_transpose_free(self):
+        img = make_image((64, 64), "8u32s", seed=2)
+        sat(img, pair="8u32s", backend="compiled")
+        sat(img, pair="8u32s", backend="compiled")
+        (plan,) = _compiled_plans(default_engine().cache)
+        assert plan.compiled.transposes == 0
+
+    def test_execute_failure_falls_back_and_recompiles(self):
+        img = make_image((40, 40), "8u32s", seed=3)
+        ref = sat(img, pair="8u32s")
+        sat(img, pair="8u32s", backend="compiled")
+        (plan,) = _compiled_plans(default_engine().cache)
+
+        def boom(stack):
+            raise RuntimeError("lowered program diverged")
+
+        for p in plan.compiled.passes:
+            p.rows = p.cols = boom
+        m = get_metrics()
+        out = sat(img, pair="8u32s", backend="compiled")
+        assert out.output.tobytes() == ref.output.tobytes()
+        assert m.counter_total("compile.fallback") == 1
+        assert plan.compiled is None  # program dropped, plan kept
+
+        # The recorded plan is intact: the next call recompiles and runs
+        # the fresh program.
+        again = sat(img, pair="8u32s", backend="compiled")
+        assert plan.compiled is not None
+        assert m.counter_total("compile.miss") == 2
+        assert again.output.tobytes() == ref.output.tobytes()
+
+    def test_lowering_refusal_pins_interpreted_path(self, monkeypatch):
+        from repro.compile import ops
+
+        monkeypatch.delitem(ops.WARP_SCAN_LOWERED, "brent_kung")
+        img = make_image((48, 32), "32f32f", seed=4)
+        ref = sat(img, pair="32f32f", algorithm="scanrow_brlt",
+                  scan="brent_kung")
+        m = get_metrics()
+        cold = sat(img, pair="32f32f", algorithm="scanrow_brlt",
+                   scan="brent_kung", backend="compiled")
+        assert m.counter_total("compile.fallback") == 1
+        (plan,) = _compiled_plans(default_engine().cache)
+        assert plan.compiled is None
+        assert plan.compile_attempts == plan.MAX_COMPILE_ATTEMPTS
+
+        # Warm calls stay interpreted without re-attempting the lowering.
+        warm = sat(img, pair="32f32f", algorithm="scanrow_brlt",
+                   scan="brent_kung", backend="compiled")
+        assert m.counter_total("compile.fallback") == 1
+        assert warm.backend == "gpusim"
+        for r in (cold, warm):
+            assert r.output.tobytes() == ref.output.tobytes()
+
+    def test_sanitize_delegates_to_interpreter(self):
+        img = make_image((33, 31), "8u32s", seed=5)
+        run = sat(img, pair="8u32s", backend="compiled", sanitize=True)
+        assert run.backend == "gpusim"
+        assert all(s.timing.sanitizer is not None for s in run.launches)
+        assert _compiled_plans(default_engine().cache) == []
+
+
+class TestBatchLifecycle:
+    def test_batch_fallback_replays_interpreted(self):
+        imgs = [make_image((64, 64), "8u32s", seed=i) for i in range(4)]
+        ref = Engine().run_batch(imgs, pair="8u32s")
+        eng = Engine()
+        eng.run_batch(imgs, pair="8u32s", backend="compiled")
+        (plan,) = _compiled_plans(eng.cache)
+
+        def boom(stack):
+            raise RuntimeError("lowered program diverged")
+
+        for p in plan.compiled.passes:
+            p.rows = p.cols = boom
+        m = get_metrics()
+        got = eng.run_batch(imgs, pair="8u32s", backend="compiled")
+        assert m.counter_total("compile.fallback") >= 1
+        assert plan.compiled is None
+        for r, c in zip(ref.runs, got.runs):
+            assert r.output.tobytes() == c.output.tobytes()
+
+        # Recompiled on the next batch; warm images execute compiled.
+        again = eng.run_batch(imgs, pair="8u32s", backend="compiled")
+        assert plan.compiled is not None and plan.compiled.executions > 0
+        for r, c in zip(ref.runs, again.runs):
+            assert r.output.tobytes() == c.output.tobytes()
+
+    def test_batch_hits_count_per_image(self):
+        imgs = [make_image((64, 64), "8u32s", seed=i) for i in range(5)]
+        eng = Engine()
+        m = get_metrics()
+        eng.run_batch(imgs, pair="8u32s", backend="compiled")
+        # One cold image records; the other four execute compiled.
+        assert m.counter_total("compile.miss") == 1
+        assert m.counter_total("compile.hit") == 4
+
+
+class TestTapeFallback:
+    def test_tape_mismatch_rerun_emits_warning_metric(self):
+        ran = []
+
+        def kern(ctx):
+            if getattr(ctx, "tape", None) is not None:
+                raise TapeMismatchError("data-dependent op sequence")
+            ran.append(1)
+
+        stats = launch_kernel(kern, device="P100", grid=1, block=32,
+                              regs_per_thread=8)
+        plan = LaunchPlan()
+        plan.record(stats)
+        with tracing(Tracer()) as tr:
+            out = replay_kernel(kern, plan=plan)
+        assert len(ran) == 2  # cold launch + untaped rerun
+        assert out.time_us == stats.time_us
+        m = get_metrics()
+        assert m.counter_total("tape.fallback") == 1
+        assert m.counter_total("gpusim.tape_mismatches") == 1
+        warn = [e for e in tr.events if e["name"] == "tape.fallback"]
+        assert len(warn) == 1 and warn[0]["level"] == "warning"

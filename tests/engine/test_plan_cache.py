@@ -1,4 +1,4 @@
-"""LaunchPlanCache: keying, hit accounting, FIFO bounds."""
+"""LaunchPlanCache: keying, hit accounting, LRU bounds."""
 
 import numpy as np
 import pytest
@@ -7,6 +7,7 @@ from repro import sat_batch
 from repro.dtypes import parse_pair
 from repro.engine import BATCH_SPECS, Engine, LaunchPlanCache, PlanKey
 from repro.gpusim.device import get_device
+from repro.obs import get_metrics, reset_metrics
 
 
 def _spec(pair="8u32s", device="P100"):
@@ -52,7 +53,7 @@ class TestCache:
         assert p1 is p2
         assert len(cache) == 1 and _key() in cache
 
-    def test_fifo_eviction(self):
+    def test_lru_eviction(self):
         cache = LaunchPlanCache(max_plans=2)
         spec = _spec()
         k1, k2, k3 = _key((32, 32)), _key((64, 64)), _key((96, 96))
@@ -61,6 +62,37 @@ class TestCache:
         cache.get_or_create(k3, spec)
         assert len(cache) == 2
         assert k1 not in cache and k2 in cache and k3 in cache
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        """Touching a plan protects it: the cold one is evicted instead."""
+        cache = LaunchPlanCache(max_plans=2)
+        spec = _spec()
+        k1, k2, k3 = _key((32, 32)), _key((64, 64)), _key((96, 96))
+        cache.get_or_create(k1, spec)
+        cache.get_or_create(k2, spec)
+        cache.get_or_create(k1, spec)  # refresh k1
+        cache.get_or_create(k3, spec)  # evicts k2, not k1
+        assert k1 in cache and k2 not in cache and k3 in cache
+
+    def test_eviction_and_size_exported_as_metrics(self):
+        reset_metrics()
+        cache = LaunchPlanCache(max_plans=2)
+        spec = _spec()
+        for bucket in ((32, 32), (64, 64), (96, 96)):
+            cache.get_or_create(_key(bucket), spec)
+        m = get_metrics()
+        assert m.counter_total("engine.plan_cache.evictions") == 1
+        assert m.value("engine.plan_cache.size") == 2.0
+        cache.clear()
+        assert m.value("engine.plan_cache.size") == 0.0
+
+    def test_capacity_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_MAX_PLANS", "3")
+        assert LaunchPlanCache().max_plans == 3
+        monkeypatch.setenv("REPRO_ENGINE_MAX_PLANS", "not-a-number")
+        assert LaunchPlanCache().max_plans == 256
+        assert LaunchPlanCache(max_plans=7).max_plans == 7
 
     def test_hit_rate(self):
         cache = LaunchPlanCache()

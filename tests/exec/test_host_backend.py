@@ -33,7 +33,7 @@ class TestHostRuns:
     @pytest.mark.parametrize("algo", ALGOS)
     def test_matches_gpusim_all_pairs(self, algo, pair):
         img = make_image((45, 70), pair, seed=7)
-        g = sat(img, pair=pair, algorithm=algo)
+        g = sat(img, pair=pair, algorithm=algo, backend="gpusim")
         h = sat(img, pair=pair, algorithm=algo, backend="host")
         assert g.backend == "gpusim" and h.backend == "host"
         assert h.output.dtype == g.output.dtype

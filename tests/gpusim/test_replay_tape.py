@@ -175,7 +175,9 @@ class TestPlanWiring:
 
         eng = Engine()
         imgs = [np.full((64, 64), i, dtype=np.uint8) for i in range(4)]
-        sat_batch(imgs, pair="8u32s", engine=eng)
+        # Tapes belong to the interpreted replay path; pin the backend so
+        # a compiled execution profile cannot reroute the warm images.
+        sat_batch(imgs, pair="8u32s", engine=eng, backend="gpusim")
         plans = list(eng.cache._plans.values())
         assert plans
         tapes = [t for p in plans for lp in p.launch_plans

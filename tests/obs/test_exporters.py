@@ -28,7 +28,11 @@ def traced_sat():
     img = make_image((128, 128), "8u32s", seed=5)
     tr = Tracer()
     with tracing(tr):
-        run = sat(img, pair="8u32s", algorithm="brlt_scanrow")
+        # The exporter layout assertions are about interpreted launch
+        # spans; pin the backend so a compiled profile cannot replace
+        # them with a warm program execution.
+        run = sat(img, pair="8u32s", algorithm="brlt_scanrow",
+                  backend="gpusim")
     return tr, run
 
 
@@ -121,7 +125,8 @@ class TestChromeTrace:
         tr = Tracer()
         with execution(ExecutionConfig(sanitize=False, bounds_check=False)), \
                 tracing(tr):
-            sat_batch(imgs, pair="8u32s", algorithm="brlt_scanrow")
+            sat_batch(imgs, pair="8u32s", algorithm="brlt_scanrow",
+                      backend="gpusim")
         doc = to_chrome_trace(tr)
         assert validate_chrome_trace(doc) == []
         cats = {e.get("cat") for e in doc["traceEvents"]

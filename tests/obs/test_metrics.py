@@ -81,7 +81,7 @@ class TestStackIntegration:
     def test_sat_increments_launch_and_call_counters(self):
         reset_metrics()
         img = make_image((64, 64), "8u32s", seed=3)
-        sat(img, pair="8u32s", algorithm="brlt_scanrow")
+        sat(img, pair="8u32s", algorithm="brlt_scanrow", backend="gpusim")
         m = get_metrics()
         assert m.counter_total("gpusim.launches") == 2.0
         assert m.value("sat.calls", algorithm="brlt_scanrow",
@@ -92,7 +92,8 @@ class TestStackIntegration:
     def test_batch_increments_engine_and_replay_counters(self):
         reset_metrics()
         imgs = [make_image((64, 64), "8u32s", seed=i) for i in range(6)]
-        run = Engine().run_batch(imgs, pair="8u32s", algorithm="brlt_scanrow")
+        run = Engine().run_batch(imgs, pair="8u32s", algorithm="brlt_scanrow",
+                                 backend="gpusim")
         m = get_metrics()
         assert m.value("engine.batches", algorithm="brlt_scanrow") == 1.0
         assert m.value("engine.images", algorithm="brlt_scanrow") == 6.0
@@ -108,7 +109,8 @@ class TestStackIntegration:
         # the cold launch (grid ×7); batches 2 and 3 replay all n stacked
         # (grid ×8), so batch 2 records that tape and batch 3 plays it.
         for _ in range(3):
-            eng.run_batch(imgs, pair="8u32s", algorithm="brlt_scanrow")
+            eng.run_batch(imgs, pair="8u32s", algorithm="brlt_scanrow",
+                          backend="gpusim")
         m = get_metrics()
         assert m.counter_total("gpusim.tape.recorded") > 0
         assert m.counter_total("gpusim.tape.replayed") > 0

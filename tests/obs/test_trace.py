@@ -121,7 +121,9 @@ class TestSatIntegration:
     def test_traced_run_emits_expected_categories(self):
         img = make_image((64, 64), "8u32s", seed=1)
         with tracing() as tr:
-            sat(img, pair="8u32s", algorithm="brlt_scanrow")
+            # Interpreted-launch span layout; pin the backend so a compiled
+            # profile cannot substitute compile/execute spans.
+            sat(img, pair="8u32s", algorithm="brlt_scanrow", backend="gpusim")
         cats = {s.category for s in tr.spans}
         assert cats == {"sat", "launch", "kernel.phase"}
         launches = [s for s in tr.spans if s.category == "launch"]

@@ -84,7 +84,7 @@ def test_bench_alias(capsys):
 
 def test_compare_rejects_host_backend(capsys):
     assert main(["compare", "--size", "256", "--backend", "host"]) == 2
-    assert "modeled timings" in capsys.readouterr().err
+    assert "calibrated gpusim runner" in capsys.readouterr().err
 
 
 def test_unknown_command_rejected():
@@ -102,8 +102,11 @@ def test_seed_changes_checksum(capsys):
 
 def test_trace_command_chrome(tmp_path, capsys):
     out = tmp_path / "trace.json"
+    # Launch-span layout is interpreted-backend specific: pin it so a
+    # compiled execution profile cannot swap in warm program spans.
     assert main(["trace", "--size", "128", "--pair", "8u32s",
-                 "--algorithm", "brlt_scanrow", "--out", str(out)]) == 0
+                 "--algorithm", "brlt_scanrow", "--backend", "gpusim",
+                 "--out", str(out)]) == 0
     import json
 
     from repro.obs import validate_chrome_trace
@@ -119,14 +122,14 @@ def test_trace_command_jsonl(tmp_path, capsys):
 
     out = tmp_path / "trace.jsonl"
     assert main(["trace", "--size", "64", "--algorithm", "scan_row_column",
-                 "--out", str(out)]) == 0
+                 "--backend", "gpusim", "--out", str(out)]) == 0
     recs = [json.loads(l) for l in out.read_text().splitlines()]
     assert any(r["category"] == "kernel.phase" for r in recs)
 
 
 def test_profile_command_table(capsys):
     assert main(["profile", "--size", "64", "--pair", "8u32s",
-                 "--algorithm", "brlt_scanrow"]) == 0
+                 "--algorithm", "brlt_scanrow", "--backend", "gpusim"]) == 0
     out = capsys.readouterr().out
     assert "BRLT-ScanRow#1" in out and "BRLT-ScanRow#2" in out
     assert "brlt_scanrow" in out
@@ -136,7 +139,8 @@ def test_profile_command_all_algorithms_with_out(tmp_path, capsys):
     import json
 
     out = tmp_path / "profile.json"
-    assert main(["profile", "--size", "64", "--out", str(out)]) == 0
+    assert main(["profile", "--size", "64", "--backend", "gpusim",
+                 "--out", str(out)]) == 0
     text = capsys.readouterr().out
     for algo in ("scan_row_column", "brlt_scanrow", "scanrow_brlt"):
         assert algo in text
