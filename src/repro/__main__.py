@@ -10,6 +10,8 @@ Commands
 ``devices``     list the simulated device registry (Table I)
 ``trace``       trace one SAT call and export the span log
 ``profile``     per-pass modeled-time breakdown (Fig. 8 shape) + trace.json
+``serve``       start the SAT serving layer (batcher + worker pool)
+``loadgen``     drive a closed/open-loop load run against the serving layer
 
 The ``sat``, ``batch`` and ``compare``/``bench`` commands share the
 execution-mode flags ``--backend``, ``--no-fused``, ``--sanitize`` and
@@ -146,6 +148,42 @@ def _build_parser() -> argparse.ArgumentParser:
     f.add_argument("--out", default=None,
                    help="also write the Chrome/Perfetto trace here")
     _add_exec_flags(f)
+
+    v = sub.add_parser("serve",
+                       help="start the SAT serving layer (batcher + workers)")
+    v.add_argument("--workers", type=int, default=4)
+    v.add_argument("--max-delay-ms", type=float, default=5.0,
+                   help="batcher admission deadline")
+    v.add_argument("--size", type=int, default=128,
+                   help="square side of the synthetic self-test images")
+    v.add_argument("--requests", type=int, default=16,
+                   help="synthetic requests to serve before printing stats "
+                        "(0 skips the self-test)")
+    v.add_argument("--http", action="store_true",
+                   help="bind the /health and /stats HTTP facade and print "
+                        "the address")
+    v.add_argument("--duration", type=float, default=0.0,
+                   help="keep serving this many seconds after the self-test "
+                        "(for external probes of --http)")
+    v.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(v)
+
+    lg = sub.add_parser("loadgen",
+                        help="drive a load run against an in-process service")
+    lg.add_argument("--mode", choices=["closed", "open"], default="closed")
+    lg.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads")
+    lg.add_argument("--requests", type=int, default=64,
+                    help="total requests to issue")
+    lg.add_argument("--rate", type=float, default=300.0,
+                    help="open-loop arrival rate (req/s)")
+    lg.add_argument("--size", type=int, default=128)
+    lg.add_argument("--n-shapes", type=int, default=2,
+                    help="distinct image shapes in the workload")
+    lg.add_argument("--workers", type=int, default=4)
+    lg.add_argument("--max-delay-ms", type=float, default=5.0)
+    lg.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(lg)
     return p
 
 
@@ -287,6 +325,66 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _serve_images(args, n: int):
+    from .dtypes import parse_pair
+
+    tp = parse_pair("8u32s")
+    sizes = [max(32, args.size - 32 * i) for i in range(n)]
+    return [random_matrix((s, s), tp.input, seed=args.seed + i)
+            for i, s in enumerate(sizes)]
+
+
+def cmd_serve(args) -> int:
+    import json
+    import time
+
+    from .obs import reset_metrics
+    from .serve import SatRequest, SatService
+
+    reset_metrics()  # stats() reads the process-global registry
+    with SatService(workers=args.workers,
+                    max_delay_s=args.max_delay_ms / 1e3) as svc:
+        if args.http:
+            host, port = svc.start_http()
+            print(f"serving /health and /stats on http://{host}:{port}")
+        if args.requests:
+            imgs = _serve_images(args, min(4, args.requests))
+            futs = [svc.submit(SatRequest(imgs[i % len(imgs)]))
+                    for i in range(args.requests)]
+            for f in futs:
+                f.result(timeout=120)
+        if args.duration > 0:
+            try:
+                time.sleep(args.duration)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+        print(json.dumps({"health": svc.health(), "stats": svc.stats()},
+                         indent=2))
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from .obs import reset_metrics
+    from .serve import SatService, run_closed_loop, run_open_loop
+
+    reset_metrics()  # report coalesce/batch metrics for this run only
+    imgs = _serve_images(args, args.n_shapes)
+    with SatService(workers=args.workers,
+                    max_delay_s=args.max_delay_ms / 1e3) as svc:
+        if args.mode == "closed":
+            rep = run_closed_loop(
+                svc, imgs, clients=args.clients,
+                requests_per_client=max(1, args.requests // args.clients),
+            )
+        else:
+            rep = run_open_loop(svc, imgs, rate_rps=args.rate,
+                                n_requests=args.requests)
+    print(json.dumps(rep.to_dict(), indent=2))
+    return 0 if rep.n_errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sat":
@@ -311,6 +409,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "profile":
         with execution(_exec_config(args)):
             return cmd_profile(args)
+    if args.command == "serve":
+        with execution(_exec_config(args)):
+            return cmd_serve(args)
+    if args.command == "loadgen":
+        with execution(_exec_config(args)):
+            return cmd_loadgen(args)
     return 2  # pragma: no cover
 
 

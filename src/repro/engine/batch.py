@@ -310,6 +310,47 @@ class Engine:
         run.wall_s = time.perf_counter() - t0
         return run
 
+    def run_group(
+        self,
+        images: Union[Sequence[np.ndarray], np.ndarray],
+        pair: Optional[str] = None,
+        algorithm: str = "brlt_scanrow",
+        **kwargs,
+    ) -> BatchRun:
+        """Run a *pre-coalesced* group: every image must share one bucket.
+
+        The entry point for callers that have already done the grouping —
+        the serving layer's dynamic batcher coalesces compatible requests
+        (same algorithm, dtype pair, shape bucket and resolved execution
+        config) before submission, so the engine only has to validate the
+        invariant, chunk against the stack-size knee, and execute.  A
+        mixed-bucket group raises ``ValueError`` instead of silently
+        splitting: an upstream batcher that produces one is broken.
+
+        Accepts exactly the :meth:`run_batch` keywords and returns the
+        same :class:`BatchRun` (single entry in ``buckets``).
+        """
+        from ..sat.api import _resolve_pair
+
+        imgs = self._normalize(images)
+        if has_kernel_spec(algorithm):
+            tp = _resolve_pair(imgs[0], pair)
+            pad = get_kernel_spec(algorithm).pad
+            buckets = {self.scheduler.bucket_of(im.shape, pad)
+                       for im in imgs}
+            if len(buckets) > 1:
+                raise ValueError(
+                    f"run_group requires one shape bucket, got "
+                    f"{sorted(buckets)} (pad multiples {pad}); use "
+                    f"run_batch for mixed groups"
+                )
+            if any(im.dtype != tp.input.np_dtype for im in imgs):
+                raise ValueError(
+                    f"run_group images must already be {tp.input.np_dtype} "
+                    f"(pair {tp.name}); coalescing keys include the dtype"
+                )
+        return self.run_batch(imgs, pair=pair, algorithm=algorithm, **kwargs)
+
     # -- internals -------------------------------------------------------
     @staticmethod
     def _normalize(images) -> List[np.ndarray]:
@@ -383,52 +424,18 @@ class Engine:
                                key_opts, backend=res.backend)
             plan = self.cache.get_or_create(key, spec)
             pending = list(grp.indices)
-            if not plan.recorded:
-                # One cold, fully-accounted run records the bucket's plan.
-                if tracer is not None:
-                    tracer.event("plan.miss", category="batch",
-                                 bucket=grp.bucket, algorithm=algorithm)
-                i0 = pending.pop(0)
-                run0 = fn(imgs[i0], pair=tp, device=dev, **call_opts)
-                for lp, s in zip(plan.launch_plans, run0.launches):
-                    lp.record(replace(s, counters=s.counters.copy()))
-                if compiled_mode:
-                    run0.backend = "compiled"
-                runs[i0] = run0
-                misses += 1
-                self.cache.note_miss()
-                modeled_batched += run0.time_s
-            if compiled_mode and not res.bounds_check:
-                # Lower the recorded plan once per bucket; failure leaves
-                # the bucket on the interpreted replay path.
-                from ..exec.backends import ensure_compiled
-
-                ensure_compiled(plan, get_kernel_spec(algorithm), tp,
-                                dict(opts, fused=res.fused))
-            if pending:
-                if tracer is not None:
-                    tracer.event("plan.hit", category="batch",
-                                 bucket=grp.bucket, n_images=len(pending),
-                                 algorithm=algorithm)
-                hits += len(pending)
-                self.cache.note_hit(len(pending))
-                per_img = self.scheduler.stack_bytes(
-                    grp.bucket, tp.input.np_dtype, tp.output.np_dtype
+            # One thread per plan: the cold recording run, lowering and the
+            # chunk replays all mutate plan state (launch plans, staging
+            # buffers, the compiled program).  Workers on *different*
+            # buckets proceed in parallel; a second worker racing into the
+            # same cold bucket blocks here, then sees ``plan.recorded``
+            # and replays instead of double-running the cold compile.
+            with plan.lock:
+                hits, misses, modeled_batched = self._run_group_locked(
+                    fn, imgs, tp, dev, algorithm, spec, opts, call_opts,
+                    res, grp, plan, pending, tracer,
+                    hits, misses, modeled_batched, runs,
                 )
-                chunks = self.scheduler.chunk(
-                    BucketGroup(grp.bucket, pending), per_img
-                )
-                for chunk in chunks:
-                    if compiled_mode and plan.compiled is not None:
-                        modeled_batched += self._compiled_chunk(
-                            plan, spec, tp, dev, algorithm, imgs, chunk,
-                            runs, res,
-                        )
-                    else:
-                        modeled_batched += self._replay_chunk(
-                            plan, spec, tp, dev, algorithm, imgs, chunk,
-                            runs, res,
-                        )
 
         return BatchRun(
             runs=runs,  # type: ignore[arg-type]
@@ -442,6 +449,59 @@ class Engine:
             buckets=[(g.bucket, len(g.indices)) for g in groups],
             sector_bytes=dev.gmem_sector_bytes,
         )
+
+    def _run_group_locked(self, fn, imgs, tp, dev, algorithm, spec, opts,
+                          call_opts, res, grp, plan, pending, tracer,
+                          hits, misses, modeled_batched, runs):
+        """Cold-record + replay one bucket group (caller holds plan.lock)."""
+        compiled_mode = res.backend == "compiled"
+        if not plan.recorded:
+            # One cold, fully-accounted run records the bucket's plan.
+            if tracer is not None:
+                tracer.event("plan.miss", category="batch",
+                             bucket=grp.bucket, algorithm=algorithm)
+            i0 = pending.pop(0)
+            run0 = fn(imgs[i0], pair=tp, device=dev, **call_opts)
+            for lp, s in zip(plan.launch_plans, run0.launches):
+                lp.record(replace(s, counters=s.counters.copy()))
+            if compiled_mode:
+                run0.backend = "compiled"
+            runs[i0] = run0
+            misses += 1
+            self.cache.note_miss()
+            modeled_batched += run0.time_s
+        if compiled_mode and not res.bounds_check:
+            # Lower the recorded plan once per bucket; failure leaves
+            # the bucket on the interpreted replay path.
+            from ..exec.backends import ensure_compiled
+
+            ensure_compiled(plan, get_kernel_spec(algorithm), tp,
+                            dict(opts, fused=res.fused))
+        if pending:
+            if tracer is not None:
+                tracer.event("plan.hit", category="batch",
+                             bucket=grp.bucket, n_images=len(pending),
+                             algorithm=algorithm)
+            hits += len(pending)
+            self.cache.note_hit(len(pending))
+            per_img = self.scheduler.stack_bytes(
+                grp.bucket, tp.input.np_dtype, tp.output.np_dtype
+            )
+            chunks = self.scheduler.chunk(
+                BucketGroup(grp.bucket, pending), per_img
+            )
+            for chunk in chunks:
+                if compiled_mode and plan.compiled is not None:
+                    modeled_batched += self._compiled_chunk(
+                        plan, spec, tp, dev, algorithm, imgs, chunk,
+                        runs, res,
+                    )
+                else:
+                    modeled_batched += self._replay_chunk(
+                        plan, spec, tp, dev, algorithm, imgs, chunk,
+                        runs, res,
+                    )
+        return hits, misses, modeled_batched
 
     def _replay_chunk(
         self,

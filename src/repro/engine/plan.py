@@ -23,6 +23,7 @@ exported through :func:`repro.obs.metrics.get_metrics` as
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -86,6 +87,14 @@ class SatPlan:
     #: lower.CompileError` pins this to ``MAX_COMPILE_ATTEMPTS`` so the
     #: bucket stays on the interpreted path instead of recompiling forever.
     compile_attempts: int = 0
+    #: Serialises every use of this plan across worker threads: the cold
+    #: recording run, lowering, and stacked replays all mutate plan state
+    #: (launch plans, staging buffers, the compiled program), so exactly
+    #: one thread may execute on a plan at a time.  Different plans run
+    #: fully in parallel.  Reentrant because a compiled-path fallback
+    #: re-enters the interpreted replay under the same lock.
+    lock: threading.RLock = field(default_factory=threading.RLock,
+                                  repr=False, compare=False)
 
     MAX_COMPILE_ATTEMPTS = 2
 
@@ -139,53 +148,79 @@ class LaunchPlanCache:
     Lookups refresh recency, so steady shape mixes keep their plans while
     one-off shapes age out; evictions and the live size are mirrored into
     the process :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    All cache operations are thread-safe: the serving layer's worker pool
+    looks up, inserts and evicts from many threads against one shared
+    cache.  The cache lock only guards the key -> plan map and the
+    hit/miss/eviction statistics; *executing* on a plan is serialised by
+    the plan's own :attr:`SatPlan.lock`, so a cold recording in one bucket
+    never blocks replays in another.  An evicted plan that a worker is
+    still executing on stays alive through that worker's reference and is
+    dropped when the worker releases it.
     """
 
     def __init__(self, max_plans: Optional[int] = None):
         self.max_plans = int(max_plans if max_plans is not None
                              else _default_max_plans())
         self._plans: "OrderedDict[PlanKey, SatPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
+
+    def keys(self) -> List[PlanKey]:
+        """The live plan keys, LRU-first (a consistent point-in-time copy)."""
+        with self._lock:
+            return list(self._plans.keys())
 
     @property
     def hit_rate(self) -> float:
         """Fraction of image lookups served by a recorded plan."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def note_hit(self, n: int = 1) -> None:
-        self.hits += n
+        with self._lock:
+            self.hits += n
 
     def note_miss(self, n: int = 1) -> None:
-        self.misses += n
+        with self._lock:
+            self.misses += n
 
     def get_or_create(self, key: PlanKey, spec: BatchSpec) -> SatPlan:
         """The plan for ``key``, creating (and possibly evicting) as needed."""
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            return plan
-        while len(self._plans) >= self.max_plans:
-            self._plans.popitem(last=False)
-            self.evictions += 1
-            get_metrics().counter("engine.plan_cache.evictions").inc()
-        plan = SatPlan(key=key, spec=spec)
-        self._plans[key] = plan
-        get_metrics().gauge("engine.plan_cache.size").set(len(self._plans))
+        evicted = 0
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan
+            while len(self._plans) >= self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            plan = SatPlan(key=key, spec=spec)
+            self._plans[key] = plan
+            size = len(self._plans)
+        if evicted:
+            get_metrics().counter("engine.plan_cache.evictions").inc(evicted)
+        get_metrics().gauge("engine.plan_cache.size").set(size)
         return plan
 
     def clear(self) -> None:
         """Drop every plan and reset the hit/miss/eviction statistics."""
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
         get_metrics().gauge("engine.plan_cache.size").set(0)

@@ -120,6 +120,32 @@ class ExecutionConfig:
     def is_fully_resolved(self) -> bool:
         return all(getattr(self, f.name) is not None for f in fields(self))
 
+    def compat_key(self) -> Tuple[Tuple[str, object], ...]:
+        """Hashable compatibility key for request coalescing.
+
+        Two requests may share a batched launch only if every resolved
+        execution field matches — mixing, say, a sanitized request into a
+        fused batch would silently drop its instrumentation.  The key is
+        the sorted ``(field, value)`` tuple of a **fully resolved** config
+        (resolve first with :func:`resolve_execution`, which also folds in
+        the submitting thread's ambient contexts and environment);
+        requiring resolution makes two *equivalent spellings* of the same
+        modes — env var vs. profile vs. kwarg — coalesce into one batch.
+        Unresolved configs raise ``ValueError``: ``None`` means "inherit",
+        and what is inherited can differ between submitter and worker
+        threads.
+        """
+        if not self.is_fully_resolved:
+            unset = [f.name for f in fields(self)
+                     if getattr(self, f.name) is None]
+            raise ValueError(
+                f"compat_key requires a fully resolved config; unset fields: "
+                f"{unset} (pass the result of resolve_execution())"
+            )
+        return tuple(sorted(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+        ))
+
 
 #: Named execution profiles, selectable with ``REPRO_EXEC_PROFILE=<name>``
 #: (or ``resolve_execution("<name>")``).  CI runs the test suite once per

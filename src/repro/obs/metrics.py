@@ -12,10 +12,22 @@ Updates are O(1) dictionary operations with no I/O; the registry never
 touches simulator state, so it cannot perturb counters, timings or
 sanitizer reports.  ``snapshot()`` returns a plain JSON-friendly dict for
 harness reports and exporters.
+
+Thread safety
+-------------
+The serving layer (:mod:`repro.serve`) updates the registry from worker
+and client threads concurrently, so every instrument update is atomic:
+each instrument owns a lock (``+=`` on a Python attribute is a
+read-modify-write across bytecodes and *does* lose updates under
+contention), and the registry guards instrument creation and snapshots
+with its own lock so a ``counter(name)`` race always returns the one
+shared instrument.  The fast path is one uncontended lock acquire per
+update — still no I/O and no simulator state.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -45,119 +57,173 @@ def _format_key(key: MetricKey) -> str:
 
 @dataclass
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count (atomic under threads)."""
 
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 @dataclass
 class Gauge:
-    """Last-set value."""
+    """Last-set value (atomic under threads)."""
 
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, v: float) -> None:
-        self.value = float(v)
+        with self._lock:
+            self.value = float(v)
+
+    def add(self, n: float) -> float:
+        """Atomically add ``n`` (may be negative) and return the new value.
+
+        Gauges tracking live quantities (queue depth, in-flight requests)
+        are maintained by concurrent increments/decrements; ``set`` alone
+        cannot express that without a read-modify-write race.
+        """
+        with self._lock:
+            self.value += n
+            return self.value
 
 
 @dataclass
 class Histogram:
-    """Streaming summary: count/sum/min/max (enough for rates and means)."""
+    """Streaming summary: count/sum/min/max (enough for rates and means).
+
+    One lock keeps the four fields mutually consistent: concurrent
+    observers can never leave ``count`` and ``total`` describing
+    different sample sets.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def observe(self, v: float) -> None:
         v = float(v)
-        self.count += 1
-        self.total += v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, float]:
-        if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count,
+            }
 
 
 class MetricsRegistry:
-    """Keyed store of instruments; one per process by default."""
+    """Keyed store of instruments; one per process by default.
+
+    Instrument creation and whole-registry views take the registry lock;
+    updates on an already-created instrument only take that instrument's
+    own lock, so hot counters do not serialise against each other.
+    """
 
     def __init__(self):
         self._counters: Dict[MetricKey, Counter] = {}
         self._gauges: Dict[MetricKey, Gauge] = {}
         self._histograms: Dict[MetricKey, Histogram] = {}
+        self._lock = threading.RLock()
 
     # -- instrument accessors (create on first use) ---------------------
     def counter(self, name: str, **labels) -> Counter:
         k = _key(name, labels)
         c = self._counters.get(k)
         if c is None:
-            c = self._counters[k] = Counter()
+            with self._lock:
+                c = self._counters.get(k)
+                if c is None:
+                    c = self._counters[k] = Counter()
         return c
 
     def gauge(self, name: str, **labels) -> Gauge:
         k = _key(name, labels)
         g = self._gauges.get(k)
         if g is None:
-            g = self._gauges[k] = Gauge()
+            with self._lock:
+                g = self._gauges.get(k)
+                if g is None:
+                    g = self._gauges[k] = Gauge()
         return g
 
     def histogram(self, name: str, **labels) -> Histogram:
         k = _key(name, labels)
         h = self._histograms.get(k)
         if h is None:
-            h = self._histograms[k] = Histogram()
+            with self._lock:
+                h = self._histograms.get(k)
+                if h is None:
+                    h = self._histograms[k] = Histogram()
         return h
 
     # -- queries ---------------------------------------------------------
     def value(self, name: str, **labels) -> Optional[float]:
         """Counter/gauge value for an exact key, ``None`` if never touched."""
         k = _key(name, labels)
-        if k in self._counters:
-            return self._counters[k].value
-        if k in self._gauges:
-            return self._gauges[k].value
+        with self._lock:
+            if k in self._counters:
+                return self._counters[k].value
+            if k in self._gauges:
+                return self._gauges[k].value
         return None
 
     def counter_total(self, name: str) -> float:
         """Sum of one counter name across all label sets."""
-        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+        with self._lock:
+            return sum(
+                c.value for (n, _), c in self._counters.items() if n == name
+            )
 
     def snapshot(self, prefix: str = "") -> Dict[str, Any]:
         """JSON-friendly view of every instrument, sorted by formatted key."""
         out: Dict[str, Any] = {}
-        for k, c in self._counters.items():
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        for k, c in counters:
             out[_format_key(k)] = c.value
-        for k, g in self._gauges.items():
+        for k, g in gauges:
             out[_format_key(k)] = g.value
-        for k, h in self._histograms.items():
+        for k, h in histograms:
             out[_format_key(k)] = h.summary()
         if prefix:
             out = {k: v for k, v in out.items() if k.startswith(prefix)}
         return dict(sorted(out.items()))
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 _global = MetricsRegistry()

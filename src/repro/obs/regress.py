@@ -31,6 +31,7 @@ __all__ = [
     "compare_metrics",
     "fresh_batch_metrics",
     "fresh_simulator_metrics",
+    "fresh_serve_metrics",
     "check_bench_file",
     "main",
 ]
@@ -43,9 +44,13 @@ BATCH_METRICS: Dict[str, str] = {
 SIMULATOR_METRICS: Dict[str, str] = {
     "fused_s": "lower",
 }
+SERVE_METRICS: Dict[str, str] = {
+    "coalesce_ratio": "higher",
+    "p95_ms": "lower",
+}
 #: Metrics measured in host wall time (noisy; excluded from strict checks
 #: unless --include-wall).
-WALL_METRICS = {"fused_s", "legacy_s", "wall_s"}
+WALL_METRICS = {"fused_s", "legacy_s", "wall_s", "p95_ms"}
 
 
 @dataclass
@@ -213,6 +218,37 @@ def fresh_simulator_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
     return {"fused_s": best}
 
 
+def fresh_serve_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
+    """Re-measure the serving figures of one BENCH_serve entry.
+
+    A small same-shape closed loop reproduces the headline
+    ``coalesce_ratio`` (deterministic given concurrency > workers) and a
+    fresh ``p95_ms`` (wall clock, so warn-only by default).  The modes are
+    pinned like the other fresh measurements: a sanitized ambient profile
+    would otherwise serialise workers and distort both figures.
+    """
+    import numpy as np
+
+    from ..exec.config import ExecutionConfig, execution
+    from ..serve import SatService, run_closed_loop
+
+    size = entry.get("size", [128, 128])
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 256, (int(size[0]), int(size[1]))).astype(np.uint8)
+    workers = int(entry.get("workers", 4))
+    delay_s = float(entry.get("max_delay_ms", 5.0)) / 1e3
+    with execution(ExecutionConfig(fused=True, sanitize=False,
+                                   bounds_check=False)):
+        with SatService(workers=workers, max_delay_s=delay_s) as svc:
+            svc.sat(img)    # warm the bucket's plan
+            rep = run_closed_loop(svc, [img], clients=8,
+                                  requests_per_client=8)
+    return {
+        "coalesce_ratio": rep.coalesce_ratio,
+        "p95_ms": rep.latency_ms.get("p95", 0.0),
+    }
+
+
 def check_bench_file(
     path, threshold_pct: float = 10.0, n_images: Optional[int] = None
 ) -> List[RegressionFinding]:
@@ -220,6 +256,13 @@ def check_bench_file(
     BENCH file; returns findings (empty when the file has no usable entry)."""
     path = Path(path)
     entries = load_bench(path)
+    if "serve" in path.name.lower():
+        entry = latest_entry(entries, require=("coalesce_ratio",))
+        if entry is None:
+            return []
+        fresh = fresh_serve_metrics(entry)
+        return compare_metrics(entry, fresh, SERVE_METRICS, threshold_pct,
+                               bench=path.name)
     if "batch" in path.name.lower():
         entry = latest_entry(entries, require=("modeled_sequential_s", "n_images"))
         if entry is None:
@@ -256,7 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = ap.parse_args(argv)
 
     benches = args.bench or [
-        p for p in ("BENCH_batch.json", "BENCH_simulator.json")
+        p for p in ("BENCH_batch.json", "BENCH_simulator.json",
+                    "BENCH_serve.json")
         if Path(p).exists()
     ]
     if not benches:

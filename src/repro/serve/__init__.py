@@ -1,0 +1,44 @@
+"""SAT-as-a-service: dynamic batching over a worker pool.
+
+A thread-based serving layer for the SAT primitive: concurrent tenants
+submit :class:`SatRequest` / :class:`RectSumRequest` /
+:class:`BoxFilterRequest` objects to one :class:`SatService`; a
+:class:`DynamicBatcher` coalesces compatible requests (same algorithm,
+dtype pair, shape bucket and resolved execution config) into the stacked
+launches the engine's plan cache makes nearly free, under a deadline +
+size-knee admission policy; a :class:`WorkerPool` drains admitted batches
+into one shared :class:`~repro.engine.batch.Engine`.
+
+Start here: :class:`SatService` (``docs/serving.md`` for the guide,
+``benchmarks/bench_serve.py`` for the load-generator harness).
+"""
+
+from .batcher import Batch, CompatKey, DynamicBatcher
+from .loadgen import LoadReport, run_closed_loop, run_open_loop
+from .pool import WorkerPool
+from .request import (
+    BoxFilterRequest,
+    RectSumRequest,
+    SatRequest,
+    ServeError,
+    ServeRequest,
+    ServeResponse,
+)
+from .service import SatService
+
+__all__ = [
+    "SatService",
+    "DynamicBatcher",
+    "CompatKey",
+    "Batch",
+    "WorkerPool",
+    "ServeRequest",
+    "SatRequest",
+    "RectSumRequest",
+    "BoxFilterRequest",
+    "ServeResponse",
+    "ServeError",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+]

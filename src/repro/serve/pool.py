@@ -1,0 +1,187 @@
+"""Worker pool: executes admitted batches on a shared engine.
+
+Workers pull :class:`~repro.serve.batcher.Batch` objects from the
+batcher and run each through :meth:`repro.engine.batch.Engine.run_group`
+— the engine's pre-coalesced entry point — on one **shared** engine, so
+every worker warms the same plan cache and a request's bucket is warm no
+matter which worker serves it.  Per-plan locks inside the engine
+serialise same-bucket execution; different buckets run fully in
+parallel.
+
+Fault isolation
+---------------
+A worker never dies on a request failure:
+
+* a batched launch that raises (e.g. a ``TapeMismatchError`` or
+  ``CompileError`` escaping the engine's own fallbacks) increments
+  ``serve.worker_error`` and is **retried solo**, one request at a time,
+  so one poisoned request cannot fail its batch-mates;
+* a solo execution failure fails *that request only*, with a structured
+  :class:`~repro.serve.request.ServeError` (``code="execution_error"``,
+  original exception type/message in ``details``) set on its future;
+* a ``finish()`` (post-processing) failure — e.g. out-of-range
+  rectangles — fails only its request with ``code="bad_request"``.
+
+The loop itself is wrapped as a last resort: an exception escaping the
+execution path fails the batch's remaining futures and keeps the thread
+serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from ..engine.batch import Engine
+from ..obs.metrics import get_metrics
+from .batcher import Batch, DynamicBatcher
+from .request import ServeError, ServeResponse
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N daemon threads draining one batcher into one shared engine."""
+
+    def __init__(self, batcher: DynamicBatcher, engine: Engine,
+                 n_workers: int = 4, name: str = "serve"):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.batcher = batcher
+        self.engine = engine
+        self.n_workers = int(n_workers)
+        self.name = name
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"{self.name}-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the workers to exit (after ``batcher.close()``)."""
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        for t in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            t.join(remaining)
+
+    @property
+    def alive(self) -> int:
+        """Workers currently serving (the health endpoint's figure)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # -- the worker loop -------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.take()
+            if batch is None:  # closed and drained
+                return
+            try:
+                self._execute(batch)
+            except BaseException as exc:  # pragma: no cover - last resort
+                self._fail_remaining(batch, exc)
+
+    # -- execution -------------------------------------------------------
+    def _run_group(self, images, key):
+        """One engine submission for a pre-coalesced group (test seam)."""
+        return self.engine.run_group(
+            images,
+            pair=key.pair,
+            algorithm=key.algorithm,
+            config=key.config,
+            **dict(key.opts),
+        )
+
+    def _execute(self, batch: Batch) -> None:
+        m = get_metrics()
+        key = batch.key
+        try:
+            run = self._run_group(batch.images, key)
+        except Exception as exc:
+            m.counter("serve.worker_error",
+                      error=type(exc).__name__).inc()
+            self._execute_solo(batch, exc)
+            return
+        for entry, satrun in zip(batch.entries, run.runs):
+            self._complete(entry, batch, satrun.output)
+
+    def _execute_solo(self, batch: Batch, batch_exc: Exception) -> None:
+        """Batched launch failed: isolate the poison by re-running solo."""
+        m = get_metrics()
+        for entry in batch.entries:
+            if entry.future.done():  # pragma: no cover - defensive
+                continue
+            try:
+                run = self._run_group([entry.request.image], batch.key)
+            except Exception as exc:
+                m.counter("serve.worker_error",
+                          error=type(exc).__name__).inc()
+                m.counter("serve.errors", code="execution_error").inc()
+                entry.future.set_exception(ServeError(
+                    code="execution_error",
+                    message=f"{batch.key.algorithm} execution failed: {exc}",
+                    request_id=entry.request.request_id,
+                    details={
+                        "error": type(exc).__name__,
+                        "batch_error": type(batch_exc).__name__,
+                        "batch_size": len(batch.entries),
+                    },
+                ))
+                continue
+            self._complete(entry, batch, run.runs[0].output, solo=True)
+
+    def _complete(self, entry, batch: Batch, table, solo: bool = False) -> None:
+        """Post-process and resolve one request's future."""
+        m = get_metrics()
+        try:
+            result = entry.request.finish(table)
+        except Exception as exc:
+            m.counter("serve.errors", code="bad_request").inc()
+            entry.future.set_exception(ServeError(
+                code="bad_request",
+                message=str(exc),
+                request_id=entry.request.request_id,
+                details={"error": type(exc).__name__},
+            ))
+            return
+        latency_us = (time.perf_counter() - entry.t_submit) * 1e6
+        depth = 1 if solo else len(batch.entries)
+        resp = ServeResponse(
+            request_id=entry.request.request_id,
+            kind=entry.request.kind,
+            result=result,
+            latency_us=latency_us,
+            batch_size=depth,
+            batch_reason=batch.reason,
+        )
+        m.counter("serve.responses", kind=entry.request.kind).inc()
+        if resp.coalesced:
+            m.counter("serve.coalesced_requests").inc()
+        m.histogram("serve.request_latency_us").observe(latency_us)
+        entry.future.set_result(resp)
+
+    def _fail_remaining(self, batch: Batch, exc: BaseException) -> None:
+        get_metrics().counter("serve.worker_error",
+                              error=type(exc).__name__).inc()
+        for entry in batch.entries:
+            if not entry.future.done():
+                get_metrics().counter("serve.errors",
+                                      code="execution_error").inc()
+                entry.future.set_exception(ServeError(
+                    code="execution_error",
+                    message=f"worker failed: {exc}",
+                    request_id=entry.request.request_id,
+                    details={"error": type(exc).__name__},
+                ))

@@ -74,6 +74,38 @@ class TestConfigObject:
         assert ExecutionConfig(fused=True) == ExecutionConfig(fused=True)
         assert hash(ExecutionConfig()) == hash(ExecutionConfig())
 
+    def test_compat_key_requires_resolution(self):
+        with pytest.raises(ValueError, match="fully resolved"):
+            ExecutionConfig(fused=True).compat_key()
+
+    def test_compat_key_round_trips_and_hashes(self):
+        resolved = resolve_execution()
+        key = resolved.compat_key()
+        assert ExecutionConfig(**dict(key)) == resolved
+        assert hash(key) == hash(resolved.compat_key())
+        # Sorted (field, value) pairs: deterministic order.
+        assert [k for k, _ in key] == sorted(k for k, _ in key)
+
+    def test_compat_key_equivalent_spellings_agree(self, monkeypatch):
+        """Profile name vs. explicit field resolve to one compat key —
+        the property request coalescing in repro.serve relies on."""
+        from repro.exec.config import execution
+
+        with execution("legacy"):
+            a = resolve_execution().compat_key()
+        with execution(fused=False):
+            b = resolve_execution().compat_key()
+        assert a == b
+        monkeypatch.setenv("REPRO_GPUSIM_FUSED", "0")
+        assert resolve_execution().compat_key() == a
+
+    def test_compat_key_differs_when_any_field_differs(self):
+        base = resolve_execution()
+        for field_ in ("fused", "sanitize", "bounds_check"):
+            flipped = resolve_execution(
+                **{field_: not getattr(base, field_)})
+            assert flipped.compat_key() != base.compat_key()
+
 
 class TestPrecedence:
     def test_builtin_defaults(self):

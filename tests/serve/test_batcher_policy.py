@@ -1,0 +1,277 @@
+"""DynamicBatcher admission policy: keying, deadline, size knee.
+
+The batcher is driven with an injectable fake clock through its
+non-blocking ``poll()`` path, so every property here is fully
+deterministic — no sleeps, no races.  Hypothesis generates arrival
+sequences (inter-arrival gaps and shape choices) and the tests assert the
+policy invariants:
+
+* **conservation / no starvation** — every submitted request ends up in
+  exactly one admitted batch, FIFO within its group;
+* **deadline bound** — a group is admitted once its *oldest* request has
+  waited ``max_delay_s``, and never earlier (unless the size knee fires);
+* **size knee** — a group is admitted the moment it reaches its depth
+  cap (the stacked-bytes knee), and no batch ever exceeds the cap;
+* **compatibility** — batches are homogeneous in algorithm, dtype pair,
+  shape bucket, resolved execution config and algorithm options.
+
+End-to-end bit-identity of coalesced execution lives in
+``test_service.py`` (real worker pool, real engine).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.scheduler import BatchScheduler
+from repro.exec.config import execution, resolve_execution
+from repro.exec.registry import get_kernel_spec
+from repro.serve import DynamicBatcher, SatRequest
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+def _img(shape=(32, 32), dtype=np.uint8, seed=0):
+    rng = np.random.default_rng(seed)
+    if np.dtype(dtype) == np.uint8:
+        return rng.integers(0, 255, size=shape, dtype=np.uint8)
+    return rng.random(shape, dtype=np.float32)
+
+
+RESOLVED = resolve_execution()
+
+# Three raw shapes: the first two pad to the same bucket (coalesce), the
+# third pads differently.
+PAD = get_kernel_spec("brlt_scanrow").pad
+SHAPES = [(64, 64), (60, 62), (96, 64)]
+assert BatchScheduler.bucket_of(SHAPES[0], PAD) == \
+    BatchScheduler.bucket_of(SHAPES[1], PAD)
+assert BatchScheduler.bucket_of(SHAPES[2], PAD) != \
+    BatchScheduler.bucket_of(SHAPES[0], PAD)
+IMAGES = [_img(s, seed=i) for i, s in enumerate(SHAPES)]
+
+
+def _batcher(clock, **kw):
+    kw.setdefault("max_delay_s", 0.01)
+    return DynamicBatcher(clock=clock, **kw)
+
+
+class TestCompatKey:
+    def test_same_bucket_same_key(self):
+        k0 = DynamicBatcher.compat_key_of(SatRequest(IMAGES[0]), RESOLVED)
+        k1 = DynamicBatcher.compat_key_of(SatRequest(IMAGES[1]), RESOLVED)
+        k2 = DynamicBatcher.compat_key_of(SatRequest(IMAGES[2]), RESOLVED)
+        assert k0 == k1      # (60, 62) pads to the (64, 64) bucket
+        assert k0 != k2
+
+    def test_dtype_pair_separates(self):
+        ku = DynamicBatcher.compat_key_of(SatRequest(_img()), RESOLVED)
+        kf = DynamicBatcher.compat_key_of(
+            SatRequest(_img(dtype=np.float32)), RESOLVED)
+        assert ku.pair != kf.pair and ku != kf
+
+    def test_algorithm_and_opts_separate(self):
+        base = DynamicBatcher.compat_key_of(SatRequest(_img()), RESOLVED)
+        alg = DynamicBatcher.compat_key_of(
+            SatRequest(_img(), algorithm="scanrow_brlt"), RESOLVED)
+        opt = DynamicBatcher.compat_key_of(
+            SatRequest(_img(), opts={"scan": "serial"}), RESOLVED)
+        assert base != alg and base != opt and alg != opt
+
+    def test_resolved_config_separates(self):
+        """Two ambient contexts → two keys: a sanitized request must not
+        ride a non-sanitized batch."""
+        with execution(sanitize=True):
+            ks = DynamicBatcher.compat_key_of(
+                SatRequest(_img()), resolve_execution())
+        with execution(sanitize=False):
+            kn = DynamicBatcher.compat_key_of(
+                SatRequest(_img()), resolve_execution())
+        assert ks != kn
+        assert dict(ks.exec_key)["sanitize"] is True
+
+    def test_equivalent_spellings_coalesce(self):
+        """Profile vs. explicit field: same resolved modes, same key."""
+        with execution("legacy"):
+            ka = DynamicBatcher.compat_key_of(
+                SatRequest(_img()), resolve_execution())
+        with execution(fused=False):
+            kb = DynamicBatcher.compat_key_of(
+                SatRequest(_img()), resolve_execution())
+        assert ka == kb
+
+    def test_invalid_requests_raise_synchronously(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            DynamicBatcher.compat_key_of(
+                SatRequest(_img(), algorithm="nope"), RESOLVED)
+        with pytest.raises(ValueError, match="2-D"):
+            DynamicBatcher.compat_key_of(
+                SatRequest(np.zeros((2, 2, 2), np.uint8)), RESOLVED)
+        with pytest.raises(ValueError, match="at least one row"):
+            DynamicBatcher.compat_key_of(
+                SatRequest(np.zeros((0, 4), np.uint8)), RESOLVED)
+        with pytest.raises(ValueError, match="does not match pair"):
+            DynamicBatcher.compat_key_of(
+                SatRequest(_img(dtype=np.float32), pair="8u32s"), RESOLVED)
+
+    def test_depth_cap_is_the_stacked_bytes_knee(self):
+        key = DynamicBatcher.compat_key_of(SatRequest(IMAGES[0]), RESOLVED)
+        per = BatchScheduler.stack_bytes(key.bucket, np.uint8, np.int32)
+        assert DynamicBatcher.depth_cap_for(key, 10 * per) == 10
+        assert DynamicBatcher.depth_cap_for(key, 10 * per, max_batch=4) == 4
+        assert DynamicBatcher.depth_cap_for(key, 1) == 1  # never below 1
+        # Default knee is the engine scheduler's chunk bound.
+        assert DynamicBatcher().max_stack_bytes == \
+            BatchScheduler().max_stack_bytes
+
+
+class TestAdmissionDeterministic:
+    def test_deadline_not_early(self):
+        clock = FakeClock()
+        b = _batcher(clock)
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        assert b.poll(clock.advance(0.009)) == []
+        batches = b.poll(clock.advance(0.002))   # past the 10 ms deadline
+        assert len(batches) == 1
+        assert batches[0].reason == "deadline"
+
+    def test_deadline_measured_from_oldest(self):
+        """Late arrivals must not extend the oldest request's wait."""
+        clock = FakeClock()
+        b = _batcher(clock)
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        clock.advance(0.008)
+        b.submit(SatRequest(IMAGES[1]), RESOLVED)   # same key, young
+        batches = b.poll(clock.advance(0.003))      # oldest is 11 ms old
+        assert len(batches) == 1 and len(batches[0]) == 2
+
+    def test_size_knee_admits_immediately(self):
+        clock = FakeClock()
+        b = _batcher(clock, max_batch=3)
+        for _ in range(3):
+            b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        batches = b.poll(clock.t)                   # no time has passed
+        assert len(batches) == 1
+        assert batches[0].reason == "size" and len(batches[0]) == 3
+
+    def test_incompatible_groups_admit_independently(self):
+        clock = FakeClock()
+        b = _batcher(clock)
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        b.submit(SatRequest(IMAGES[2]), RESOLVED)   # different bucket
+        b.submit(SatRequest(_img(dtype=np.float32)), RESOLVED)
+        batches = b.poll(clock.advance(0.02))
+        assert len(batches) == 3
+        assert len({bt.key for bt in batches}) == 3
+
+    def test_flush_and_close(self):
+        clock = FakeClock()
+        b = _batcher(clock)
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        b.close()
+        batches = b.poll(clock.t)
+        assert len(batches) == 1 and batches[0].reason == "flush"
+        assert b.take() is None                     # closed and drained
+        with pytest.raises(RuntimeError, match="closed"):
+            b.submit(SatRequest(IMAGES[0]), RESOLVED)
+
+    def test_take_timeout(self):
+        b = DynamicBatcher(max_delay_s=10.0)
+        assert b.take(timeout=0.01) is None
+
+    def test_queue_depth_tracks_pending(self):
+        clock = FakeClock()
+        b = _batcher(clock)
+        assert b.queue_depth == 0
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)
+        b.submit(SatRequest(IMAGES[2]), RESOLVED)
+        assert b.queue_depth == 2
+        b.poll(clock.advance(0.02))
+        assert b.queue_depth == 0
+
+
+@st.composite
+def arrival_sequences(draw):
+    """(gap_ms, shape_index) arrival streams, gaps 0–6 ms."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    gaps = draw(st.lists(st.integers(0, 6), min_size=n, max_size=n))
+    shapes = draw(st.lists(st.integers(0, len(SHAPES) - 1),
+                           min_size=n, max_size=n))
+    return list(zip(gaps, shapes))
+
+
+class TestAdmissionProperties:
+    @given(seq=arrival_sequences())
+    @settings(deadline=None)
+    def test_policy_invariants(self, seq):
+        clock = FakeClock()
+        b = _batcher(clock, max_delay_s=0.01, max_batch=4)
+        submitted = []
+        batches = []
+        for gap_ms, si in seq:
+            clock.advance(gap_ms / 1e3)
+            req = SatRequest(IMAGES[si])
+            b.submit(req, RESOLVED)
+            submitted.append(req.request_id)
+            # Sweep after every arrival, like a running worker would.
+            batches.extend(b.poll(clock.t))
+        b.close()
+        batches.extend(b.poll(clock.t))
+
+        # Conservation: every request in exactly one batch, none invented.
+        served = [p.request.request_id for bt in batches for p in bt.entries]
+        assert sorted(served) == sorted(submitted)
+        assert len(set(served)) == len(served)
+
+        for bt in batches:
+            ids = [p.request.request_id for p in bt.entries]
+            # FIFO within the group.
+            assert ids == sorted(ids)
+            # Homogeneous: one compatibility key per batch.
+            for p in bt.entries:
+                assert DynamicBatcher.compat_key_of(
+                    p.request, RESOLVED) == bt.key
+            # Size knee: never above the cap; "size" exactly at the cap.
+            cap = DynamicBatcher.depth_cap_for(
+                bt.key, b.max_stack_bytes, b.max_batch)
+            assert len(bt) <= cap
+            assert (bt.reason == "size") == (len(bt) == cap) or \
+                bt.reason == "flush"
+            # Deadline bound: admission happens within max_delay of the
+            # oldest arrival plus one polling gap (6 ms here, since the
+            # batcher only acts at submits and sweeps).  A "deadline"
+            # batch is additionally never admitted before its deadline.
+            wait = bt.admitted - bt.entries[0].arrival
+            assert wait <= b.max_delay_s + 6e-3 + 1e-9
+            if bt.reason == "deadline":
+                assert wait >= b.max_delay_s - 1e-9
+
+    @given(seq=arrival_sequences())
+    @settings(deadline=None)
+    def test_no_request_left_waiting_past_deadline(self, seq):
+        """After any sweep at time t, no pending request is older than
+        max_delay — the no-starvation guarantee, pointwise."""
+        clock = FakeClock()
+        b = _batcher(clock, max_delay_s=0.005)
+        for gap_ms, si in seq:
+            clock.advance(gap_ms / 1e3)
+            b.submit(SatRequest(IMAGES[si]), RESOLVED)
+            b.poll(clock.t)
+            # Anything still pending must be young; a second immediate
+            # sweep finds nothing new to admit.
+            assert b.poll(clock.t) == []
+        b.flush()
+        b.poll(clock.t)
+        assert b.queue_depth == 0
+        b.close()

@@ -147,3 +147,42 @@ def test_profile_command_all_algorithms_with_out(tmp_path, capsys):
     doc = json.loads(out.read_text())
     cats = {e.get("cat") for e in doc["traceEvents"] if e.get("ph") == "X"}
     assert "launch" in cats and "kernel.phase" in cats
+
+
+def test_serve_command(capsys):
+    import json
+
+    assert main(["serve", "--requests", "8", "--size", "64",
+                 "--workers", "2"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["health"]["status"] == "ok"
+    assert doc["stats"]["responses"] == 8
+    assert doc["stats"]["errors"] == 0
+
+
+def test_serve_command_http(capsys):
+    assert main(["serve", "--requests", "4", "--size", "64",
+                 "--workers", "2", "--http"]) == 0
+    out = capsys.readouterr().out
+    assert "http://127.0.0.1:" in out
+
+
+def test_loadgen_closed(capsys):
+    import json
+
+    assert main(["loadgen", "--mode", "closed", "--clients", "4",
+                 "--requests", "16", "--size", "64", "--workers", "2"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "closed"
+    assert doc["n_requests"] == 16 and doc["n_errors"] == 0
+    assert "p95" in doc["latency_ms"]
+
+
+def test_loadgen_open(capsys):
+    import json
+
+    assert main(["loadgen", "--mode", "open", "--rate", "400",
+                 "--requests", "12", "--size", "64", "--workers", "2"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "open"
+    assert doc["offered_rps"] == 400.0 and doc["n_errors"] == 0
