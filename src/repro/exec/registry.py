@@ -40,6 +40,9 @@ __all__ = [
     "register_backend",
     "get_backend",
     "backend_names",
+    "register_sharder",
+    "get_sharder",
+    "sharder_names",
 ]
 
 
@@ -218,3 +221,43 @@ def backend_names() -> List[str]:
     """Registered backend names, sorted."""
     _ensure_builtin_backends()
     return sorted(_BACKENDS)
+
+
+# -- sharder registry ------------------------------------------------------
+#
+# A *sharder* splits one oversized call into a tiled multi-device run.  It
+# exposes ``wants(shape, shard)`` (should this call shard?) and
+# ``run(image, **kwargs)`` (execute it).  The public :func:`repro.sat.api.sat`
+# consults the default sharder so gigapixel inputs shard transparently;
+# direct drivers (the engine's ``run_batch``, the harness) call kernels
+# through ``ALGORITHMS`` and bypass it.
+
+_SHARDERS: Dict[str, object] = {}
+
+
+def register_sharder(name: str, sharder) -> None:
+    """Register a sharder under ``name`` (see :mod:`repro.shard`)."""
+    _SHARDERS[name] = sharder
+
+
+def _ensure_builtin_sharders() -> None:
+    if "tiled" not in _SHARDERS:
+        # Importing the package registers the tiled sharder.
+        import repro.shard  # noqa: F401
+
+
+def get_sharder(name: str = "tiled"):
+    """The sharder registered under ``name``; ``ValueError`` if unknown."""
+    _ensure_builtin_sharders()
+    try:
+        return _SHARDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sharder {name!r}; registered: {sorted(_SHARDERS)}"
+        ) from None
+
+
+def sharder_names() -> List[str]:
+    """Registered sharder names, sorted."""
+    _ensure_builtin_sharders()
+    return sorted(_SHARDERS)

@@ -19,10 +19,19 @@ kernel launch is parameterised with.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
-__all__ = ["DeviceSpec", "M40", "P100", "V100", "DEVICES", "get_device"]
+__all__ = [
+    "DeviceSpec",
+    "M40",
+    "P100",
+    "V100",
+    "DEVICES",
+    "get_device",
+    "parse_device_set",
+]
 
 
 @dataclass(frozen=True)
@@ -206,3 +215,54 @@ def get_device(spec) -> DeviceSpec:
     if key in DEVICES:
         return DEVICES[key]
     raise KeyError(f"unknown device {spec!r}; known: {sorted(DEVICES)}")
+
+
+_SET_COUNT_RE = re.compile(r"^\s*(\d+)\s*[xX*]\s*(.+?)\s*$")
+
+
+def parse_device_set(spec) -> List[DeviceSpec]:
+    """Resolve a *device set* spelling into a list of :class:`DeviceSpec`.
+
+    Accepted spellings (the multi-device executor and CLI share this):
+
+    * ``"P100"`` / a :class:`DeviceSpec` — a single-device set;
+    * ``"2xP100"`` (also ``2*P100``) — ``n`` identical devices;
+    * ``"P100,V100"`` — a heterogeneous comma list, each element itself
+      a name or an ``NxNAME`` group;
+    * a sequence mixing any of the above.
+
+    The returned list is what :class:`~repro.gpusim.stream.DeviceSet`
+    instantiates — one :class:`~repro.gpusim.stream.SimDevice` per entry.
+    """
+    if isinstance(spec, DeviceSpec):
+        return [spec]
+    if isinstance(spec, str):
+        out: List[DeviceSpec] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            m = _SET_COUNT_RE.match(part)
+            if m:
+                n, name = int(m.group(1)), m.group(2)
+                if n < 1:
+                    raise ValueError(f"device count must be >= 1 in {part!r}")
+                out.extend([get_device(name)] * n)
+            else:
+                out.append(get_device(part))
+        if not out:
+            raise ValueError(f"empty device-set spec {spec!r}")
+        return out
+    try:
+        items = list(spec)
+    except TypeError:
+        raise TypeError(
+            f"device set must be a DeviceSpec, a string or a sequence, got "
+            f"{type(spec).__name__}"
+        ) from None
+    out = []
+    for item in items:
+        out.extend(parse_device_set(item))
+    if not out:
+        raise ValueError("empty device-set sequence")
+    return out

@@ -1,0 +1,282 @@
+"""Streams and per-device queues for the multi-device cost model.
+
+The single-device simulator models one kernel at a time; the sharded
+executor (:mod:`repro.shard`) needs the CUDA *concurrency* picture on top
+of it: several simulated devices, each with multiple in-order streams,
+where kernel execution on the SM array can overlap carry propagation and
+transfers running on the copy/fix-up engine.  This module provides that
+timeline algebra — no data moves here, only modeled seconds:
+
+* :class:`StreamOp` — one enqueued operation (a kernel, a carry fix-up,
+  or a host↔device copy) with its resolved ``[start_s, end_s)`` interval;
+* :class:`Stream` — an in-order queue: each op starts no earlier than the
+  end of the previous op on the same stream (CUDA stream semantics);
+* :class:`SimDevice` — one simulated device instance wrapping a
+  :class:`~repro.gpusim.device.DeviceSpec` with two serial engines:
+  ``kernel`` (the SM array — one launch at a time, as the cost model
+  assumes whole-device occupancy) and ``carry`` (the copy/fix-up engine:
+  carry applications and transfers), which run concurrently with each
+  other — the source of modeled compute/carry overlap;
+* :class:`DeviceSet` — a fleet of :class:`SimDevice` with the aggregate
+  report: busy times per op kind, makespan, and the overlap between
+  kernel execution and carry/copy work anywhere in the set.
+
+Ops may declare dependencies on earlier ops (their own tile's local SAT,
+the predecessor tiles whose aggregates a lookback consumed), so the
+resolved schedule respects the decoupled-lookback dataflow while still
+exposing every legal overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .device import DeviceSpec, get_device, parse_device_set
+
+__all__ = [
+    "H2D_BW",
+    "D2D_ALPHA",
+    "D2D_BW",
+    "StreamOp",
+    "Stream",
+    "SimDevice",
+    "DeviceSet",
+    "intervals_union_s",
+    "intervals_intersection_s",
+]
+
+#: Host↔device link bandwidth, bytes/s (PCIe 3.0 x16 class).
+H2D_BW = 16e9
+#: Per-message latency (s) and bandwidth (bytes/s) of a device↔device
+#: hop for carry aggregates — NVLink-class numbers, matching the
+#: alpha-beta estimate :mod:`repro.extensions.multi_tile` uses.
+D2D_ALPHA = 5e-6
+D2D_BW = 40e9
+
+#: Engine each op kind serialises on.  Kernels own the SM array; carry
+#: fix-ups and copies share the copy/fix-up engine, which is what lets
+#: them overlap kernel execution (CUDA's async copy + second stream).
+_ENGINE_OF = {"kernel": "kernel", "carry": "carry", "copy": "carry"}
+
+
+@dataclass
+class StreamOp:
+    """One operation resolved onto the modeled timeline."""
+
+    name: str
+    #: ``"kernel"`` (SM array), ``"carry"`` (fix-up) or ``"copy"``.
+    kind: str
+    device: str
+    stream: str
+    start_s: float
+    end_s: float
+    #: Free-form attributes (tile coordinates, bytes moved, lookback
+    #: window...) carried into traces and reports.
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Stream:
+    """One in-order queue of a :class:`SimDevice`."""
+
+    def __init__(self, device: "SimDevice", index: int):
+        self.device = device
+        self.index = index
+        self.name = f"{device.name}/s{index}"
+        self.ops: List[StreamOp] = []
+
+    @property
+    def available_s(self) -> float:
+        """Earliest time a new op on this stream may start."""
+        return self.ops[-1].end_s if self.ops else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.name}, {len(self.ops)} ops)"
+
+
+class SimDevice:
+    """One simulated device instance: a spec plus streams and engines."""
+
+    def __init__(self, spec: DeviceSpec, index: int, n_streams: int = 2):
+        if n_streams < 1:
+            raise ValueError("a device needs at least one stream")
+        self.spec = spec
+        self.index = index
+        self.name = f"{spec.name}:{index}"
+        self.streams = [Stream(self, i) for i in range(n_streams)]
+        #: Earliest availability of each serial engine.
+        self._engine_free: Dict[str, float] = {"kernel": 0.0, "carry": 0.0}
+        self.ops: List[StreamOp] = []
+
+    def stream(self, i: int) -> Stream:
+        return self.streams[i % len(self.streams)]
+
+    def enqueue(
+        self,
+        stream: Union[Stream, int],
+        kind: str,
+        duration_s: float,
+        name: str,
+        deps: Sequence[StreamOp] = (),
+        **attrs,
+    ) -> StreamOp:
+        """Enqueue one op; returns it with its resolved interval.
+
+        The op starts at the max of: the end of the previous op on the
+        same stream, the availability of its engine on this device, and
+        the end of every dependency — then occupies its engine for
+        ``duration_s`` modeled seconds.
+        """
+        if kind not in _ENGINE_OF:
+            raise ValueError(
+                f"unknown op kind {kind!r}; expected one of {sorted(_ENGINE_OF)}"
+            )
+        if duration_s < 0:
+            raise ValueError(f"negative op duration {duration_s!r}")
+        st = stream if isinstance(stream, Stream) else self.stream(stream)
+        engine = _ENGINE_OF[kind]
+        start = max(
+            st.available_s,
+            self._engine_free[engine],
+            max((d.end_s for d in deps), default=0.0),
+        )
+        op = StreamOp(
+            name=name, kind=kind, device=self.name, stream=st.name,
+            start_s=start, end_s=start + duration_s, attrs=dict(attrs),
+        )
+        st.ops.append(op)
+        self.ops.append(op)
+        self._engine_free[engine] = op.end_s
+        return op
+
+    def busy_s(self, kind: Optional[str] = None) -> float:
+        """Total busy time of one op kind (or all ops) on this device."""
+        return sum(o.duration_s for o in self.ops
+                   if kind is None or o.kind == kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimDevice({self.name}, {len(self.ops)} ops)"
+
+
+def _merge(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    out: List[Tuple[float, float]] = []
+    for a, b in sorted(i for i in intervals if i[1] > i[0]):
+        if out and a <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], b))
+        else:
+            out.append((a, b))
+    return out
+
+
+def intervals_union_s(intervals: Iterable[Tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    return sum(b - a for a, b in _merge(intervals))
+
+
+def intervals_intersection_s(
+    xs: Iterable[Tuple[float, float]], ys: Iterable[Tuple[float, float]]
+) -> float:
+    """Total length of the pairwise intersection of two interval sets."""
+    mx, my = _merge(xs), _merge(ys)
+    i = j = 0
+    total = 0.0
+    while i < len(mx) and j < len(my):
+        a = max(mx[i][0], my[j][0])
+        b = min(mx[i][1], my[j][1])
+        if b > a:
+            total += b - a
+        if mx[i][1] <= my[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+class DeviceSet:
+    """A fleet of simulated devices with the aggregate cost report."""
+
+    def __init__(self, specs: Sequence[DeviceSpec], streams_per_device: int = 2):
+        if not specs:
+            raise ValueError("DeviceSet requires at least one device")
+        self.devices = [
+            SimDevice(get_device(s), i, n_streams=streams_per_device)
+            for i, s in enumerate(specs)
+        ]
+
+    @classmethod
+    def from_spec(cls, spec, streams_per_device: int = 2) -> "DeviceSet":
+        """Build from any :func:`~repro.gpusim.device.parse_device_set`
+        spelling: ``"2xP100"``, ``"P100,V100"``, a list, a spec..."""
+        return cls(parse_device_set(spec),
+                   streams_per_device=streams_per_device)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def device(self, i: int) -> SimDevice:
+        return self.devices[i % len(self.devices)]
+
+    @property
+    def names(self) -> List[str]:
+        return [d.name for d in self.devices]
+
+    def timeline(self) -> List[StreamOp]:
+        """All ops in the set, start-time order."""
+        ops = [o for d in self.devices for o in d.ops]
+        ops.sort(key=lambda o: (o.start_s, o.end_s, o.device, o.stream))
+        return ops
+
+    # -- aggregate accounting -------------------------------------------
+    def makespan_s(self) -> float:
+        """End of the last op anywhere in the set."""
+        return max((o.end_s for d in self.devices for o in d.ops), default=0.0)
+
+    def busy_s(self, kind: Optional[str] = None) -> float:
+        """Summed engine-busy seconds of one op kind across the set."""
+        return sum(d.busy_s(kind) for d in self.devices)
+
+    def overlap_s(self) -> float:
+        """Modeled seconds during which kernel execution (anywhere in the
+        set) overlaps carry/copy work (anywhere in the set)."""
+        kern, other = [], []
+        for d in self.devices:
+            for o in d.ops:
+                (kern if o.kind == "kernel" else other).append(
+                    (o.start_s, o.end_s)
+                )
+        return intervals_intersection_s(kern, other)
+
+    def overlap_fraction(self) -> float:
+        """Overlap as a fraction of the carry/copy busy time — 1.0 means
+        every modeled carry/copy second hid behind kernel execution."""
+        other = self.busy_s("carry") + self.busy_s("copy")
+        return self.overlap_s() / other if other else 0.0
+
+    def report(self) -> Dict[str, object]:
+        """JSON-friendly aggregate view (the ``shard.*`` report body)."""
+        return {
+            "devices": self.names,
+            "streams_per_device": len(self.devices[0].streams),
+            "makespan_s": self.makespan_s(),
+            "kernel_busy_s": self.busy_s("kernel"),
+            "carry_busy_s": self.busy_s("carry"),
+            "copy_busy_s": self.busy_s("copy"),
+            "overlap_s": self.overlap_s(),
+            "overlap_fraction": self.overlap_fraction(),
+            "n_ops": sum(len(d.ops) for d in self.devices),
+            "per_device": {
+                d.name: {
+                    "kernel_busy_s": d.busy_s("kernel"),
+                    "carry_busy_s": d.busy_s("carry") + d.busy_s("copy"),
+                    "n_ops": len(d.ops),
+                }
+                for d in self.devices
+            },
+        }

@@ -32,6 +32,7 @@ __all__ = [
     "fresh_batch_metrics",
     "fresh_simulator_metrics",
     "fresh_serve_metrics",
+    "fresh_shard_metrics",
     "check_bench_file",
     "main",
 ]
@@ -47,6 +48,11 @@ SIMULATOR_METRICS: Dict[str, str] = {
 SERVE_METRICS: Dict[str, str] = {
     "coalesce_ratio": "higher",
     "p95_ms": "lower",
+}
+SHARD_METRICS: Dict[str, str] = {
+    "tiles_per_s": "higher",
+    "carry_overhead_frac": "lower",
+    "overlap_fraction": "higher",
 }
 #: Metrics measured in host wall time (noisy; excluded from strict checks
 #: unless --include-wall).
@@ -249,6 +255,37 @@ def fresh_serve_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
     }
 
 
+def fresh_shard_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
+    """Re-run the regress geometry of one BENCH_shard entry.
+
+    The recorded top-level figures are measured at a small fixed geometry
+    (2048^2 by default) precisely so this re-measurement is cheap; all
+    three metrics derive from the simulator's deterministic cost model,
+    so they compare strictly.
+    """
+    import numpy as np
+
+    from ..exec.config import ExecutionConfig, execution
+    from ..shard import sharded_sat
+
+    size = entry.get("size", [2048, 2048])
+    tile = entry.get("tile", [512, 512])
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 255, size=(int(size[0]), int(size[1])))
+    img = img.astype(np.uint8)
+    with execution(ExecutionConfig(fused=True, sanitize=False,
+                                   bounds_check=False)):
+        run = sharded_sat(
+            img, pair=entry.get("pair", "8u32s"),
+            algorithm=entry.get("algorithm", "brlt_scanrow"),
+            shard={"tile_shape": (int(tile[0]), int(tile[1])),
+                   "devices": entry.get("devices", "2xP100"),
+                   "streams_per_device": 2},
+        )
+    rep = run.report
+    return {name: float(rep[name]) for name in SHARD_METRICS}
+
+
 def check_bench_file(
     path, threshold_pct: float = 10.0, n_images: Optional[int] = None
 ) -> List[RegressionFinding]:
@@ -262,6 +299,13 @@ def check_bench_file(
             return []
         fresh = fresh_serve_metrics(entry)
         return compare_metrics(entry, fresh, SERVE_METRICS, threshold_pct,
+                               bench=path.name)
+    if "shard" in path.name.lower():
+        entry = latest_entry(entries, require=("tiles_per_s",))
+        if entry is None:
+            return []
+        fresh = fresh_shard_metrics(entry)
+        return compare_metrics(entry, fresh, SHARD_METRICS, threshold_pct,
                                bench=path.name)
     if "batch" in path.name.lower():
         entry = latest_entry(entries, require=("modeled_sequential_s", "n_images"))
@@ -300,7 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     benches = args.bench or [
         p for p in ("BENCH_batch.json", "BENCH_simulator.json",
-                    "BENCH_serve.json")
+                    "BENCH_serve.json", "BENCH_shard.json")
         if Path(p).exists()
     ]
     if not benches:

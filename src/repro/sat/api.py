@@ -25,7 +25,7 @@ from ..baselines.npp_sat import sat_npp
 from ..baselines.opencv_sat import sat_opencv
 from ..dtypes import TYPE_PAIRS, TypePair, parse_pair
 from ..exec.config import ExecutionConfig, requested_backend, resolve_execution
-from ..exec.registry import has_kernel_spec
+from ..exec.registry import get_sharder, has_kernel_spec
 from ..obs.trace import resolve_tracer, tracing
 from .brlt_scanrow import sat_brlt_scanrow
 from .common import SatRun
@@ -98,6 +98,7 @@ def sat(
     backend: Optional[str] = None,
     config: Optional[ExecutionConfig] = None,
     trace=None,
+    shard=None,
     **opts,
 ) -> SatRun:
     """Compute the inclusive Summed Area Table of ``image``.
@@ -137,6 +138,19 @@ def sat(
         disable, ``None`` (default) to defer to the ambient
         :func:`~repro.obs.tracing` context and the ``REPRO_TRACE`` env
         flag.  Tracing never changes outputs, counters or timings.
+    shard:
+        Sharded (tiled multi-device) execution control.  ``None``
+        (default): shard transparently when the image exceeds the
+        sharder's element threshold (strictly more than 2048x2048 unless
+        ``REPRO_SHARD_THRESHOLD`` overrides it); ``False``: never shard;
+        ``True`` / a dict / a :class:`~repro.shard.ShardConfig`: always
+        shard, with any supplied knobs (tile shape, device set, streams,
+        placement).  Sharded runs return a
+        :class:`~repro.shard.ShardRun` — a :class:`SatRun` plus the
+        device/stream cost report and a queryable
+        :class:`~repro.shard.TiledSat`.  Only the paper's spec'd
+        algorithms shard; baselines run whole or raise if ``shard`` is
+        requested explicitly.
     **opts:
         Algorithm-specific options, e.g. ``scan="ladner_fischer"`` for the
         parallel-warp-scan kernels, or ``brlt_stride=32`` for the
@@ -168,11 +182,26 @@ def sat(
     )
     with scope:
         if has_kernel_spec(algorithm):
-            # Spec'd algorithms resolve the full execution config themselves
-            # (kwargs > config > contexts > env) and dispatch to the backend.
-            run = fn(image, pair=tp, device=device, backend=backend,
-                     config=config, **opts)
+            if shard is not False and get_sharder().wants(image.shape, shard):
+                # Oversized (or explicitly sharded) inputs run tiled
+                # across the simulated device set — same output, one
+                # carry pass (see repro.shard / docs/sharding.md).
+                run = get_sharder().run(
+                    image, pair=tp, algorithm=algorithm, device=device,
+                    backend=backend, config=config, shard=shard, **opts,
+                )
+            else:
+                # Spec'd algorithms resolve the full execution config
+                # themselves (kwargs > config > contexts > env) and
+                # dispatch to the backend.
+                run = fn(image, pair=tp, device=device, backend=backend,
+                         config=config, **opts)
         else:
+            if shard not in (None, False):
+                raise ValueError(
+                    f"algorithm {algorithm!r} has no kernel spec and cannot "
+                    f"run sharded"
+                )
             res = resolve_execution(config, backend=backend, device=device)
             # Spec-less algorithms run their own (CPU) path: an explicitly
             # requested backend is an error, a floating one (env/profile/

@@ -290,7 +290,17 @@ class DynamicBatcher:
         t_end = (time.monotonic() + timeout) if timeout is not None else None
         with self._cond:
             while True:
-                self._promote_due(self._clock())
+                # One clock sample per iteration: promotion and the wait
+                # computation must see the same ``now``, otherwise an
+                # injected/non-monotonic clock stepping between the two
+                # reads can yield a zero wait for a group that promotion
+                # just declined — a busy spin.  With a single sample,
+                # every deadline <= now was already admitted, so the
+                # remaining minimum deadline is strictly in the future
+                # and the wait is strictly positive (clamped >= 0 for
+                # float-arithmetic safety).
+                now = self._clock()
+                self._promote_due(now)
                 if self._ready:
                     batch = self._ready.popleft()
                     get_metrics().gauge("serve.queue_depth").set(
@@ -302,7 +312,7 @@ class DynamicBatcher:
                 waits = []
                 nxt = self._next_deadline()
                 if nxt is not None:
-                    waits.append(max(0.0, nxt - self._clock()))
+                    waits.append(max(0.0, nxt - now))
                 if t_end is not None:
                     remaining = t_end - time.monotonic()
                     if remaining <= 0:

@@ -1,0 +1,181 @@
+"""Decoupled-lookback tile-status descriptors (LightScan-style).
+
+The sharded executor propagates inter-tile carries with the single-pass
+*chained scan* protocol instead of a second full sweep: every tile owns a
+descriptor slot in a :class:`DescriptorChain`, with one of three states:
+
+* ``X`` — invalid: the tile has not produced anything yet;
+* ``A`` — *aggregate* available: the tile's own contribution (its carry
+  vector) is published, but the sum of everything before it is not;
+* ``P`` — inclusive *prefix* available: the sum of this tile's aggregate
+  and every predecessor's is published.
+
+To resolve its exclusive prefix, a tile opens a *lookback window* over its
+predecessors, walking backwards and accumulating ``A`` aggregates until a
+``P`` short-circuits the walk (one hop in the common case).  Hitting an
+``X`` means a predecessor has not run yet — the lookback is *deferred* and
+retried when new publishes land, exactly the spin the GPU protocol hides
+in a polling loop.  The chain records every step, window length and
+deferral so tests and benchmarks can assert single-pass behaviour.
+
+Values are numpy carry vectors (right-edge columns for row chains,
+adjusted bottom edges for column chains, whole frames for temporal series
+chains); integer addition wraps like the CUDA kernels
+(:func:`repro.dtypes.accumulate_cast` semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["X", "A", "P", "STATUS_NAMES", "LookbackStats", "DescriptorChain"]
+
+#: Tile-status flags, named after the decoupled-lookback literature.
+X, A, P = 0, 1, 2
+STATUS_NAMES = {X: "X", A: "A", P: "P"}
+
+
+def _wrap_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise add with CUDA integer wraparound semantics."""
+    with np.errstate(over="ignore", invalid="ignore"):
+        return a + b
+
+
+@dataclass
+class LookbackStats:
+    """Counters one chain accumulates; summed into the shard report."""
+
+    #: Descriptor slots inspected across all lookback attempts.
+    steps: int = 0
+    #: Successful window resolutions.
+    resolved: int = 0
+    #: Attempts that hit an ``X`` predecessor and had to be retried.
+    deferred: int = 0
+    #: Longest successful window (slots walked before a ``P``).
+    max_window: int = 0
+    #: Window lengths of every successful resolution.
+    windows: List[int] = field(default_factory=list)
+
+    def merge(self, other: "LookbackStats") -> None:
+        self.steps += other.steps
+        self.resolved += other.resolved
+        self.deferred += other.deferred
+        self.max_window = max(self.max_window, other.max_window)
+        self.windows.extend(other.windows)
+
+    def to_dict(self) -> dict:
+        n = len(self.windows)
+        return {
+            "steps": self.steps,
+            "resolved": self.resolved,
+            "deferred": self.deferred,
+            "max_window": self.max_window,
+            "mean_window": (sum(self.windows) / n) if n else 0.0,
+        }
+
+
+class DescriptorChain:
+    """One chain of tile descriptors with decoupled-lookback resolution.
+
+    ``n`` slots, each holding ``(status, aggregate, prefix)``.  Slot 0 has
+    no predecessors: publishing its aggregate immediately promotes it to
+    ``P`` with ``prefix == aggregate``.
+    """
+
+    def __init__(self, n: int, name: str = ""):
+        if n < 1:
+            raise ValueError("a descriptor chain needs at least one slot")
+        self.n = n
+        self.name = name
+        self.status: List[int] = [X] * n
+        self.aggregate: List[Optional[np.ndarray]] = [None] * n
+        self.prefix: List[Optional[np.ndarray]] = [None] * n
+        self.stats = LookbackStats()
+
+    # -- publishing ------------------------------------------------------
+    def publish_aggregate(self, i: int, agg: np.ndarray) -> None:
+        """Publish slot ``i``'s own contribution (``X`` → ``A``/``P``)."""
+        if self.status[i] != X:
+            raise RuntimeError(
+                f"chain {self.name!r} slot {i} already published "
+                f"({STATUS_NAMES[self.status[i]]})"
+            )
+        self.aggregate[i] = agg
+        if i == 0:
+            self.prefix[i] = agg
+            self.status[i] = P
+        else:
+            self.status[i] = A
+
+    def publish_prefix(self, i: int, prefix: np.ndarray) -> None:
+        """Publish slot ``i``'s inclusive prefix (``A`` → ``P``)."""
+        if self.status[i] != A:
+            raise RuntimeError(
+                f"chain {self.name!r} slot {i} must be A to promote, is "
+                f"{STATUS_NAMES[self.status[i]]}"
+            )
+        self.prefix[i] = prefix
+        self.status[i] = P
+
+    # -- lookback --------------------------------------------------------
+    def lookback(self, i: int) -> Optional[np.ndarray]:
+        """Resolve slot ``i``'s *exclusive* prefix, or ``None`` to defer.
+
+        Walks ``i-1, i-2, ...`` accumulating ``A`` aggregates until a
+        ``P`` slot terminates the window.  On success the slot is
+        promoted to ``P`` (its inclusive prefix is the exclusive prefix
+        plus its own aggregate) and the exclusive prefix is returned.
+        Returns ``None`` — deferring the tile — if any slot in the window
+        is still ``X``.  Slot 0 resolves to a zero exclusive prefix.
+        """
+        if self.status[i] == P:
+            # Already resolved (slot 0, or a retried tile raced a retry).
+            agg = self.aggregate[i]
+            if i == 0:
+                return np.zeros_like(agg)
+            with np.errstate(over="ignore", invalid="ignore"):
+                return self.prefix[i] - agg
+        if self.status[i] == X:
+            raise RuntimeError(
+                f"chain {self.name!r} slot {i} must publish its aggregate "
+                f"before looking back"
+            )
+        acc: Optional[np.ndarray] = None
+        window = 0
+        j = i - 1
+        while True:
+            self.stats.steps += 1
+            window += 1
+            s = self.status[j]
+            if s == X:
+                self.stats.deferred += 1
+                return None
+            if s == A:
+                acc = self.aggregate[j] if acc is None else \
+                    _wrap_add(self.aggregate[j], acc)
+                j -= 1
+                continue
+            # P: short-circuit — everything before j is folded in already.
+            exclusive = self.prefix[j] if acc is None else \
+                _wrap_add(self.prefix[j], acc)
+            break
+        self.stats.resolved += 1
+        self.stats.windows.append(window)
+        self.stats.max_window = max(self.stats.max_window, window)
+        self.publish_prefix(i, _wrap_add(exclusive, self.aggregate[i]))
+        return exclusive
+
+    # -- introspection ---------------------------------------------------
+    def resolved(self) -> bool:
+        """True when every slot has reached ``P``."""
+        return all(s == P for s in self.status)
+
+    def statuses(self) -> str:
+        """Compact state string, e.g. ``"PPAX"`` — debugging/tests."""
+        return "".join(STATUS_NAMES[s] for s in self.status)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DescriptorChain({self.name!r}, {self.statuses()})"

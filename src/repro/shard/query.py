@@ -1,0 +1,179 @@
+"""Query a sharded SAT without materialising the full table.
+
+A :class:`TiledSat` holds the per-tile *local* SATs plus the resolved
+carry vectors of the decoupled-lookback pass (``left`` row carries and
+``top`` column carries per tile).  Any global SAT entry is then three
+adds away::
+
+    S[y, x] = local[r][c][yy, xx] + left[r][c][yy] + top[r][c][xx]
+
+formed in the SAT's own dtype with CUDA wraparound, so every value is
+bit-identical to the materialised table.
+
+Rectangle queries (:meth:`TiledSat.rect_sums`) mirror
+:func:`repro.sat.box_filter.rect_sums`: the carry-adjusted corner values
+are first formed in the SAT dtype (wraparound and all — that *is* the
+table's value), then widened to ``int64`` for integer SATs up to 32 bits
+**before** the ``d - b - c + a`` combination, because the intermediate
+differences can overflow a 32-bit accumulator even when the rectangle sum
+itself fits — and near ``2^31``/``2^32`` the unwidened combination gives
+silently wrong sums.  Results match the non-tiled helper exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["TiledSat"]
+
+
+def _wrap(fn):
+    with np.errstate(over="ignore", invalid="ignore"):
+        return fn()
+
+
+class TiledSat:
+    """A sharded SAT: local tiles + resolved lookback carries.
+
+    Parameters
+    ----------
+    shape:
+        Global table shape ``(H, W)``.
+    tile_shape:
+        Nominal tile extent ``(th, tw)``; edge tiles may be smaller.
+    locals_:
+        ``{(r, c): local SAT}`` — each tile's own SAT, no carries.
+    left:
+        ``{(r, c): (h_rc,) vector}`` — the resolved exclusive row-chain
+        prefix: sum of the image band left of the tile, per local row.
+    top:
+        ``{(r, c): (w_rc,) vector}`` — the resolved exclusive
+        column-chain prefix: sum of everything above the tile up to each
+        local column (the diagonal region folded in).
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        tile_shape: Tuple[int, int],
+        locals_: Dict[Tuple[int, int], np.ndarray],
+        left: Dict[Tuple[int, int], np.ndarray],
+        top: Dict[Tuple[int, int], np.ndarray],
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.tile_shape = (int(tile_shape[0]), int(tile_shape[1]))
+        self.locals = locals_
+        self.left = left
+        self.top = top
+        self.grid = (
+            -(-self.shape[0] // self.tile_shape[0]),
+            -(-self.shape[1] // self.tile_shape[1]),
+        )
+        self.dtype = next(iter(locals_.values())).dtype
+
+    # -- point queries ---------------------------------------------------
+    def values(self, ys, xs) -> np.ndarray:
+        """Gather ``S[ys, xs]`` (vectorised), bit-identical to the
+        materialised table, without building it."""
+        ys = np.asarray(ys)
+        xs = np.asarray(xs)
+        if np.any(ys < 0) or np.any(xs < 0) or np.any(
+            ys >= self.shape[0]
+        ) or np.any(xs >= self.shape[1]):
+            raise ValueError(
+                f"coordinates out of range for tiled SAT of shape {self.shape}"
+            )
+        th, tw = self.tile_shape
+        rs, cs = ys // th, xs // tw
+        out = np.empty(np.broadcast(ys, xs).shape, dtype=self.dtype)
+        ysb, xsb = np.broadcast_arrays(ys, xs)
+        rsb, csb = np.broadcast_arrays(rs, cs)
+        for key in np.unique(
+            rsb.astype(np.int64) * self.grid[1] + csb.astype(np.int64)
+        ):
+            r, c = int(key) // self.grid[1], int(key) % self.grid[1]
+            m = (rsb == r) & (csb == c)
+            yy, xx = ysb[m] - r * th, xsb[m] - c * tw
+            loc = self.locals[(r, c)]
+            lf = self.left[(r, c)]
+            tp = self.top[(r, c)]
+            # Same association order as the executor's fix-up, so float
+            # tiles match the materialised table bit-for-bit too.
+            out[m] = _wrap(lambda: (loc[yy, xx] + lf[yy]) + tp[xx])
+        return out
+
+    def value(self, y: int, x: int):
+        """Scalar ``S[y, x]``."""
+        return self.values(np.asarray([y]), np.asarray([x]))[0]
+
+    # -- materialisation -------------------------------------------------
+    def materialize(self) -> np.ndarray:
+        """Assemble the full SAT table (the executor's output)."""
+        th, tw = self.tile_shape
+        out = np.empty(self.shape, dtype=self.dtype)
+        for (r, c), loc in self.locals.items():
+            lf, tp = self.left[(r, c)], self.top[(r, c)]
+            out[r * th: r * th + loc.shape[0],
+                c * tw: c * tw + loc.shape[1]] = _wrap(
+                    lambda: (loc + lf[:, None]) + tp[None, :])
+        return out
+
+    # -- rectangle queries -----------------------------------------------
+    def rect_sums(self, y0, x0, y1, x1) -> np.ndarray:
+        """Vectorised inclusive-rectangle sums, Fig. 1's four corners.
+
+        Integer SATs up to 32 bits widen the carry-adjusted corner values
+        to ``int64`` *before* the ``d - b - c + a`` combination — matching
+        :func:`repro.sat.box_filter.rect_sums` on the materialised table
+        exactly, including near-``2^31``/``2^32`` rectangles spanning tile
+        boundaries where combining in the SAT dtype would wrap.
+        """
+        y0 = np.asarray(y0)
+        x0 = np.asarray(x0)
+        y1 = np.asarray(y1)
+        x1 = np.asarray(x1)
+        if np.any(y0 > y1) or np.any(x0 > x1):
+            raise ValueError("empty rectangle")
+        h, w = self.shape
+        if (np.any(y0 < 0) or np.any(x0 < 0)
+                or np.any(y1 >= h) or np.any(x1 >= w)):
+            raise ValueError(
+                f"rectangle coordinates out of range for tiled SAT of shape "
+                f"{self.shape}: rows must satisfy 0 <= y0 <= y1 <= {h - 1}, "
+                f"cols 0 <= x0 <= x1 <= {w - 1}"
+            )
+        widen = (np.issubdtype(self.dtype, np.integer)
+                 and self.dtype.itemsize <= 4)
+        zero = np.int64(0) if widen else self.dtype.type(0)
+
+        def corner(vals: np.ndarray) -> np.ndarray:
+            return vals.astype(np.int64) if widen else vals
+
+        d = corner(self.values(y1, x1))
+        b = np.where(y0 > 0, corner(self.values(np.maximum(y0 - 1, 0), x1)),
+                     zero)
+        c = np.where(x0 > 0, corner(self.values(y1, np.maximum(x0 - 1, 0))),
+                     zero)
+        a = np.where(
+            (y0 > 0) & (x0 > 0),
+            corner(self.values(np.maximum(y0 - 1, 0), np.maximum(x0 - 1, 0))),
+            zero,
+        )
+        return d - b - c + a
+
+    def rect_sum(self, y0: int, x0: int, y1: int, x1: int):
+        """Scalar rectangle sum; integer SATs combine exactly through
+        Python ints like :func:`repro.sat.box_filter.rect_sum`."""
+        out = self.rect_sums(
+            np.asarray([y0]), np.asarray([x0]),
+            np.asarray([y1]), np.asarray([x1]),
+        )[0]
+        if np.issubdtype(self.dtype, np.integer):
+            return int(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TiledSat(shape={self.shape}, grid={self.grid}, "
+                f"tile={self.tile_shape}, dtype={self.dtype})")

@@ -1,8 +1,14 @@
-"""BatchScheduler: shape bucketing and byte-bounded chunking."""
+"""BatchScheduler: shape bucketing and byte-bounded chunking.
+
+Plus :class:`TileScheduler`, the tile-placement layer the sharded
+executor (:mod:`repro.shard`) plans with.
+"""
 
 import numpy as np
+import pytest
 
 from repro.engine import BatchScheduler, BucketGroup
+from repro.engine.scheduler import TileScheduler
 
 
 class TestBucketing:
@@ -50,3 +56,82 @@ class TestChunking:
     def test_stack_bytes_counts_input_and_accumulator(self):
         got = BatchScheduler.stack_bytes((64, 32), np.uint8, np.int32)
         assert got == 64 * 32 * (1 + 4)
+
+    def test_gigapixel_image_chunk_floor_is_one(self):
+        """Regression: ``bytes_per_image > max_stack_bytes`` must yield
+        singleton chunks, never a zero depth (which would loop forever or
+        drop images).  Single gigapixel tiles legitimately exceed the
+        12 MB knee."""
+        sched = BatchScheduler()  # default 12 MB knee
+        per = BatchScheduler.stack_bytes((16384, 16384), np.uint8, np.int32)
+        assert per > sched.max_stack_bytes
+        grp = BucketGroup(bucket=(16384, 16384), indices=[0, 1, 2])
+        chunks = sched.chunk(grp, bytes_per_image=per)
+        assert chunks == [[0], [1], [2]]
+        # Degenerate byte sizes are clamped, not divided by.
+        assert sched.chunk(grp, bytes_per_image=0) == [[0, 1, 2]]
+        flat = [i for ch in sched.chunk(grp, bytes_per_image=per * 1000)
+                for i in ch]
+        assert flat == [0, 1, 2]
+
+
+class TestTileScheduler:
+    def test_grid_covers_ragged_shapes(self):
+        sched = TileScheduler(tile_shape=(32, 48))
+        assert sched.grid_of((64, 96)) == (2, 2)
+        assert sched.grid_of((65, 97)) == (3, 3)
+        assert sched.grid_of((1, 1)) == (1, 1)
+
+    def test_plan_tiles_partition_the_image(self):
+        sched = TileScheduler(tile_shape=(32, 48))
+        plan = sched.plan((70, 100), n_devices=2)
+        assert plan.grid == (3, 3) and plan.n_tiles == 9
+        seen = np.zeros((70, 100), dtype=int)
+        for p in plan.placements:
+            assert p.h >= 1 and p.w >= 1
+            seen[p.row0: p.row0 + p.h, p.col0: p.col0 + p.w] += 1
+        assert (seen == 1).all()           # exact partition, no overlap
+        # Ragged edge tiles shrink to the image boundary.
+        assert plan.at(2, 2).shape == (6, 4)
+        assert plan.at(0, 0).shape == (32, 48)
+
+    def test_roundrobin_spreads_devices_and_streams(self):
+        plan = TileScheduler(tile_shape=(8, 8)).plan(
+            (16, 32), n_devices=2, streams_per_device=2)
+        devs = [p.device for p in plan.placements]
+        assert set(devs) == {0, 1}
+        assert devs == [0, 1, 0, 1, 0, 1, 0, 1]
+        # Streams alternate per device.
+        for d in (0, 1):
+            streams = [p.stream for p in plan.placements if p.device == d]
+            assert streams == [0, 1, 0, 1]
+
+    def test_blockrow_keeps_rows_device_local(self):
+        plan = TileScheduler(tile_shape=(8, 8), policy="blockrow").plan(
+            (32, 16), n_devices=2)
+        for p in plan.placements:
+            assert p.device == (0 if p.r < 2 else 1)
+
+    def test_plan_cache_hits_on_repeat_geometry(self):
+        sched = TileScheduler(tile_shape=(16, 16))
+        a = sched.plan((40, 40), n_devices=2)
+        b = sched.plan((40, 40), n_devices=2)
+        assert a is b
+        assert sched.plan_hits == 1 and sched.plan_misses == 1
+        sched.plan((40, 40), n_devices=3)     # different geometry: miss
+        assert sched.plan_misses == 2
+
+    def test_plan_cache_evicts_lru(self):
+        sched = TileScheduler(tile_shape=(16, 16), cache_size=2)
+        a = sched.plan((16, 16), 1)
+        sched.plan((32, 16), 1)
+        sched.plan((48, 16), 1)               # evicts (16, 16)
+        assert sched.plan((16, 16), 1) is not a
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="positive"):
+            TileScheduler(tile_shape=(0, 8))
+        with pytest.raises(ValueError, match="policy"):
+            TileScheduler(policy="zigzag")
+        with pytest.raises(ValueError, match="at least one device"):
+            TileScheduler().plan((64, 64), n_devices=0)

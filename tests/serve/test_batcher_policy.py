@@ -201,6 +201,111 @@ class TestAdmissionDeterministic:
         assert b.queue_depth == 0
 
 
+class CountingClock(FakeClock):
+    """FakeClock that counts reads — a busy spin shows up as call count."""
+
+    def __init__(self, t: float = 0.0):
+        super().__init__(t)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return self.t
+
+
+class OscillatingClock(CountingClock):
+    """Adversarial non-monotonic clock: the first read (the submit's
+    arrival stamp) and every even read return ``lo``; odd reads return
+    ``hi``.  A ``take()`` that reads the clock twice per iteration then
+    sees ``lo`` at promotion and ``hi`` at the wait computation — below
+    and above the deadline respectively — forever."""
+
+    def __init__(self, lo: float, hi: float):
+        super().__init__(lo)
+        self.lo, self.hi = lo, hi
+
+    def __call__(self) -> float:
+        self.calls += 1
+        if self.calls == 1 or self.calls % 2 == 0:
+            return self.lo
+        return self.hi
+
+
+class TestNonMonotonicClock:
+    """Regression: deadline arithmetic under injected / regressing clocks.
+
+    ``take()`` must sample the clock once per iteration: promotion and
+    the wait computation have to agree on ``now``.  With two separate
+    reads, a clock oscillating around a group's deadline makes promotion
+    (seeing ``now < deadline``) decline the group while the wait
+    computation (seeing ``now >= deadline``) clamps to a zero wait — an
+    unbounded busy spin.  One sample makes every remaining deadline
+    strictly future, so waits are strictly positive.
+    """
+
+    def test_oscillating_clock_admits_without_spinning(self):
+        clock = OscillatingClock(lo=0.0, hi=1.0)
+        b = _batcher(clock, max_delay_s=0.01)     # deadline = lo + 0.01
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)  # arrival stamped at lo
+        calls_before = clock.calls
+        batch = b.take(timeout=2.0)
+        # Some iteration's single sample lands on hi (past the deadline)
+        # and must admit.  A two-sample implementation sees lo at
+        # promotion and hi at the wait computation every iteration: a
+        # zero wait, a busy spin through the whole timeout, and
+        # thousands of clock reads.
+        assert batch is not None and batch.reason == "deadline"
+        assert clock.calls - calls_before <= 8
+        b.close()
+
+    def test_backwards_step_yields_positive_wait_not_spin(self):
+        """Clock regresses below the arrival time: the group is simply
+        not due yet; take() must time out quietly, not spin."""
+        clock = CountingClock(10.0)
+        b = _batcher(clock, max_delay_s=0.05)
+        b.submit(SatRequest(IMAGES[0]), RESOLVED)  # arrival at t=10
+        clock.t = 3.0                              # big backwards step
+        calls_before = clock.calls
+        assert b.take(timeout=0.02) is None
+        assert clock.calls - calls_before <= 6
+        # Once the clock recovers past the deadline, admission works.
+        clock.t = 10.1
+        batch = b.take(timeout=1.0)
+        assert batch is not None and len(batch) == 1
+        b.close()
+
+    @given(steps=st.lists(st.integers(min_value=-2, max_value=2),
+                          min_size=1, max_size=12))
+    @settings(deadline=None)
+    def test_backwards_stepping_clock_conserves_and_never_spins(self, steps):
+        """Hypothesis: arbitrary forward/backward clock walks.  Every
+        ``take`` stays within a bounded number of clock reads (no spin),
+        never raises, and every submitted request is served exactly
+        once.  Steps are coarse (multiples of 0.02 against a 0.01
+        deadline) so a frozen fake clock never sits epsilon-close to a
+        deadline, where bounded re-checking would be legitimate."""
+        clock = CountingClock(1.0)
+        b = _batcher(clock, max_delay_s=0.01)
+        submitted, served = [], []
+        for i, k in enumerate(steps):
+            clock.t = max(0.0, clock.t + k * 0.02)  # may regress
+            req = SatRequest(IMAGES[i % len(IMAGES)])
+            b.submit(req, RESOLVED)
+            submitted.append(req.request_id)
+            calls_before = clock.calls
+            batch = b.take(timeout=0.001)
+            assert clock.calls - calls_before <= 4
+            if batch is not None:
+                served.extend(p.request.request_id for p in batch.entries)
+        b.close()
+        while True:
+            batch = b.take(timeout=0.001)
+            if batch is None:
+                break
+            served.extend(p.request.request_id for p in batch.entries)
+        assert sorted(served) == sorted(submitted)
+
+
 @st.composite
 def arrival_sequences(draw):
     """(gap_ms, shape_index) arrival streams, gaps 0–6 ms."""

@@ -1,0 +1,117 @@
+"""DescriptorChain: the X/A/P decoupled-lookback protocol, in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.shard import A, DescriptorChain, P, X
+
+
+def v(*xs):
+    return np.asarray(xs, dtype=np.int32)
+
+
+class TestStates:
+    def test_slot_zero_publishes_straight_to_prefix(self):
+        ch = DescriptorChain(3)
+        ch.publish_aggregate(0, v(5))
+        assert ch.status[0] == P
+        assert ch.prefix[0] is ch.aggregate[0]
+        # Slot 0's exclusive prefix is zero.
+        assert ch.lookback(0) == v(0)
+
+    def test_interior_slot_publishes_aggregate_only(self):
+        ch = DescriptorChain(3)
+        ch.publish_aggregate(1, v(7))
+        assert ch.status[1] == A and ch.prefix[1] is None
+        assert ch.status[0] == X
+
+    def test_double_publish_rejected(self):
+        ch = DescriptorChain(2)
+        ch.publish_aggregate(0, v(1))
+        with pytest.raises(RuntimeError, match="already published"):
+            ch.publish_aggregate(0, v(2))
+
+    def test_lookback_before_own_publish_rejected(self):
+        ch = DescriptorChain(2)
+        with pytest.raises(RuntimeError, match="publish its aggregate"):
+            ch.lookback(1)
+
+    def test_statuses_string(self):
+        ch = DescriptorChain(3, name="t")
+        ch.publish_aggregate(0, v(1))
+        ch.publish_aggregate(2, v(3))
+        assert ch.statuses() == "PXA"
+
+
+class TestLookback:
+    def test_short_circuit_on_immediate_prefix(self):
+        ch = DescriptorChain(3)
+        ch.publish_aggregate(0, v(10))
+        ch.publish_aggregate(1, v(20))
+        assert ch.lookback(1) == v(10)          # window of 1, hits P
+        assert ch.status[1] == P and ch.prefix[1] == v(30)
+        assert ch.stats.max_window == 1
+
+    def test_window_accumulates_aggregates(self):
+        """Predecessors stuck at A are summed until a P short-circuits."""
+        ch = DescriptorChain(4)
+        ch.publish_aggregate(0, v(1))
+        ch.publish_aggregate(1, v(2))
+        ch.publish_aggregate(2, v(4))            # stays A: nobody resolved it
+        ch.publish_aggregate(3, v(8))
+        # Resolve 3 directly: window walks 2 (A) then 1 (A) then 0 (P).
+        assert ch.lookback(3) == v(7)
+        assert ch.prefix[3] == v(15)
+        assert ch.stats.max_window == 3
+        # 1 and 2 are still only A — decoupled from 3's resolution.
+        assert ch.status[1] == A and ch.status[2] == A
+
+    def test_x_predecessor_defers(self):
+        ch = DescriptorChain(3)
+        ch.publish_aggregate(2, v(8))
+        assert ch.lookback(2) is None            # slot 1 is X
+        assert ch.stats.deferred == 1
+        ch.publish_aggregate(1, v(2))
+        assert ch.lookback(2) is None            # slot 0 still X
+        ch.publish_aggregate(0, v(1))
+        assert ch.lookback(2) == v(3)
+        assert ch.stats.deferred == 2
+        assert ch.stats.resolved == 1
+
+    def test_integer_wraparound_matches_cuda(self):
+        ch = DescriptorChain(2)
+        big = np.asarray([2**31 - 1], dtype=np.int32)
+        ch.publish_aggregate(0, big)
+        ch.publish_aggregate(1, big)
+        assert ch.lookback(1) == big
+        # Inclusive prefix wrapped, exactly like 32-bit CUDA adds.
+        assert ch.prefix[1][0] == np.int32(-2)
+
+    def test_resolved_and_vector_values(self):
+        ch = DescriptorChain(3)
+        for i in range(3):
+            ch.publish_aggregate(i, v(i, i + 1))
+        for i in range(1, 3):
+            ch.lookback(i)
+        assert ch.resolved()
+        np.testing.assert_array_equal(ch.prefix[2], v(3, 6))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            DescriptorChain(0)
+
+
+class TestStats:
+    def test_merge_and_dict(self):
+        a = DescriptorChain(3, "a")
+        a.publish_aggregate(0, v(1))
+        a.publish_aggregate(1, v(2))
+        a.lookback(1)
+        b = DescriptorChain(2, "b")
+        b.publish_aggregate(1, v(9))
+        assert b.lookback(1) is None
+        a.stats.merge(b.stats)
+        d = a.stats.to_dict()
+        assert d["resolved"] == 1 and d["deferred"] == 1
+        assert d["steps"] == 2 and d["mean_window"] == 1.0
+        assert X == 0 and A == 1 and P == 2

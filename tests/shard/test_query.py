@@ -1,0 +1,143 @@
+"""TiledSat query path: point gathers, materialisation, and the int64
+widening of carry-adjusted corner arithmetic (satellite regression).
+
+The dangerous case: a ``32u``/``32s`` SAT whose corner values sit near
+``2^32``/``2^31``.  The carry-adjusted corners themselves wrap in the SAT
+dtype (that *is* the table's value), but the ``d - b - c + a``
+combination must run in ``int64`` — combining in the SAT dtype gives a
+silently wrong rectangle sum even though the true sum fits comfortably.
+Rectangles here deliberately span tile boundaries so every corner picks
+up a different (left, top) carry pair.
+"""
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro.sat.api import sat
+
+# repro.sat re-exports the box_filter *function* under this name; grab
+# the module itself for rect_sum/rect_sums.
+box_filter = importlib.import_module("repro.sat.box_filter")
+from repro.shard import TiledSat, sharded_sat
+
+TILE = (32, 32)
+
+
+def _sharded(img, pair):
+    return sharded_sat(img, pair=pair,
+                       shard={"tile_shape": TILE, "devices": "2xP100"})
+
+
+class TestPointQueries:
+    def test_values_match_materialised_table(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 255, size=(70, 90)).astype(np.uint8)
+        run = _sharded(img, "8u32s")
+        ts = run.tiled
+        assert isinstance(ts, TiledSat)
+        table = ts.materialize()
+        np.testing.assert_array_equal(table, run.output)
+        ys = rng.integers(0, 70, size=200)
+        xs = rng.integers(0, 90, size=200)
+        np.testing.assert_array_equal(ts.values(ys, xs), table[ys, xs])
+        assert ts.value(69, 89) == table[69, 89]
+
+    def test_float_values_bit_identical_to_table(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((70, 90)).astype(np.float32)
+        run = _sharded(img, "32f32f")
+        table = run.tiled.materialize()
+        ys, xs = np.mgrid[0:70, 0:90]
+        # Same association order as the fix-up: equality, not allclose.
+        np.testing.assert_array_equal(
+            run.tiled.values(ys.ravel(), xs.ravel()),
+            table[ys.ravel(), xs.ravel()])
+
+    def test_out_of_range_rejected(self):
+        img = np.ones((40, 40), dtype=np.uint8)
+        ts = _sharded(img, "8u32s").tiled
+        with pytest.raises(ValueError, match="out of range"):
+            ts.values(np.asarray([40]), np.asarray([0]))
+        with pytest.raises(ValueError, match="out of range"):
+            ts.value(0, -1)
+
+
+class TestRectSumWidening:
+    """Satellite: int64 widening of carry-adjusted corners near 2^31/2^32."""
+
+    def _case(self, dtype_in, pair, fill):
+        # Constant image: SAT values grow as fill*(y+1)*(x+1), pushing the
+        # bottom-right corners past the wrap point of the accumulator.
+        img = np.full((80, 96), fill, dtype=dtype_in)
+        run = _sharded(img, pair)
+        ref = sat(img, pair=pair, backend="host", shard=False).output
+        np.testing.assert_array_equal(run.output, ref)
+        return img, run.tiled, ref
+
+    def test_uint32_sat_near_2_32_spanning_tiles(self):
+        img, ts, ref = self._case(np.uint32, "32u32u", 600_000)
+        # Corner magnitudes approach 80*96*6e5 ≈ 4.6e9 > 2^32: the SAT
+        # itself wraps — and the widened combination must still be exact.
+        assert int(ref.max()) < 2**32 and int(img.sum()) > 2**32
+        # Rectangle spanning all four tiles around the (32, 32) corner.
+        y0, x0, y1, x1 = 20, 20, 50, 50
+        got = ts.rect_sums(np.asarray([y0]), np.asarray([x0]),
+                           np.asarray([y1]), np.asarray([x1]))
+        want = box_filter.rect_sums(ref, np.asarray([y0]), np.asarray([x0]),
+                                    np.asarray([y1]), np.asarray([x1]))
+        assert got.dtype == np.int64 == want.dtype
+        np.testing.assert_array_equal(got, want)
+        exact = (y1 - y0 + 1) * (x1 - x0 + 1) * 600_000
+        # The unwidened combination would be off by a multiple of 2^32.
+        assert int(got[0]) == exact
+        assert ts.rect_sum(y0, x0, y1, x1) == exact
+
+    def test_int32_sat_near_2_31_spanning_tiles(self):
+        img, ts, ref = self._case(np.int32, "32s32s", 300_000)
+        assert int(ref.view(np.uint32).max()) > 2**31  # wrapped negative
+        y0, x0, y1, x1 = 30, 30, 33, 33           # 4x4 straddling 4 tiles
+        got = ts.rect_sum(y0, x0, y1, x1)
+        assert got == 16 * 300_000
+        assert got == box_filter.rect_sum(ref, y0, x0, y1, x1)
+
+    def test_rect_grid_sweep_matches_host_helper(self):
+        """Dense sweep of rectangles whose corners land in different
+        tiles: every sum equals box_filter.rect_sums on the reference."""
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 2**16, size=(70, 90)).astype(np.uint32)
+        run = _sharded(img, "32u32u")
+        ref = sat(img, pair="32u32u", backend="host", shard=False).output
+        y0 = rng.integers(0, 60, size=64)
+        x0 = rng.integers(0, 80, size=64)
+        y1 = y0 + rng.integers(0, 69 - y0 + 1)
+        x1 = x0 + rng.integers(0, 89 - x0 + 1)
+        np.testing.assert_array_equal(
+            run.tiled.rect_sums(y0, x0, y1, x1),
+            box_filter.rect_sums(ref, y0, x0, y1, x1))
+
+    def test_row_zero_and_col_zero_edges(self):
+        """y0 == 0 / x0 == 0 rectangles: the np.where zero-corner paths,
+        at large magnitudes."""
+        _, ts, ref = self._case(np.uint32, "32u32u", 500_000)
+        for (y0, x0, y1, x1) in [(0, 0, 79, 95), (0, 40, 79, 70),
+                                 (40, 0, 70, 95), (0, 0, 0, 0)]:
+            assert ts.rect_sum(y0, x0, y1, x1) == \
+                box_filter.rect_sum(ref, y0, x0, y1, x1)
+
+    def test_float_sats_do_not_widen(self):
+        rng = np.random.default_rng(3)
+        img = rng.random((40, 40)).astype(np.float32)
+        ts = _sharded(img, "32f32f").tiled
+        out = ts.rect_sums(np.asarray([0]), np.asarray([0]),
+                           np.asarray([39]), np.asarray([39]))
+        assert out.dtype == np.float32
+
+    def test_invalid_rectangles_rejected(self):
+        img = np.ones((40, 40), dtype=np.uint8)
+        ts = _sharded(img, "8u32s").tiled
+        with pytest.raises(ValueError, match="empty rectangle"):
+            ts.rect_sum(10, 10, 5, 20)
+        with pytest.raises(ValueError, match="out of range"):
+            ts.rect_sum(0, 0, 40, 10)

@@ -1,0 +1,117 @@
+"""gpusim streams: queues, engines, dependency resolution, overlap."""
+
+import pytest
+
+from repro.gpusim.device import DEVICES, P100, V100, parse_device_set
+from repro.gpusim.stream import (
+    DeviceSet,
+    SimDevice,
+    intervals_intersection_s,
+    intervals_union_s,
+)
+
+
+class TestParseDeviceSet:
+    def test_single_name_and_spec(self):
+        assert parse_device_set("P100") == [P100]
+        assert parse_device_set(P100) == [P100]
+
+    def test_count_spelling(self):
+        assert parse_device_set("2xP100") == [P100, P100]
+        assert parse_device_set("3*V100") == [V100, V100, V100]
+
+    def test_comma_list_and_sequence(self):
+        assert parse_device_set("P100,V100") == [P100, V100]
+        assert parse_device_set(["2xP100", V100]) == [P100, P100, V100]
+
+    def test_errors(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            parse_device_set("K80")
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            parse_device_set("0xP100")
+        with pytest.raises(ValueError, match="empty"):
+            parse_device_set("")
+        with pytest.raises(TypeError):
+            parse_device_set(42)
+        assert sorted(DEVICES) == ["M40", "P100", "V100"]
+
+
+class TestSimDevice:
+    def test_same_engine_serialises(self):
+        d = SimDevice(P100, 0, n_streams=2)
+        k1 = d.enqueue(0, "kernel", 1.0, "k1")
+        k2 = d.enqueue(1, "kernel", 1.0, "k2")   # other stream, same engine
+        assert k1.start_s == 0.0 and k1.end_s == 1.0
+        assert k2.start_s == 1.0                 # SM array is serial
+
+    def test_kernel_and_carry_engines_overlap(self):
+        d = SimDevice(P100, 0, n_streams=2)
+        k = d.enqueue(0, "kernel", 1.0, "k")
+        c = d.enqueue(1, "carry", 0.5, "c")      # no dep: runs concurrently
+        assert c.start_s == 0.0 and k.start_s == 0.0
+
+    def test_stream_is_in_order(self):
+        d = SimDevice(P100, 0, n_streams=1)
+        c = d.enqueue(0, "copy", 0.5, "h2d")
+        k = d.enqueue(0, "kernel", 1.0, "k")
+        assert k.start_s == c.end_s              # same stream: FIFO
+
+    def test_deps_delay_start(self):
+        d = SimDevice(P100, 0, n_streams=2)
+        k = d.enqueue(0, "kernel", 1.0, "k")
+        c = d.enqueue(1, "carry", 0.5, "c", deps=[k])
+        assert c.start_s == k.end_s
+
+    def test_bad_kind_and_duration(self):
+        d = SimDevice(P100, 0)
+        with pytest.raises(ValueError, match="unknown op kind"):
+            d.enqueue(0, "bogus", 1.0, "x")
+        with pytest.raises(ValueError, match="negative"):
+            d.enqueue(0, "kernel", -1.0, "x")
+        with pytest.raises(ValueError, match="at least one stream"):
+            SimDevice(P100, 0, n_streams=0)
+
+
+class TestIntervals:
+    def test_union_merges_overlaps(self):
+        assert intervals_union_s([(0, 1), (0.5, 2), (3, 4)]) == 3.0
+        assert intervals_union_s([]) == 0.0
+
+    def test_intersection(self):
+        assert intervals_intersection_s([(0, 2)], [(1, 3)]) == 1.0
+        assert intervals_intersection_s([(0, 1)], [(2, 3)]) == 0.0
+        assert intervals_intersection_s(
+            [(0, 1), (2, 3)], [(0.5, 2.5)]) == 1.0
+
+
+class TestDeviceSet:
+    def test_from_spec_instantiates_indexed_devices(self):
+        ds = DeviceSet.from_spec("2xP100,V100")
+        assert ds.names == ["P100:0", "P100:1", "V100:2"]
+        assert len(ds) == 3
+
+    def test_overlap_accounting(self):
+        ds = DeviceSet.from_spec("2xP100")
+        d0 = ds.device(0)
+        k = d0.enqueue(0, "kernel", 1.0, "k")
+        d0.enqueue(1, "carry", 0.5, "c", deps=[k])   # after kernel
+        d0.enqueue(0, "kernel", 1.0, "k2")           # overlaps the carry
+        rep = ds.report()
+        assert rep["overlap_s"] == pytest.approx(0.5)
+        assert rep["overlap_fraction"] == pytest.approx(1.0)
+        assert rep["makespan_s"] == pytest.approx(2.0)
+        assert rep["kernel_busy_s"] == pytest.approx(2.0)
+        assert rep["per_device"]["P100:1"]["n_ops"] == 0
+
+    def test_timeline_sorted(self):
+        ds = DeviceSet.from_spec("2xP100")
+        ds.device(1).enqueue(0, "kernel", 1.0, "b")
+        ds.device(0).enqueue(0, "copy", 0.2, "a")
+        names = [o.name for o in ds.timeline()]
+        assert names == ["b", "a"] or names == ["a", "b"]
+        starts = [o.start_s for o in ds.timeline()]
+        assert starts == sorted(starts)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSet([])

@@ -186,3 +186,18 @@ def test_loadgen_open(capsys):
     doc = json.loads(capsys.readouterr().out)
     assert doc["mode"] == "open"
     assert doc["offered_rps"] == 400.0 and doc["n_errors"] == 0
+
+
+def test_shard_command_verifies(capsys):
+    assert main(["shard", "--size", "256", "--tile", "64", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "sharded 4x4 over 2xP100" in out
+    assert "matches host reference   yes" in out
+
+
+def test_shard_command_device_list(capsys):
+    assert main(["shard", "--size", "192", "--tile", "64",
+                 "--devices", "P100,V100", "--placement", "blockrow"]) == 0
+    out = capsys.readouterr().out
+    assert "over P100,V100" in out
+    assert "compute/carry overlap" in out
