@@ -1,0 +1,252 @@
+"""Planner who-wins sweep: does the model pick the measured-fastest config?
+
+For every cell of a (device x pair x size) grid this benchmark asks the
+:class:`repro.plan.Planner` for its decision, then *measures* every
+candidate configuration with a full simulation at the cell's actual size
+(``Runner`` with ``calibration >= size``, i.e. no projection) and checks
+that the chosen configuration's measured time is within 2% of the best
+measured one.  The headline metric is the **match rate** — the fraction
+of cells where the model's choice is measured-best (or equivalent within
+the 2% band) — gated at 90%.
+
+It also verifies the autotuning contract end to end: ``sat(image,
+algorithm="auto")`` must be bit-identical to spelling the planner's
+decision explicitly.
+
+Results append to ``BENCH_autotune.json``.  The top-level figures are
+measured on a small fixed regress grid (2 devices x 2 pairs x 2 sizes)
+so ``repro.obs.regress`` can re-measure them cheaply and
+deterministically; the full five-device sweep rides along under
+``headline`` with its per-cell who-wins table.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+BENCH_LOG = pathlib.Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+
+#: The cheap, deterministic grid re-measured by ``repro.obs.regress``.
+REGRESS_DEVICES = ["P100", "H100"]
+REGRESS_PAIRS = ["8u32s", "32f32f"]
+REGRESS_SIZES = [256, 512]
+
+#: The full sweep (five devices, the paper's common pairs, both sides of
+#: the small/large crossover).
+FULL_DEVICES = ["M40", "P100", "V100", "A100", "H100"]
+FULL_PAIRS = ["8u32s", "8u32u", "16u32u", "32f32f", "32u32u", "64f64f"]
+FULL_SIZES = [128, 256, 512, 1024]
+
+#: A chosen config whose measured time is within this factor of the best
+#: measured time counts as a match (ties between near-identical configs
+#: should not read as model failures).
+EQUIVALENCE = 1.02
+
+MATCH_RATE_GATE = 0.90
+
+
+def _repo_src() -> None:
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def _append_bench_entry(entry: dict) -> None:
+    history = []
+    if BENCH_LOG.exists():
+        try:
+            history = json.loads(BENCH_LOG.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    BENCH_LOG.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def sweep(devices, pairs, sizes, planner=None, runner=None):
+    """Measure every cell; returns (cells, match_rate).
+
+    Each cell records the planner's choice, the measured-best candidate,
+    both measured times and whether they are 2%-equivalent.
+    """
+    from repro.harness.runner import Runner
+    from repro.plan.planner import CANDIDATES, Planner
+
+    planner = planner or Planner()
+    runner = runner or Runner(calibration=max(sizes), validate=False)
+
+    cells = []
+    for device in devices:
+        for pair in pairs:
+            for size in sizes:
+                decision = planner.decide((size, size), pair, device)
+                measured = {}
+                for cand in CANDIDATES:
+                    try:
+                        pt = runner.measure(cand.algorithm, pair, device,
+                                            size, **cand.opts_dict())
+                    except ValueError:
+                        continue  # pair unsupported by this candidate
+                    measured[cand.label] = pt.time_us
+                best_label = min(measured, key=measured.get)
+                chosen_us = measured[decision.label]
+                best_us = measured[best_label]
+                cells.append({
+                    "device": device,
+                    "pair": pair,
+                    "size": size,
+                    "chosen": decision.label,
+                    "chosen_us": round(chosen_us, 3),
+                    "best": best_label,
+                    "best_us": round(best_us, 3),
+                    "match": bool(chosen_us <= EQUIVALENCE * best_us),
+                })
+    match_rate = sum(c["match"] for c in cells) / len(cells)
+    return cells, match_rate
+
+
+def who_wins_table(cells, devices, sizes) -> str:
+    """ASCII heatmap: winner per (device, size), aggregated over pairs.
+
+    Each cell shows the most common measured-best algorithm for that
+    device/size across the swept pairs, plus ``n/m`` matched cells when
+    the planner missed any.
+    """
+    short = {"brlt_scanrow": "brlt", "scanrow_brlt": "srb",
+             "scan_row_column": "src"}
+
+    def _cell(device, size):
+        sub = [c for c in cells if c["device"] == device and c["size"] == size]
+        if not sub:
+            return "-"
+        wins = {}
+        for c in sub:
+            base = c["best"].split("[")[0]
+            wins[base] = wins.get(base, 0) + 1
+        winner = max(wins, key=wins.get)
+        matched = sum(c["match"] for c in sub)
+        tag = "" if matched == len(sub) else f" {matched}/{len(sub)}"
+        return short.get(winner, winner) + tag
+
+    width = 12
+    lines = ["who wins (measured-best, majority over pairs; n/m = planner "
+             "matches when < all):"]
+    header = "device".ljust(8) + "".join(
+        f"{s}^2".rjust(width) for s in sizes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for device in devices:
+        row = device.ljust(8) + "".join(
+            _cell(device, s).rjust(width) for s in sizes)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def check_bit_identity(size: int = 192, pair: str = "8u32s",
+                       device: str = "P100") -> bool:
+    """``algorithm="auto"`` must match the explicit spelling bit for bit."""
+    from repro.plan import get_planner
+    from repro.sat.api import sat
+
+    rng = np.random.default_rng(7)
+    img = rng.integers(0, 256, (size, size)).astype(np.uint8)
+    auto = sat(img, pair=pair, algorithm="auto", device=device)
+    decision = get_planner().decide(img.shape, pair, device)
+    explicit = sat(img, pair=pair, algorithm=decision.algorithm,
+                   device=device, **decision.opts_dict())
+    default = sat(img, pair=pair, device=device)
+    host = np.cumsum(np.cumsum(img, axis=0, dtype=np.int64),
+                     axis=1).astype(np.int32)
+    return (np.array_equal(auto.output, explicit.output)
+            and np.array_equal(default.output, host)
+            and np.array_equal(auto.output, host))
+
+
+def run_smoke() -> int:
+    t0 = time.perf_counter()
+    cells, rate = sweep(REGRESS_DEVICES, REGRESS_PAIRS, REGRESS_SIZES)
+    identical = check_bit_identity()
+    print(f"smoke: {len(cells)} cells match_rate={rate:.2f} "
+          f"bit_identical={identical} wall={time.perf_counter() - t0:.1f}s")
+    ok = rate >= MATCH_RATE_GATE and identical
+    print("smoke OK" if ok else "FAIL: autotune smoke targets not met")
+    return 0 if ok else 1
+
+
+def run_full(devices, pairs, sizes) -> int:
+    from repro.plan.planner import Planner
+
+    t0 = time.perf_counter()
+
+    # Regress-comparable grid: cheap, deterministic, re-measurable.
+    reg_cells, reg_rate = sweep(REGRESS_DEVICES, REGRESS_PAIRS, REGRESS_SIZES)
+    print(f"regress grid: {len(reg_cells)} cells match_rate={reg_rate:.2f}")
+
+    planner = Planner()
+    cells, rate = sweep(devices, pairs, sizes, planner=planner)
+    print(who_wins_table(cells, devices, sizes))
+    mismatches = [c for c in cells if not c["match"]]
+    for c in mismatches:
+        print(f"  miss: {c['device']} {c['pair']} {c['size']}^2 chose "
+              f"{c['chosen']} ({c['chosen_us']}us) best {c['best']} "
+              f"({c['best_us']}us)")
+    identical = check_bit_identity()
+    print(f"full sweep: {len(cells)} cells match_rate={rate:.2%} "
+          f"bit_identical={identical}")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "test": "bench_autotune",
+        "devices": REGRESS_DEVICES,
+        "pairs": REGRESS_PAIRS,
+        "sizes": REGRESS_SIZES,
+        "calibration": planner.calibration,
+        "equivalence": EQUIVALENCE,
+        "n_cells": len(reg_cells),
+        "match_rate": round(reg_rate, 4),
+        "headline": {
+            "devices": devices,
+            "pairs": pairs,
+            "sizes": sizes,
+            "n_cells": len(cells),
+            "match_rate": round(rate, 4),
+            "bit_identical": identical,
+            "mismatches": mismatches,
+            "cells": cells,
+        },
+        "wall_s": round(time.perf_counter() - t0, 2),
+    }
+    _append_bench_entry(entry)
+    print(json.dumps({k: v for k, v in entry.items() if k != "headline"},
+                     indent=2))
+
+    ok = (rate >= MATCH_RATE_GATE and reg_rate >= MATCH_RATE_GATE
+          and identical)
+    print("PASS" if ok else "FAIL: autotune targets not met")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    _repo_src()
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast CI check: regress grid match rate + "
+                         "auto-vs-explicit bit identity")
+    ap.add_argument("--devices", default=",".join(FULL_DEVICES),
+                    help="comma-separated device list for the full sweep")
+    ap.add_argument("--pairs", default=",".join(FULL_PAIRS),
+                    help="comma-separated pair list for the full sweep")
+    ap.add_argument("--sizes", default=",".join(map(str, FULL_SIZES)),
+                    help="comma-separated sizes for the full sweep")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    return run_full(args.devices.split(","), args.pairs.split(","),
+                    [int(s) for s in args.sizes.split(",")])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,8 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("sat", help="compute one SAT on the simulator")
     s.add_argument("--size", type=int, default=1024, help="square matrix side")
     s.add_argument("--pair", default="8u32s", help="type pair, e.g. 8u32s, 32f32f")
-    s.add_argument("--algorithm", default="brlt_scanrow",
-                   choices=sorted(ALGORITHMS))
+    s.add_argument("--algorithm", default=None,
+                   choices=sorted(ALGORITHMS) + ["auto"],
+                   help="kernel to run; 'auto' asks the planner; unset "
+                        "defers to the execution config (REPRO_PLAN_AUTOTUNE"
+                        " / the autotuned profile), else brlt_scanrow")
     s.add_argument("--device", default="P100")
     s.add_argument("--seed", type=int, default=0)
     _add_exec_flags(s)
@@ -99,8 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument("--n-images", type=int, default=32)
     b.add_argument("--size", type=int, default=256, help="square image side")
     b.add_argument("--pair", default="8u32s")
-    b.add_argument("--algorithm", default="brlt_scanrow",
-                   choices=sorted(ALGORITHMS))
+    b.add_argument("--algorithm", default=None,
+                   choices=sorted(ALGORITHMS) + ["auto"],
+                   help="kernel to run; 'auto' asks the planner; unset "
+                        "defers to the execution config (REPRO_PLAN_AUTOTUNE"
+                        " / the autotuned profile), else brlt_scanrow")
     b.add_argument("--device", default="P100")
     b.add_argument("--seed", type=int, default=0)
     _add_exec_flags(b)
@@ -117,7 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("experiment", help="regenerate one paper table/figure")
     e.add_argument("name", choices=sorted(EXPERIMENTS))
 
-    sub.add_parser("devices", help="list simulated devices (Table I)")
+    d = sub.add_parser("devices",
+                       help="list the simulated device zoo with key "
+                            "parameters")
+    d.add_argument("--table1", action="store_true",
+                   help="print the paper's Table I instead of the full zoo")
 
     t = sub.add_parser("trace", help="trace one SAT call and export spans")
     t.add_argument("--size", type=int, default=512, help="square matrix side")
@@ -215,7 +225,8 @@ def cmd_sat(args) -> int:
     tp = parse_pair(args.pair)
     img = random_matrix((args.size, args.size), tp.input, seed=args.seed)
     run = sat_api(img, pair=tp, algorithm=args.algorithm, device=args.device)
-    print(f"{args.algorithm} on {args.device}, {args.size}x{args.size} {tp.name}")
+    label = run.algorithm or args.algorithm
+    print(f"{label} on {args.device}, {args.size}x{args.size} {tp.name}")
     for name, t in run.kernel_times_us():
         print(f"  {name:24s} {t:10.2f} us")
     if run.time_us is None:
@@ -312,8 +323,29 @@ def cmd_experiment(args) -> int:
     return 0
 
 
-def cmd_devices(_args) -> int:
-    print(E.table1()["text"])
+def cmd_devices(args) -> int:
+    from .gpusim.device import DEVICES
+
+    if getattr(args, "table1", False):
+        print(E.table1()["text"])
+        return 0
+    rows = []
+    for name in sorted(DEVICES):
+        d = DEVICES[name]
+        rows.append({
+            "device": d.name,
+            "cc": f"{d.compute_capability[0]}.{d.compute_capability[1]}",
+            "SMs": d.sm_count,
+            "clock GHz": round(d.clock_hz / 1e9, 3),
+            "DRAM GB/s": round(d.global_bw / 1e9),
+            "smem GB/s": round(d.shared_bw / 1e9),
+            "smem/SM KB": d.shared_mem_per_sm // 1024,
+            "regs/SM": d.registers_per_sm,
+            "launch us": round(d.launch_overhead_s * 1e6, 1),
+        })
+    print(format_table(rows, title="Simulated device zoo"))
+    print("\nTable I devices (paper): M40, P100, V100 — see "
+          "`python -m repro devices --table1`.")
     return 0
 
 

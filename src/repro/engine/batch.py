@@ -221,7 +221,7 @@ class Engine:
         self,
         images: Union[Sequence[np.ndarray], np.ndarray],
         pair: Optional[str] = None,
-        algorithm: str = "brlt_scanrow",
+        algorithm: Optional[str] = None,
         device: Optional[str] = None,
         exclusive: bool = False,
         fused: Optional[bool] = None,
@@ -229,6 +229,7 @@ class Engine:
         bounds_check: Optional[bool] = None,
         backend: Optional[str] = None,
         config: Optional[ExecutionConfig] = None,
+        autotune: Optional[bool] = None,
         **opts,
     ) -> BatchRun:
         """Run a batch of images through ``algorithm``; see :func:`sat_batch`."""
@@ -237,15 +238,39 @@ class Engine:
         t0 = time.perf_counter()
         imgs = self._normalize(images)
         tp = _resolve_pair(imgs[0], pair)
+        res = resolve_execution(config, fused=fused, sanitize=sanitize,
+                                bounds_check=bounds_check, backend=backend,
+                                device=device, autotune=autotune)
+        if algorithm is None or algorithm == "auto":
+            # Imported lazily: repro.plan leans on repro.engine.lru, so a
+            # module-level import here would be circular.
+            from ..plan.planner import DEFAULT_ALGORITHM, get_planner
+
+            if algorithm == "auto" or res.autotune:
+
+                decision = get_planner().decide(
+                    imgs[0].shape, tp.name, res.device,
+                    batch_size=len(imgs),
+                )
+                algorithm = decision.algorithm
+                opts = {**decision.opts_dict(), **opts}
+                # The planner may recommend the compiled backend for deep
+                # batches (warm tape replays amortise the cold compile).
+                # Apply it only when the caller left the backend floating
+                # on the simulator — an explicit backend request, in any
+                # spelling, always wins.
+                if (decision.backend != res.backend
+                        and res.backend == "gpusim"
+                        and requested_backend(config, backend) is None):
+                    res = res.with_fields(backend=decision.backend)
+            else:
+                algorithm = DEFAULT_ALGORITHM
         try:
             fn = ALGORITHMS[algorithm]
         except KeyError:
             raise KeyError(
                 f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
             ) from None
-        res = resolve_execution(config, fused=fused, sanitize=sanitize,
-                                bounds_check=bounds_check, backend=backend,
-                                device=device)
         dev = get_device(res.device)
 
         if has_kernel_spec(algorithm):
@@ -724,7 +749,7 @@ def default_engine() -> Engine:
 def sat_batch(
     images: Union[Sequence[np.ndarray], np.ndarray],
     pair: Optional[str] = None,
-    algorithm: str = "brlt_scanrow",
+    algorithm: Optional[str] = None,
     device: Optional[str] = None,
     exclusive: bool = False,
     engine: Optional[Engine] = None,
@@ -740,7 +765,12 @@ def sat_batch(
     pair, algorithm, device, exclusive, **opts:
         Exactly as :func:`repro.sat.api.sat`; ``opts`` may include the
         execution knobs (``fused=``, ``sanitize=``, ``bounds_check=``,
-        ``backend=``, ``config=``).  ``sanitize=True`` runs the batch
+        ``backend=``, ``config=``, ``autotune=``).  ``algorithm="auto"``
+        (or leaving it unset with autotuning enabled) asks the
+        :class:`~repro.plan.Planner` for the batch-aware choice — at
+        batch depth >= 4 that includes upgrading a floating ``gpusim``
+        backend to ``compiled`` so warm tape replays amortise the cold
+        compile.  ``sanitize=True`` runs the batch
         fully instrumented (per-image cold launches, no plan replay);
         ``backend="host"`` computes every image on the pure-NumPy
         executor (no launches, no modeled time).

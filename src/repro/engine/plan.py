@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import os
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,7 +31,7 @@ import numpy as np
 
 from ..exec.registry import BatchSpec
 from ..gpusim.launch import LaunchPlan
-from ..obs.metrics import get_metrics
+from .lru import LRUCache
 
 __all__ = ["PlanKey", "SatPlan", "LaunchPlanCache"]
 
@@ -162,24 +161,28 @@ class LaunchPlanCache:
     def __init__(self, max_plans: Optional[int] = None):
         self.max_plans = int(max_plans if max_plans is not None
                              else _default_max_plans())
-        self._plans: "OrderedDict[PlanKey, SatPlan]" = OrderedDict()
-        self._lock = threading.RLock()
+        # Storage + eviction + size/eviction metrics live in the shared
+        # LRU; per-image hit/miss accounting stays here (the LRU's own
+        # lookup counts have different semantics and are left unused).
+        self._plans = LRUCache(self.max_plans,
+                               metrics_prefix="engine.plan_cache")
+        self._lock = self._plans.lock
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+
+    @property
+    def evictions(self) -> int:
+        return self._plans.evictions
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._plans)
+        return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        with self._lock:
-            return key in self._plans
+        return key in self._plans
 
     def keys(self) -> List[PlanKey]:
         """The live plan keys, LRU-first (a consistent point-in-time copy)."""
-        with self._lock:
-            return list(self._plans.keys())
+        return self._plans.keys()
 
     @property
     def hit_rate(self) -> float:
@@ -198,22 +201,8 @@ class LaunchPlanCache:
 
     def get_or_create(self, key: PlanKey, spec: BatchSpec) -> SatPlan:
         """The plan for ``key``, creating (and possibly evicting) as needed."""
-        evicted = 0
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is not None:
-                self._plans.move_to_end(key)
-                return plan
-            while len(self._plans) >= self.max_plans:
-                self._plans.popitem(last=False)
-                self.evictions += 1
-                evicted += 1
-            plan = SatPlan(key=key, spec=spec)
-            self._plans[key] = plan
-            size = len(self._plans)
-        if evicted:
-            get_metrics().counter("engine.plan_cache.evictions").inc(evicted)
-        get_metrics().gauge("engine.plan_cache.size").set(size)
+        plan, _ = self._plans.get_or_create(
+            key, lambda: SatPlan(key=key, spec=spec))
         return plan
 
     def clear(self) -> None:
@@ -222,5 +211,3 @@ class LaunchPlanCache:
             self._plans.clear()
             self.hits = 0
             self.misses = 0
-            self.evictions = 0
-        get_metrics().gauge("engine.plan_cache.size").set(0)

@@ -17,11 +17,12 @@ cache.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
+
+from .lru import LRUCache
 
 __all__ = [
     "BucketGroup",
@@ -170,9 +171,17 @@ class TileScheduler:
         self.tile_shape = (th, tw)
         self.policy = policy
         self.cache_size = int(cache_size)
-        self._plans: "OrderedDict[tuple, TilePlan]" = OrderedDict()
-        self.plan_hits = 0
-        self.plan_misses = 0
+        self._plans = LRUCache(self.cache_size,
+                               metrics_prefix="engine.tile_plans",
+                               emit_lookups=True)
+
+    @property
+    def plan_hits(self) -> int:
+        return self._plans.hits
+
+    @property
+    def plan_misses(self) -> int:
+        return self._plans.misses
 
     def grid_of(self, shape: Tuple[int, int]) -> Tuple[int, int]:
         """Tile-grid extent covering ``shape`` (ragged edges allowed)."""
@@ -185,16 +194,9 @@ class TileScheduler:
         """The memoised tile plan for one image geometry."""
         key = (tuple(int(s) for s in shape), self.tile_shape,
                int(n_devices), int(streams_per_device), self.policy)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self._plans.move_to_end(key)
-            self.plan_hits += 1
-            return cached
-        self.plan_misses += 1
-        plan = self._build(key[0], int(n_devices), int(streams_per_device))
-        self._plans[key] = plan
-        while len(self._plans) > self.cache_size:
-            self._plans.popitem(last=False)
+        plan, _ = self._plans.get_or_create(
+            key, lambda: self._build(key[0], int(n_devices),
+                                     int(streams_per_device)))
         return plan
 
     def _build(self, shape: Tuple[int, int], n_devices: int,

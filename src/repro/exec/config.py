@@ -34,6 +34,7 @@ field                variable                    default
 ``bounds_check``     ``REPRO_GPUSIM_BOUNDS_CHECK``  off
 ``backend``          ``REPRO_EXEC_BACKEND``      ``gpusim``
 ``device``           ``REPRO_EXEC_DEVICE``       ``P100``
+``autotune``         ``REPRO_PLAN_AUTOTUNE``     off
 (profile)            ``REPRO_EXEC_PROFILE``      — (see :data:`PROFILES`)
 ===================  ==========================  =======================
 
@@ -101,8 +102,13 @@ class ExecutionConfig:
     #: (``"gpusim"`` — the simulator —, ``"host"`` — pure NumPy pass
     #: semantics —, or ``"compiled"`` — tape-compiled plan replay).
     backend: Optional[str] = None
-    #: Default simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
+    #: Default simulated device name (any :data:`repro.gpusim.device.
+    #: DEVICES` entry — ``"P100"``, ``"V100"``, ``"A100"``...).
     device: Optional[str] = None
+    #: Route calls with no explicit algorithm through the model-driven
+    #: :class:`~repro.plan.Planner` (``algorithm="auto"``).  Off by
+    #: default; the ``autotuned`` profile turns it on.
+    autotune: Optional[bool] = None
 
     def with_fields(self, **changes) -> "ExecutionConfig":
         """A copy with ``changes`` applied (``None`` clears a field)."""
@@ -142,8 +148,14 @@ class ExecutionConfig:
                 f"compat_key requires a fully resolved config; unset fields: "
                 f"{unset} (pass the result of resolve_execution())"
             )
+        # ``autotune`` is deliberately excluded: it selects *which*
+        # concrete configuration runs, and callers fold the planner's
+        # decision (algorithm, backend, opts) into the key before
+        # coalescing — so an autotuned request batches with an explicit
+        # request that spells the same decision by hand.
         return tuple(sorted(
             (f.name, getattr(self, f.name)) for f in fields(self)
+            if f.name != "autotune"
         ))
 
 
@@ -155,6 +167,7 @@ PROFILES: Dict[str, ExecutionConfig] = {
     "legacy": ExecutionConfig(fused=False),
     "sanitized": ExecutionConfig(sanitize=True),
     "compiled": ExecutionConfig(backend="compiled"),
+    "autotuned": ExecutionConfig(autotune=True),
 }
 
 #: Per-field environment variables (the lowest-precedence explicit layer).
@@ -164,14 +177,15 @@ ENV_VARS: Dict[str, str] = {
     "bounds_check": "REPRO_GPUSIM_BOUNDS_CHECK",
     "backend": "REPRO_EXEC_BACKEND",
     "device": "REPRO_EXEC_DEVICE",
+    "autotune": "REPRO_PLAN_AUTOTUNE",
 }
 
-_BOOL_FIELDS = ("fused", "sanitize", "bounds_check")
+_BOOL_FIELDS = ("fused", "sanitize", "bounds_check", "autotune")
 
 #: Built-in defaults — the behaviour with nothing configured anywhere.
 _BUILTIN = ExecutionConfig(
     fused=True, sanitize=False, bounds_check=False, backend="gpusim",
-    device="P100",
+    device="P100", autotune=False,
 )
 
 ConfigLike = Union["ExecutionConfig", Mapping, str, None]

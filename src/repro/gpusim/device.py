@@ -28,6 +28,8 @@ __all__ = [
     "M40",
     "P100",
     "V100",
+    "A100",
+    "H100",
     "DEVICES",
     "get_device",
     "parse_device_set",
@@ -203,18 +205,94 @@ V100 = DeviceSpec(
     launch_overhead_s=2.5e-6,
 )
 
+#: NVIDIA A100 (Ampere GA100, SXM 40 GB).  Post-paper device: parameters
+#: from the A100 whitepaper and the Ampere dissecting study (Jia et al.
+#: style micro-benchmarks) — 108 SMs, 164 KB configurable shared memory,
+#: 1555 GB/s HBM2e.  Shared bandwidth is 128 B/SM/clk aggregate.
+A100 = DeviceSpec(
+    name="A100",
+    compute_capability=(8, 0),
+    sm_count=108,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_per_block=160 * 1024,
+    shared_mem_banks=32,
+    global_bw=1555e9,
+    shared_bw=19500e9,  # 108 SM x 1.41 GHz x 128 B/clk
+    clock_hz=1.41e9,
+    shared_mem_latency=29,
+    shuffle_latency=32,
+    add_latency=4,
+    bool_latency=4,
+    global_latency=470,
+    shuffle_throughput=32,
+    add_throughput=64,
+    bool_throughput=64,
+    add_throughput_f64=32,
+    gmem_sector_bytes=32,
+    launch_overhead_s=2.2e-6,
+)
+
+#: NVIDIA H100 (Hopper GH100, SXM5 80 GB).  Post-paper device: 132 SMs,
+#: 228 KB configurable shared memory, 3.35 TB/s HBM3; latencies follow
+#: the Hopper micro-benchmark literature (global latency grows with the
+#: deeper HBM3 hierarchy, core-op latencies match Ampere).
+H100 = DeviceSpec(
+    name="H100",
+    compute_capability=(9, 0),
+    sm_count=132,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=228 * 1024,
+    shared_mem_per_block=224 * 1024,
+    shared_mem_banks=32,
+    global_bw=3350e9,
+    shared_bw=31000e9,  # 132 SM x 1.83 GHz x 128 B/clk
+    clock_hz=1.83e9,
+    shared_mem_latency=29,
+    shuffle_latency=30,
+    add_latency=4,
+    bool_latency=4,
+    global_latency=550,
+    shuffle_throughput=32,
+    add_throughput=64,
+    bool_throughput=64,
+    add_throughput_f64=32,
+    gmem_sector_bytes=32,
+    launch_overhead_s=2.0e-6,
+)
+
 #: Device registry keyed by name (case-insensitive lookup via :func:`get_device`).
-DEVICES: Dict[str, DeviceSpec] = {d.name: d for d in (M40, P100, V100)}
+DEVICES: Dict[str, DeviceSpec] = {
+    d.name: d for d in (M40, P100, V100, A100, H100)
+}
 
 
 def get_device(spec) -> DeviceSpec:
-    """Return a :class:`DeviceSpec` from a spec object or name."""
+    """Return a :class:`DeviceSpec` from a spec object or name.
+
+    Unknown names raise :class:`ValueError` naming the registry, so a
+    typo'd ``--device`` surfaces the available zoo instead of a bare
+    ``KeyError``.
+    """
     if isinstance(spec, DeviceSpec):
         return spec
     key = str(spec).upper()
     if key in DEVICES:
         return DEVICES[key]
-    raise KeyError(f"unknown device {spec!r}; known: {sorted(DEVICES)}")
+    raise ValueError(
+        f"unknown device {spec!r}; available devices: "
+        f"{', '.join(sorted(DEVICES))}"
+    )
 
 
 _SET_COUNT_RE = re.compile(r"^\s*(\d+)\s*[xX*]\s*(.+?)\s*$")

@@ -33,6 +33,7 @@ __all__ = [
     "fresh_simulator_metrics",
     "fresh_serve_metrics",
     "fresh_shard_metrics",
+    "fresh_autotune_metrics",
     "check_bench_file",
     "main",
 ]
@@ -53,6 +54,9 @@ SHARD_METRICS: Dict[str, str] = {
     "tiles_per_s": "higher",
     "carry_overhead_frac": "lower",
     "overlap_fraction": "higher",
+}
+AUTOTUNE_METRICS: Dict[str, str] = {
+    "match_rate": "higher",
 }
 #: Metrics measured in host wall time (noisy; excluded from strict checks
 #: unless --include-wall).
@@ -286,6 +290,46 @@ def fresh_shard_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
     return {name: float(rep[name]) for name in SHARD_METRICS}
 
 
+def fresh_autotune_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
+    """Re-run the regress grid of one BENCH_autotune entry.
+
+    Replays the planner-vs-measured who-wins comparison over the small
+    grid recorded at the entry's top level (devices/pairs/sizes).  Both
+    the planner's decisions and the full-simulation measurements are
+    deterministic, so ``match_rate`` compares strictly.
+    """
+    from ..exec.config import ExecutionConfig, execution
+    from ..harness.runner import Runner
+    from ..plan.planner import CANDIDATES, Planner
+
+    devices = entry.get("devices", ["P100"])
+    pairs = entry.get("pairs", ["8u32s"])
+    sizes = [int(s) for s in entry.get("sizes", [256, 512])]
+    equivalence = float(entry.get("equivalence", 1.02))
+    calibration = entry.get("calibration")
+    planner = Planner(calibration=calibration)
+    runner = Runner(calibration=max(sizes), validate=False)
+    matches, cells = 0, 0
+    with execution(ExecutionConfig(fused=True, sanitize=False,
+                                   bounds_check=False)):
+        for device in devices:
+            for pair in pairs:
+                for size in sizes:
+                    decision = planner.decide((size, size), pair, device)
+                    measured = {}
+                    for cand in CANDIDATES:
+                        try:
+                            pt = runner.measure(cand.algorithm, pair, device,
+                                                size, **cand.opts_dict())
+                        except ValueError:
+                            continue
+                        measured[cand.label] = pt.time_us
+                    best = min(measured.values())
+                    cells += 1
+                    matches += measured[decision.label] <= equivalence * best
+    return {"match_rate": matches / max(1, cells)}
+
+
 def check_bench_file(
     path, threshold_pct: float = 10.0, n_images: Optional[int] = None
 ) -> List[RegressionFinding]:
@@ -306,6 +350,13 @@ def check_bench_file(
             return []
         fresh = fresh_shard_metrics(entry)
         return compare_metrics(entry, fresh, SHARD_METRICS, threshold_pct,
+                               bench=path.name)
+    if "autotune" in path.name.lower():
+        entry = latest_entry(entries, require=("match_rate",))
+        if entry is None:
+            return []
+        fresh = fresh_autotune_metrics(entry)
+        return compare_metrics(entry, fresh, AUTOTUNE_METRICS, threshold_pct,
                                bench=path.name)
     if "batch" in path.name.lower():
         entry = latest_entry(entries, require=("modeled_sequential_s", "n_images"))
@@ -344,7 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     benches = args.bench or [
         p for p in ("BENCH_batch.json", "BENCH_simulator.json",
-                    "BENCH_serve.json", "BENCH_shard.json")
+                    "BENCH_serve.json", "BENCH_shard.json",
+                    "BENCH_autotune.json")
         if Path(p).exists()
     ]
     if not benches:

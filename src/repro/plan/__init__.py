@@ -1,0 +1,50 @@
+"""Model-driven execution planning (the Sec. V model as a *decider*).
+
+The analytic cost model (:mod:`repro.gpusim.cost`, Eqs. 3-15) was built
+to explain measured results; this package turns it around and lets it
+choose the configuration in the first place.  A :class:`Planner`
+calibrates each candidate kernel once at a small size, projects the
+recorded counters to the target shape bucket with
+:func:`~repro.gpusim.cost.projection.project_stats`, and picks the
+configuration with the lowest modeled time — no brute-force search, the
+same model-first stance as the software-systolic and model-based warp
+tiling work the roadmap cites.
+
+Every scattered decision point routes through here: ``sat()`` /
+``sat_batch`` accept ``algorithm="auto"`` (and default to it under
+``autotune=True`` / ``REPRO_PLAN_AUTOTUNE`` / the ``autotuned``
+profile), the sharder derives its element threshold and tile shape from
+:func:`shard_threshold_elems` / :func:`shard_tile_shape` instead of a
+hard-coded 2^22, and the serving layer folds planner decisions into its
+compatibility keys so autotuned requests coalesce with explicit ones.
+
+Decisions are deterministic, cached (LRU, shared
+:class:`~repro.engine.lru.LRUCache`) and observable: every decision
+emits a ``plan.decide`` span and a ``plan.decision`` event naming the
+chosen configuration and the modeled microseconds of the top two
+candidates.
+"""
+
+from .planner import (
+    DEFAULT_ALGORITHM,
+    Candidate,
+    PlanDecision,
+    Planner,
+    bucket_of,
+    get_planner,
+    set_planner,
+    shard_threshold_elems,
+    shard_tile_shape,
+)
+
+__all__ = [
+    "DEFAULT_ALGORITHM",
+    "Candidate",
+    "PlanDecision",
+    "Planner",
+    "bucket_of",
+    "get_planner",
+    "set_planner",
+    "shard_threshold_elems",
+    "shard_tile_shape",
+]

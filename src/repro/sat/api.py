@@ -37,6 +37,7 @@ __all__ = [
     "ALGORITHMS",
     "PAPER_ALGORITHMS",
     "BASELINE_ALGORITHMS",
+    "DEFAULT_ALGORITHM",
     "sat",
     "sat_batch",
     "integral",
@@ -59,6 +60,11 @@ BASELINE_ALGORITHMS: Dict[str, Callable[..., SatRun]] = {
 }
 
 ALGORITHMS: Dict[str, Callable[..., SatRun]] = {**PAPER_ALGORITHMS, **BASELINE_ALGORITHMS}
+
+# Imported after the kernel modules above so their spec registration has
+# happened; repro.plan pulls in repro.engine, whose BATCH_SPECS snapshot
+# needs the registry populated.
+from ..plan.planner import DEFAULT_ALGORITHM  # noqa: E402
 
 
 def _resolve_pair(image: np.ndarray, pair) -> TypePair:
@@ -92,13 +98,14 @@ def _resolve_pair(image: np.ndarray, pair) -> TypePair:
 def sat(
     image: np.ndarray,
     pair: Optional[str] = None,
-    algorithm: str = "brlt_scanrow",
+    algorithm: Optional[str] = None,
     device: Optional[str] = None,
     exclusive: bool = False,
     backend: Optional[str] = None,
     config: Optional[ExecutionConfig] = None,
     trace=None,
     shard=None,
+    autotune: Optional[bool] = None,
     **opts,
 ) -> SatRun:
     """Compute the inclusive Summed Area Table of ``image``.
@@ -114,7 +121,15 @@ def sat(
         dtype, except 8u input which defaults to the common ``8u32s``.
     algorithm:
         Key into :data:`ALGORITHMS` — one of the paper's three kernels or
-        a baseline.
+        a baseline — or ``"auto"`` to let the model-driven
+        :class:`~repro.plan.Planner` pick the kernel (and its warp-scan
+        variant) with the lowest modeled time for this shape, pair and
+        device.  ``None`` (default) means ``"auto"`` when autotuning is
+        enabled (``autotune=`` kwarg, ``REPRO_PLAN_AUTOTUNE``, or the
+        ``autotuned`` profile) and :data:`DEFAULT_ALGORITHM` otherwise.
+        Outputs are bit-identical to passing the planner's chosen
+        algorithm and opts explicitly — the planner only selects, it
+        never alters execution.
     device:
         Simulated device name (``"P100"``, ``"V100"``, ``"M40"``).
         Defaults to the :mod:`repro.exec` resolution (``P100`` unless
@@ -151,11 +166,16 @@ def sat(
         :class:`~repro.shard.TiledSat`.  Only the paper's spec'd
         algorithms shard; baselines run whole or raise if ``shard`` is
         requested explicitly.
+    autotune:
+        Per-call override of the ``autotune`` execution field: ``True``
+        routes an unspecified ``algorithm`` through the planner,
+        ``False`` pins the default, ``None`` defers to config/env.
     **opts:
         Algorithm-specific options, e.g. ``scan="ladner_fischer"`` for the
         parallel-warp-scan kernels, or ``brlt_stride=32`` for the
         bank-conflict ablation; plus the execution knobs ``fused=``,
-        ``sanitize=`` and ``bounds_check=``.
+        ``sanitize=`` and ``bounds_check=``.  With ``algorithm="auto"``,
+        explicit opts win over the planner's chosen opts.
 
     Returns
     -------
@@ -170,6 +190,22 @@ def sat(
             f"{image.shape}"
         )
     tp = _resolve_pair(image, pair)
+    if algorithm is None or algorithm == "auto":
+        res = resolve_execution(config, backend=backend, device=device,
+                                autotune=autotune)
+        if algorithm == "auto" or res.autotune:
+            # Model-driven selection: the planner picks the kernel and
+            # opts with the lowest modeled time; explicit caller opts
+            # still win.  The decision is deterministic and cached, so
+            # this is bit-identical to spelling the choice by hand.
+            from ..plan import get_planner
+
+            decision = get_planner().decide(image.shape, tp.name,
+                                            res.device, batch_size=1)
+            algorithm = decision.algorithm
+            opts = {**decision.opts_dict(), **opts}
+        else:
+            algorithm = DEFAULT_ALGORITHM
     try:
         fn = ALGORITHMS[algorithm]
     except KeyError:

@@ -174,12 +174,25 @@ class DynamicBatcher:
         submitting thread).  Spec-less baseline algorithms bucket at their
         raw shape — they never stack, so each shape is its own "batch of
         solo runs".
+
+        ``algorithm="auto"`` (or ``None`` under ``resolved.autotune``) is
+        folded here: the :class:`~repro.plan.Planner` decision replaces
+        the placeholder *before* keying, so autotuned requests coalesce
+        with explicit requests for the same concrete configuration and
+        workers only ever see concrete algorithms.
         """
         from ..sat.api import ALGORITHMS, _resolve_pair
 
-        if request.algorithm not in ALGORITHMS:
+        algorithm = request.algorithm
+        opts = dict(request.opts)
+        auto = algorithm is None or algorithm == "auto"
+        if auto and not (algorithm == "auto" or resolved.autotune):
+            from ..plan.planner import DEFAULT_ALGORITHM
+
+            algorithm, auto = DEFAULT_ALGORITHM, False
+        if not auto and algorithm not in ALGORITHMS:
             raise KeyError(
-                f"unknown algorithm {request.algorithm!r}; available: "
+                f"unknown algorithm {algorithm!r}; available: "
                 f"{sorted(ALGORITHMS)}"
             )
         img = request.image
@@ -197,17 +210,24 @@ class DynamicBatcher:
                 f"{tp.name} (input {tp.input.np_dtype}); cast at the client "
                 f"so coalescing keys stay exact"
             )
-        if has_kernel_spec(request.algorithm):
-            pad = get_kernel_spec(request.algorithm).pad
+        if auto:
+            from ..plan import get_planner
+
+            decision = get_planner().decide(img.shape, tp.name,
+                                            resolved.device, batch_size=1)
+            algorithm = decision.algorithm
+            opts = {**decision.opts_dict(), **opts}
+        if has_kernel_spec(algorithm):
+            pad = get_kernel_spec(algorithm).pad
             bucket = BatchScheduler.bucket_of(img.shape, pad)
         else:
             bucket = (int(img.shape[0]), int(img.shape[1]))
         return CompatKey(
-            algorithm=request.algorithm,
+            algorithm=algorithm,
             pair=tp.name,
             bucket=bucket,
             exec_key=resolved.compat_key(),
-            opts=tuple(sorted(request.opts.items())),
+            opts=tuple(sorted(opts.items())),
         )
 
     # -- submission ------------------------------------------------------
@@ -246,7 +266,7 @@ class DynamicBatcher:
             self._cond.notify_all()
         m = get_metrics()
         m.counter("serve.requests", kind=request.kind,
-                  algorithm=request.algorithm).inc()
+                  algorithm=key.algorithm).inc()
         m.gauge("serve.queue_depth").set(self.queue_depth)
         return fut
 

@@ -52,7 +52,13 @@ class ServeRequest:
         Type pair spelling (``"8u32s"``...); ``None`` resolves from the
         image dtype exactly as :func:`repro.sat.api.sat` does.
     algorithm:
-        Key into :data:`repro.sat.api.ALGORITHMS`.
+        Key into :data:`repro.sat.api.ALGORITHMS`, or ``"auto"`` to let
+        the :class:`~repro.plan.Planner` pick the modeled-fastest kernel
+        for this request's shape, pair and device.  ``None`` (default)
+        means ``"auto"`` when the resolved config has ``autotune=True``
+        and the fixed default algorithm otherwise.  The decision is
+        folded into the compatibility key at submit time, so autotuned
+        requests coalesce with explicit ones.
     device:
         Simulated device name; ``None`` defers to config resolution.
     config:
@@ -67,7 +73,7 @@ class ServeRequest:
 
     image: np.ndarray
     pair: Optional[str] = None
-    algorithm: str = "brlt_scanrow"
+    algorithm: Optional[str] = None
     device: Optional[str] = None
     config: ConfigLike = None
     opts: Mapping[str, Any] = field(default_factory=dict)

@@ -39,7 +39,7 @@ hid behind kernel execution.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -95,7 +95,11 @@ def _parse_tile(spec) -> Tuple[int, int]:
 class ShardConfig:
     """Everything the sharded executor needs beyond the SAT call itself."""
 
-    tile_shape: Tuple[int, int] = (1024, 1024)
+    #: ``None`` (the default) means planner-derived per image:
+    #: :func:`repro.plan.shard_tile_shape` picks 1024^2 tiles for images
+    #: with a deep enough grid and 512^2 below that, so every device
+    #: keeps enough tiles in flight to overlap carries with compute.
+    tile_shape: Optional[Tuple[int, int]] = None
     #: Any :func:`~repro.gpusim.device.parse_device_set` spelling.
     devices: object = "2xP100"
     streams_per_device: int = 2
@@ -105,7 +109,14 @@ class ShardConfig:
 
     @classmethod
     def from_env(cls, **overrides) -> "ShardConfig":
-        """Defaults < environment < explicit overrides."""
+        """Defaults < environment < explicit overrides.
+
+        When no threshold is pinned (env or override), it is derived from
+        the configured pipeline depth via
+        :func:`repro.plan.shard_threshold_elems` — for the default two
+        P100s with two streams of 1024^2 tiles that reproduces the
+        historical 2^22 constant exactly.
+        """
         vals = {}
         if THRESHOLD_ENV in os.environ:
             vals["threshold_elems"] = int(os.environ[THRESHOLD_ENV])
@@ -118,9 +129,28 @@ class ShardConfig:
         if PLACEMENT_ENV in os.environ:
             vals["placement"] = os.environ[PLACEMENT_ENV]
         vals.update({k: v for k, v in overrides.items() if v is not None})
-        if "tile_shape" in vals:
+        if vals.get("tile_shape") is not None:
             vals["tile_shape"] = _parse_tile(vals["tile_shape"])
+        if "threshold_elems" not in vals:
+            # Late import: repro.plan depends on repro.engine, which this
+            # module feeds.
+            from ..plan.planner import shard_threshold_elems
+
+            vals["threshold_elems"] = shard_threshold_elems(
+                len(parse_device_set(vals.get("devices", cls.devices))),
+                vals.get("streams_per_device", cls.streams_per_device),
+                vals.get("tile_shape") or (1024, 1024),
+            )
         return cls(**vals)
+
+    def resolved_tile(self, image_shape: Tuple[int, int]) -> Tuple[int, int]:
+        """The tile to use for ``image_shape``: the pinned one, or the
+        planner's recommendation when ``tile_shape`` is ``None``."""
+        if self.tile_shape is not None:
+            return self.tile_shape
+        from ..plan.planner import shard_tile_shape
+
+        return shard_tile_shape(image_shape)
 
     @classmethod
     def coerce(cls, shard, device=None) -> "ShardConfig":
@@ -242,6 +272,7 @@ def sharded_sat(
     if image.ndim != 2:
         raise ValueError(f"sharded SAT input must be 2-D, got {image.shape}")
     cfg = ShardConfig.coerce(shard, device=device)
+    cfg = replace(cfg, tile_shape=cfg.resolved_tile(image.shape))
     tp = _resolve_pair(image, pair)
     spec = get_kernel_spec(algorithm)  # sharding needs a spec'd algorithm
     n_passes = len(spec.passes)

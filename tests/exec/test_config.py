@@ -81,10 +81,22 @@ class TestConfigObject:
     def test_compat_key_round_trips_and_hashes(self):
         resolved = resolve_execution()
         key = resolved.compat_key()
-        assert ExecutionConfig(**dict(key)) == resolved
+        # ``autotune`` is excluded from the key by design (the planner's
+        # decision is folded into the key instead), so the round-trip
+        # recovers every field but that one.
+        assert ExecutionConfig(**dict(key), autotune=resolved.autotune) \
+            == resolved
+        assert "autotune" not in dict(key)
         assert hash(key) == hash(resolved.compat_key())
         # Sorted (field, value) pairs: deterministic order.
         assert [k for k, _ in key] == sorted(k for k, _ in key)
+
+    def test_compat_key_ignores_autotune(self):
+        """Autotuned and non-autotuned spellings of one concrete config
+        must coalesce: the decision is folded before keying."""
+        a = resolve_execution(autotune=True)
+        b = resolve_execution(autotune=False)
+        assert a.compat_key() == b.compat_key()
 
     def test_compat_key_equivalent_spellings_agree(self, monkeypatch):
         """Profile name vs. explicit field resolve to one compat key —
@@ -112,7 +124,7 @@ class TestPrecedence:
         res = resolve_execution()
         assert res == ExecutionConfig(
             fused=True, sanitize=False, bounds_check=False,
-            backend="gpusim", device="P100",
+            backend="gpusim", device="P100", autotune=False,
         )
 
     def test_env_beats_builtin(self, monkeypatch):

@@ -77,5 +77,9 @@ class TestLookup:
         assert get_device(P100) is P100
 
     def test_get_device_unknown(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="available devices"):
+            get_device("K80")
+
+    def test_unknown_error_names_the_zoo(self):
+        with pytest.raises(ValueError, match="A100.*H100|H100.*A100"):
             get_device("K80")

@@ -1,0 +1,91 @@
+"""The planner's decision cache under concurrent callers.
+
+Mirrors the launch-plan cache concurrency suite: the serving layer's
+submit path calls ``decide`` from every client thread, so racing threads
+on one key must receive the *same* decision object (a second cold
+computation would re-run five candidate calibrations), and disjoint keys
+must not corrupt each other or the LRU accounting.
+"""
+
+import threading
+
+import pytest
+
+from repro.plan import Planner
+
+
+def _run_threads(n, fn):
+    barrier = threading.Barrier(n)
+    errors = []
+
+    def wrapped(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except BaseException as exc:
+            errors.append(exc)
+
+    ts = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert not errors, errors
+
+
+@pytest.fixture
+def planner():
+    # Small calibration: these tests pin cache behaviour, not ranking
+    # quality, so the cheapest defensible simulations will do.
+    return Planner(calibration=64)
+
+
+class TestDecideConcurrency:
+    def test_one_decision_per_key_under_races(self, planner):
+        got = []
+        lock = threading.Lock()
+
+        def decide(i):
+            d = planner.decide((256, 256), "8u32s", "P100")
+            with lock:
+                got.append(d)
+
+        _run_threads(8, decide)
+        assert len(got) == 8
+        assert all(d is got[0] for d in got)
+        assert len(planner) == 1
+        assert planner.cache.misses == 1
+        assert planner.cache.hits == 7
+
+    def test_disjoint_keys_no_corruption(self, planner):
+        devices = ["M40", "P100", "V100", "A100"]
+
+        def decide(i):
+            d = planner.decide((128, 128), "8u32s", devices[i])
+            assert d.device == devices[i]
+
+        _run_threads(len(devices), decide)
+        assert len(planner) == len(devices)
+        assert planner.cache.evictions == 0
+
+    def test_eviction_accounting_under_pressure(self):
+        planner = Planner(calibration=64, cache_size=2)
+        devices = ["M40", "P100", "V100", "A100"]
+
+        def decide(i):
+            for device in devices:
+                planner.decide((128, 128), "8u32s", device)
+
+        _run_threads(4, decide)
+        assert len(planner) == 2
+        assert planner.cache.evictions >= len(devices) - 2
+
+    def test_decisions_stable_across_cache_churn(self):
+        """Eviction and recomputation must yield value-equal decisions —
+        the cache is an optimisation, never a source of truth."""
+        planner = Planner(calibration=64, cache_size=1)
+        first = planner.decide((128, 128), "8u32s", "P100")
+        planner.decide((128, 128), "8u32s", "V100")   # evicts the P100 key
+        again = planner.decide((128, 128), "8u32s", "P100")
+        assert again is not first
+        assert again == first

@@ -25,7 +25,7 @@ class TestParseDeviceSet:
         assert parse_device_set(["2xP100", V100]) == [P100, P100, V100]
 
     def test_errors(self):
-        with pytest.raises(KeyError, match="unknown device"):
+        with pytest.raises(ValueError, match="unknown device"):
             parse_device_set("K80")
         with pytest.raises(ValueError, match="count must be >= 1"):
             parse_device_set("0xP100")
@@ -33,7 +33,7 @@ class TestParseDeviceSet:
             parse_device_set("")
         with pytest.raises(TypeError):
             parse_device_set(42)
-        assert sorted(DEVICES) == ["M40", "P100", "V100"]
+        assert sorted(DEVICES) == ["A100", "H100", "M40", "P100", "V100"]
 
 
 class TestSimDevice:

@@ -7,10 +7,23 @@ from repro.__main__ import EXPERIMENTS, main
 
 
 def test_sat_command(capsys):
-    assert main(["sat", "--size", "128", "--pair", "8u32s"]) == 0
+    # Algorithm pinned: with it unset, the ambient profile may hand the
+    # choice to the planner (REPRO_EXEC_PROFILE=autotuned in CI).
+    assert main(["sat", "--size", "128", "--pair", "8u32s",
+                 "--algorithm", "brlt_scanrow"]) == 0
     out = capsys.readouterr().out
     assert "BRLT-ScanRow#1" in out
     assert "total" in out and "checksum" in out
+
+
+def test_sat_command_auto_algorithm(capsys):
+    assert main(["sat", "--size", "128", "--pair", "8u32s",
+                 "--algorithm", "auto"]) == 0
+    out = capsys.readouterr().out
+    # The planner's pick leads the report in place of the literal "auto".
+    assert out.splitlines()[0].split()[0] in (
+        "brlt_scanrow", "scanrow_brlt", "scan_row_column")
+    assert "checksum" in out
 
 
 def test_sat_command_other_algorithm(capsys):
@@ -28,6 +41,14 @@ def test_compare_command(capsys):
 
 def test_devices_command(capsys):
     assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    # The full zoo, paper devices and the post-paper additions alike.
+    for name in ("M40", "P100", "V100", "A100", "H100"):
+        assert name in out
+
+
+def test_devices_table1_flag(capsys):
+    assert main(["devices", "--table1"]) == 0
     out = capsys.readouterr().out
     assert "P100" in out and "256" in out
 
