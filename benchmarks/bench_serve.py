@@ -65,15 +65,46 @@ def _verify_identity(svc, imgs) -> None:
         assert np.array_equal(got, ref), "served SAT drifted from sat()"
 
 
-def run_smoke(size: int, workers: int) -> int:
-    from repro.obs import reset_metrics
+def _scrape_metrics(svc) -> str:
+    import urllib.request
+
+    host, port = svc.start_http(port=0)
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            assert "version=0.0.4" in ctype, f"bad /metrics content type {ctype}"
+            return resp.read().decode("utf-8")
+    finally:
+        svc.stop_http()
+
+
+def run_smoke(size: int, workers: int, trace_out: str) -> int:
+    from repro.obs import (
+        Tracer,
+        get_metrics,
+        reset_metrics,
+        validate_chrome_trace,
+        validate_prometheus_text,
+        write_chrome_trace,
+    )
+    from repro.obs.exporters import to_chrome_trace
+    from repro.obs.quantiles import GROWTH
     from repro.serve import SatService, run_closed_loop
 
     reset_metrics()
     imgs = _images(4, size)
-    with SatService(workers=workers, max_delay_s=0.005) as svc:
+    tracer = Tracer()
+    # A loose latency threshold keeps the SLO leg deterministic on slow CI
+    # runners; the availability/coalesce objectives use the defaults.
+    with SatService(workers=workers, max_delay_s=0.005, tracer=tracer,
+                    slo={"latency_threshold_us": 1_000_000.0}) as svc:
         _verify_identity(svc, imgs)
+        reset_metrics()  # quantile cross-check covers the load phase only
         rep = run_closed_loop(svc, imgs[:1], clients=6, requests_per_client=6)
+        metrics_text = _scrape_metrics(svc)
+        stats = svc.stats()
     print(f"smoke: {json.dumps(rep.to_dict())}")
     if rep.n_errors:
         print(f"FAIL: {rep.n_errors} request(s) errored")
@@ -82,6 +113,53 @@ def run_smoke(size: int, workers: int) -> int:
         print(f"FAIL: same-shape coalesce ratio {rep.coalesce_ratio:.1%} "
               f"<= 50%")
         return 1
+
+    # Live /metrics must be valid Prometheus text with populated latency
+    # buckets.
+    problems = validate_prometheus_text(metrics_text)
+    if problems:
+        print(f"FAIL: /metrics problems: {problems}")
+        return 1
+    if "serve_request_latency_us_bucket" not in metrics_text:
+        print("FAIL: /metrics is missing serve_request_latency_us buckets")
+        return 1
+
+    # Bucketed telemetry must agree with the load generator's exact
+    # percentiles to within one log-bucket width (~19% by construction).
+    quant = stats["latency_quantiles"]["request_latency_us"]
+    for p in ("p50", "p95", "p99"):
+        exact_us = rep.latency_ms[p] * 1e3
+        est_us = quant[p]
+        if not exact_us / (GROWTH * 1.05) <= est_us <= exact_us * GROWTH * 1.05:
+            print(f"FAIL: bucketed {p}={est_us:.1f}us vs loadgen "
+                  f"{exact_us:.1f}us (beyond one bucket width)")
+            return 1
+
+    # Every response decomposes its wall latency exactly.
+    slo_state = stats.get("slo", {}).get("state")
+    if slo_state not in ("ok", "warning"):
+        print(f"FAIL: smoke SLO state {slo_state!r}")
+        return 1
+
+    # The merged multi-request trace: complete span trees from every
+    # client thread plus the serve.batch spans linking coalesced requests.
+    trace = to_chrome_trace(tracer)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        print(f"FAIL: trace problems: {problems}")
+        return 1
+    n_req = sum(1 for s in tracer.spans if s.name == "serve.request")
+    n_links = sum(len(s.links) for s in tracer.spans
+                  if s.name == "serve.batch")
+    if n_req < 36 or n_links < n_req:
+        print(f"FAIL: expected >=36 request spans each linked from a batch "
+              f"span, got {n_req} spans / {n_links} links")
+        return 1
+    write_chrome_trace(trace_out, tracer)
+    print(f"smoke: wrote {trace_out} ({n_req} request spans, "
+          f"{n_links} batch links, slo={slo_state})")
+    print(f"smoke: bucketed p95={quant['p95'] / 1e3:.2f}ms vs "
+          f"loadgen p95={rep.latency_ms['p95']:.2f}ms")
     print("smoke OK")
     return 0
 
@@ -140,6 +218,7 @@ def run_full(size: int, workers: int, n_shapes: int, rates, clients_sweep,
         "coalesce_ratio": round(same.coalesce_ratio, 4),
         "mean_batch_size": round(same.mean_batch_size, 3),
         "p95_ms": round(same.latency_ms.get("p95", 0.0), 4),
+        "p99_ms": round(same.latency_ms.get("p99", 0.0), 4),
         "throughput_rps": round(same.throughput_rps, 1),
         "outputs_identical": True,
     }
@@ -172,9 +251,12 @@ def main(argv=None) -> int:
                     help="requests per sweep point")
     ap.add_argument("--max-delay-ms", type=float, default=5.0,
                     help="batcher admission deadline")
+    ap.add_argument("--trace-out", default="serve_trace.json",
+                    help="smoke: write the merged multi-request Chrome "
+                         "trace here")
     args = ap.parse_args(argv)
     if args.smoke:
-        return run_smoke(args.size, args.workers)
+        return run_smoke(args.size, args.workers, args.trace_out)
     return run_full(args.size, args.workers, args.n_shapes, args.rates,
                     args.clients, args.n_requests, args.max_delay_ms)
 

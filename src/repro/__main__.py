@@ -12,6 +12,8 @@ Commands
 ``profile``     per-pass modeled-time breakdown (Fig. 8 shape) + trace.json
 ``serve``       start the SAT serving layer (batcher + worker pool)
 ``loadgen``     drive a closed/open-loop load run against the serving layer
+``slo``         run load against an in-process service and report SLO burn
+                rates (latency / availability / coalescing objectives)
 
 The ``sat``, ``batch`` and ``compare``/``bench`` commands share the
 execution-mode flags ``--backend``, ``--no-fused``, ``--sanitize`` and
@@ -216,6 +218,38 @@ def _build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--max-delay-ms", type=float, default=5.0)
     lg.add_argument("--seed", type=int, default=0)
     _add_exec_flags(lg)
+
+    so = sub.add_parser("slo",
+                        help="load an in-process service and report SLO "
+                             "burn rates per objective")
+    so.add_argument("--requests", type=int, default=64,
+                    help="total requests to issue")
+    so.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads")
+    so.add_argument("--size", type=int, default=128,
+                    help="square side of the largest workload image")
+    so.add_argument("--n-shapes", type=int, default=2,
+                    help="distinct image shapes in the workload")
+    so.add_argument("--workers", type=int, default=4)
+    so.add_argument("--max-delay-ms", type=float, default=5.0,
+                    help="batcher admission deadline")
+    so.add_argument("--latency-slo-ms", type=float, default=100.0,
+                    help="latency objective threshold (p95 target); tighten "
+                         "to exercise warning/breach states")
+    so.add_argument("--latency-target", type=float, default=0.95,
+                    help="fraction of requests that must beat the threshold")
+    so.add_argument("--error-target", type=float, default=0.999,
+                    help="availability objective (fraction non-error)")
+    so.add_argument("--coalesce-target", type=float, default=0.5,
+                    help="fraction of requests that should share a launch")
+    so.add_argument("--inject-errors", type=int, default=0,
+                    help="submit this many malformed requests to burn the "
+                         "availability objective's error budget")
+    so.add_argument("--json", action="store_true",
+                    help="emit the full evaluation as JSON instead of the "
+                         "table")
+    so.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(so)
     return p
 
 
@@ -475,6 +509,68 @@ def cmd_loadgen(args) -> int:
     return 0 if rep.n_errors == 0 else 1
 
 
+def cmd_slo(args) -> int:
+    import json
+
+    from .obs import reset_metrics
+    from .obs.slo import SloTracker, default_objectives
+    from .serve import RectSumRequest, SatService, run_closed_loop
+
+    reset_metrics()  # the tracker reads the process-global registry
+    objectives = default_objectives(
+        latency_threshold_us=args.latency_slo_ms * 1e3,
+        latency_target=args.latency_target,
+        error_target=args.error_target,
+        coalesce_target=args.coalesce_target,
+    )
+    imgs = _serve_images(args, args.n_shapes)
+    with SatService(workers=args.workers,
+                    max_delay_s=args.max_delay_ms / 1e3,
+                    slo={"objectives": objectives}) as svc:
+        svc.slo.sample()  # anchor the burn-rate windows before the load
+        rep = run_closed_loop(
+            svc, imgs, clients=args.clients,
+            requests_per_client=max(1, args.requests // args.clients),
+        )
+        n_bad = 0
+        for i in range(args.inject_errors):
+            # Out-of-range rectangles fail post-processing with a
+            # structured bad_request ServeError — a real error-budget
+            # burn without touching the execution path.
+            try:
+                svc.request(RectSumRequest(
+                    imgs[i % len(imgs)], rects=[(0, 0, 10 ** 6, 10 ** 6)],
+                ), timeout=30)
+            except Exception:
+                n_bad += 1
+        ev = svc.slo.evaluate()
+    if args.json:
+        print(json.dumps({"load": rep.to_dict(), "slo": ev}, indent=2))
+    else:
+        rows = []
+        for name, ob in ev["objectives"].items():
+            rows.append({
+                "objective": name,
+                "kind": ob["kind"],
+                "target": f"{ob['target']:.3f}",
+                "good/total": f"{ob['good']}/{ob['total']}",
+                "good frac": f"{ob['good_fraction']:.4f}",
+                "burn short": f"{ob['burn_short']:.2f}x",
+                "burn long": f"{ob['burn_long']:.2f}x",
+                "state": ob["state"],
+            })
+        print(format_table(rows, title=(
+            f"SLO evaluation after {rep.n_requests} requests "
+            f"({args.clients} clients, {n_bad} injected errors)")))
+        lat = ", ".join(f"{k}={v:.2f}ms"
+                        for k, v in sorted(rep.latency_ms.items()))
+        print(f"\n  latency: {lat}")
+        print(f"  coalesce ratio: {rep.coalesce_ratio:.3f}  "
+              f"mean batch: {rep.mean_batch_size:.2f}")
+        print(f"  overall state: {ev['state']}")
+    return {"ok": 0, "warning": 1, "breach": 2}.get(ev["state"], 2)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "sat":
@@ -508,6 +604,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "loadgen":
         with execution(_exec_config(args)):
             return cmd_loadgen(args)
+    if args.command == "slo":
+        with execution(_exec_config(args)):
+            return cmd_slo(args)
     return 2  # pragma: no cover
 
 

@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..dtypes import TypePair
+from ..obs.context import timeline_add, timeline_count
 from ..obs.metrics import get_metrics
 from ..obs.trace import current_tracer
 from ..exec.config import ExecutionConfig, requested_backend, resolve_execution
@@ -328,6 +329,15 @@ class Engine:
         m.histogram("engine.modeled_batched_s", algorithm=algorithm).observe(
             run.modeled_batched_s
         )
+        # µs-scaled live quantile source for /metrics ("per-kernel
+        # modeled time").
+        m.histogram("engine.modeled_kernel_us", algorithm=algorithm).observe(
+            run.modeled_batched_s * 1e6
+        )
+        # Serving-timeline attributions; no-ops outside a serve request.
+        timeline_add("modeled_kernel_us", run.modeled_batched_s * 1e6)
+        timeline_count("plan_hits", run.plan_hits)
+        timeline_count("plan_misses", run.plan_misses)
 
         if exclusive:
             for r in run.runs:
@@ -708,6 +718,7 @@ class Engine:
             plan.compiled = None
             get_metrics().counter("compile.fallback",
                                   algorithm=algorithm).inc()
+            timeline_count("compile_fallbacks")
             if tracer is not None:
                 tracer.event("compile.fallback", category="compile",
                              level="warning", algorithm=algorithm,
@@ -722,6 +733,7 @@ class Engine:
         if sp is not None:
             sp.attrs["modeled_us"] = t_stacked * 1e6
         get_metrics().counter("compile.hit", algorithm=algorithm).inc(depth)
+        timeline_count("compile_hits", depth)
         for j, i in enumerate(chunk):
             h, w = imgs[i].shape
             runs[i] = SatRun(

@@ -32,6 +32,7 @@ from ..dtypes import TypePair
 from ..gpusim.device import get_device
 from ..gpusim.global_mem import GlobalArray
 from ..gpusim.launch import LaunchStats, launch_kernel
+from ..obs.context import timeline_count
 from ..obs.metrics import get_metrics
 from ..obs.trace import current_tracer
 from ..sat.common import SatRun, crop, pad_matrix, regs_per_thread
@@ -212,10 +213,12 @@ def ensure_compiled(plan, spec: KernelSpec, tp: TypePair,
               if tracer is not None else nullcontext()):
             plan.compiled = compile_plan(spec, plan.launch_plans, tp, opts)
         m.counter("compile.miss", algorithm=spec.algorithm).inc()
+        timeline_count("compile_misses")
         return True
     except CompileError as e:
         plan.compile_attempts = plan.MAX_COMPILE_ATTEMPTS
         m.counter("compile.fallback", algorithm=spec.algorithm).inc()
+        timeline_count("compile_fallbacks")
         if tracer is not None:
             tracer.event("compile.fallback", category="compile",
                          level="warning", algorithm=spec.algorithm,

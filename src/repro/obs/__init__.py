@@ -1,40 +1,64 @@
-"""repro.obs — unified tracing, metrics and profiling.
+"""repro.obs — unified tracing, metrics, SLOs and profiling.
 
 One instrumentation layer over the whole stack (simulator launches, kernel
-phases, engine batches and plan-cache traffic, harness calibrations):
+phases, engine batches and plan-cache traffic, harness calibrations, the
+serving layer):
 
 * :mod:`.trace` — low-overhead structured spans/events with
   ``ExecutionConfig``-style resolution (call-site ``trace=`` keyword >
   :func:`tracing` context > ``REPRO_TRACE`` env).  Disabled tracing is a
   guarded no-op and is bit-identical in counters, timings, outputs and
-  sanitizer reports.
+  sanitizer reports.  Span/trace ids are process-unique, and the
+  open-span stack is per-thread so one tracer serves concurrent clients.
+* :mod:`.context` — :class:`~repro.obs.context.TraceContext` carries span
+  lineage across the serve thread boundary, and
+  :class:`~repro.obs.context.RequestTimeline` decomposes each response's
+  wall latency into stages that sum exactly.
 * :mod:`.metrics` — an in-process :class:`~repro.obs.metrics.MetricsRegistry`
   (counters/gauges/histograms) aggregating across ``sat()``/``sat_batch()``
-  calls.
+  calls; histograms keep log-spaced buckets for live p50/p95/p99.
+* :mod:`.quantiles` — the shared percentile/bucket math behind the
+  histograms, the load generator and the Prometheus exposition.
+* :mod:`.slo` — configurable objectives (latency, error rate, coalesce
+  ratio) evaluated as multi-window burn rates.
 * :mod:`.exporters` — Chrome/Perfetto ``trace.json`` on the *modeled*
-  timeline, a JSONL event log, and the per-pass Fig.-8 breakdown rows.
+  timeline (plus per-thread host tracks and coalesce flow arrows), a
+  JSONL event log, the per-pass Fig.-8 breakdown rows, and Prometheus
+  text exposition of the metrics registry.
 * :mod:`.regress` — compares fresh profiles against the checked-in
   ``BENCH_*.json`` histories (``python -m repro.obs.regress``).
 
 See ``docs/observability.md``.
 """
 
+from .context import (
+    RequestTimeline,
+    TraceContext,
+    recording_timeline,
+    timeline_add,
+    timeline_count,
+)
 from .exporters import (
     pass_breakdown,
     span_to_dict,
     to_chrome_trace,
     to_jsonl,
+    to_prometheus,
     validate_chrome_trace,
+    validate_prometheus_text,
     write_chrome_trace,
     write_jsonl,
 )
 from .metrics import MetricsRegistry, get_metrics, reset_metrics
+from .quantiles import percentiles
+from .slo import SloObjective, SloTracker, default_objectives
 from .trace import (
     TRACE_ENV,
     Span,
     Tracer,
     current_tracer,
     env_tracer,
+    next_trace_id,
     resolve_tracer,
     tracing,
 )
@@ -45,16 +69,28 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "env_tracer",
+    "next_trace_id",
     "resolve_tracer",
     "tracing",
+    "TraceContext",
+    "RequestTimeline",
+    "recording_timeline",
+    "timeline_add",
+    "timeline_count",
     "MetricsRegistry",
     "get_metrics",
     "reset_metrics",
+    "percentiles",
+    "SloObjective",
+    "SloTracker",
+    "default_objectives",
     "pass_breakdown",
     "span_to_dict",
     "to_chrome_trace",
     "to_jsonl",
+    "to_prometheus",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "write_chrome_trace",
     "write_jsonl",
 ]

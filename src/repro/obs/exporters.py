@@ -17,8 +17,10 @@ emits JSON-serialisable structures; nothing imports the simulator.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from .quantiles import bucket_bounds
 from .trace import Span, Tracer
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "pass_breakdown",
+    "to_prometheus",
+    "validate_prometheus_text",
 ]
 
 #: Span categories that live on the modeled-GPU timeline.
@@ -47,14 +51,20 @@ def _spans_of(source) -> List[Span]:
 
 def span_to_dict(span: Span) -> Dict[str, Any]:
     """JSON-friendly record of one span (the JSONL row shape)."""
-    return {
+    rec = {
         "id": span.id,
         "parent_id": span.parent_id,
         "name": span.name,
         "category": span.category,
         "wall_us": span.wall_us,
         "attrs": _jsonable(span.attrs),
+        "trace_id": span.trace_id,
     }
+    if span.links:
+        rec["links"] = _jsonable(span.links)
+    if span.thread:
+        rec["thread"] = span.thread
+    return rec
 
 
 def _jsonable(value):
@@ -163,16 +173,49 @@ def to_chrome_trace(source, include_host: bool = True) -> Dict[str, Any]:
 
     if include_host and spans:
         events.append(_meta(HOST_PID, 0, "process_name", "repro host"))
-        events.append(_meta(HOST_PID, 0, "thread_name", "host wall clock"))
+        # One wall-clock lane per originating thread: a serve run shows
+        # each client and worker thread as its own track.  tid 0 stays
+        # the merged/unnamed lane so single-thread traces look as before.
+        tids: Dict[str, int] = {"": 0}
+        for sp in spans:
+            if sp.thread not in tids:
+                tids[sp.thread] = len(tids)
+        for thread, tid in tids.items():
+            events.append(_meta(
+                HOST_PID, tid, "thread_name",
+                thread if thread else "host wall clock",
+            ))
         t_base = min(s.t0_ns for s in spans)
+        by_id = {s.id: s for s in spans}
         for sp in spans:
             if sp.category == "kernel.phase":
                 continue  # already on the modeled track; wall dur is noise
+            tid = tids.get(sp.thread, 0)
             events.append(_complete(
-                sp.name, sp.category, HOST_PID, 0,
+                sp.name, sp.category, HOST_PID, tid,
                 (sp.t0_ns - t_base) / 1e3, sp.wall_us,
-                args={"span_id": sp.id},
+                args={"span_id": sp.id, "trace_id": sp.trace_id},
             ))
+            # Span links become flow arrows keyed by the *linked trace
+            # id* — each coalesced request's trace flows into the batch
+            # span that executed it, so merged multi-request traces
+            # never collide even across tracer instances.
+            for link in sp.links:
+                src = by_id.get(link.get("span_id"))
+                if src is None:
+                    continue
+                flow_id = int(link.get("trace_id", src.trace_id))
+                events.append({
+                    "ph": "s", "id": flow_id, "name": "coalesce",
+                    "cat": "flow", "pid": HOST_PID,
+                    "tid": tids.get(src.thread, 0),
+                    "ts": round((src.t0_ns - t_base) / 1e3, 6),
+                })
+                events.append({
+                    "ph": "f", "bp": "e", "id": flow_id, "name": "coalesce",
+                    "cat": "flow", "pid": HOST_PID, "tid": tid,
+                    "ts": round((sp.t0_ns - t_base) / 1e3, 6),
+                })
 
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
@@ -214,6 +257,11 @@ def validate_chrome_trace(doc) -> List[str]:
         elif ph == "M":
             if "name" not in ev:
                 problems.append(f"event {i}: M event needs a name")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                problems.append(f"event {i}: flow event needs an id")
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"event {i}: flow event needs numeric ts")
         elif ph not in ("B", "E", "i", "I", "C"):
             problems.append(f"event {i}: unknown phase {ph!r}")
     return problems
@@ -261,3 +309,166 @@ def pass_breakdown(source, algorithm: Optional[str] = None) -> List[Dict[str, An
         row["modeled_us"] = float(sp.attrs.get("modeled_us") or 0.0)
         rows.append(row)
     return rows
+
+
+# -- Prometheus text exposition --------------------------------------------
+#
+# https://prometheus.io/docs/instrumenting/exposition_formats/ version
+# 0.0.4: `# TYPE` headers, `name{labels} value` samples, histograms as
+# cumulative `_bucket{le=...}` series plus `_sum`/`_count`.  The bucket
+# upper bounds are the log-spaced bounds of
+# :mod:`repro.obs.quantiles`, so a scraped `histogram_quantile()` agrees
+# with the in-process `Histogram.quantile` estimates.
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    return name.replace(".", "_").replace("-", "_") + suffix
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (k, str(v).replace("\\", r"\\").replace('"', r'\"')
+                     .replace("\n", r"\n"))
+        for k, v in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    f = float(v)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+def to_prometheus(registry=None, prefix: str = "") -> str:
+    """Render a metrics registry in Prometheus text exposition format.
+
+    Counters become ``<name>_total``, gauges stay as-is, histograms emit
+    the cumulative ``_bucket{le=...}`` series (log-spaced upper bounds)
+    plus ``_sum``/``_count``.  Dots in instrument names become
+    underscores (``serve.request_latency_us`` →
+    ``serve_request_latency_us``).  ``prefix`` filters by the *original*
+    dotted name.
+    """
+    from .metrics import get_metrics
+
+    reg = registry if registry is not None else get_metrics()
+    counters, gauges, histograms = reg.instruments()
+    lines: List[str] = []
+
+    def keep(name: str) -> bool:
+        return name.startswith(prefix) if prefix else True
+
+    by_family: Dict[str, List] = {}
+    for (name, labels), inst in sorted(counters.items()):
+        if keep(name):
+            by_family.setdefault(_prom_name(name, "_total"), []).append(
+                ("counter", labels, inst))
+    for (name, labels), inst in sorted(gauges.items()):
+        if keep(name):
+            by_family.setdefault(_prom_name(name), []).append(
+                ("gauge", labels, inst))
+    for (name, labels), inst in sorted(histograms.items()):
+        if keep(name):
+            by_family.setdefault(_prom_name(name), []).append(
+                ("histogram", labels, inst))
+
+    for family in sorted(by_family):
+        rows = by_family[family]
+        kind = rows[0][0]
+        lines.append(f"# TYPE {family} {kind}")
+        for _, labels, inst in rows:
+            if kind in ("counter", "gauge"):
+                lines.append(f"{family}{_prom_labels(labels)} "
+                             f"{_fmt(inst.value)}")
+                continue
+            # histogram: cumulative buckets over the shared log bounds
+            with inst._lock:
+                buckets = dict(inst.buckets)
+                count, total = inst.count, inst.total
+            cum = 0
+            for idx in sorted(buckets):
+                cum += buckets[idx]
+                le = 'le="%s"' % _fmt(bucket_bounds(idx)[1])
+                lines.append(
+                    f"{family}_bucket{_prom_labels(labels, le)} {cum}"
+                )
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{family}_bucket{_prom_labels(labels, inf)} {count}"
+            )
+            lines.append(f"{family}_sum{_prom_labels(labels)} {_fmt(total)}")
+            lines.append(f"{family}_count{_prom_labels(labels)} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Check text against the exposition format; returns problems.
+
+    Validates: every sample line parses as ``name{labels} value``, every
+    sample family has a preceding ``# TYPE``, histogram families carry
+    ``_bucket``/``_sum``/``_count`` with an ``le="+Inf"`` bucket, and
+    bucket series are cumulative (non-decreasing with ``le``).
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    hist_seen: Dict[str, Dict[str, Any]] = {}
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] in ("HELP", "EOF"):
+                pass
+            else:
+                problems.append(f"line {i}: malformed comment: {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {i}: unparsable sample: {line!r}")
+            continue
+        name, labels, _value = m.groups()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base is not None and types.get(base) == "histogram":
+                family = base
+                st = hist_seen.setdefault(
+                    base, {"bucket": False, "sum": False, "count": False,
+                           "inf": False, "last_le": {}, "cumulative": True})
+                st[suffix[1:]] = True
+                if suffix == "_bucket":
+                    le = None
+                    if labels:
+                        mm = re.search(r'le="([^"]+)"', labels)
+                        le = mm.group(1) if mm else None
+                    if le == "+Inf":
+                        st["inf"] = True
+                    series = re.sub(r'le="[^"]+",?', "", labels or "")
+                    prev = st["last_le"].get(series)
+                    cur = float(_value) if _value not in ("NaN",) else 0.0
+                    if prev is not None and cur < prev:
+                        st["cumulative"] = False
+                    st["last_le"][series] = cur
+                break
+        if family not in types:
+            problems.append(f"line {i}: sample {name!r} has no # TYPE")
+    for base, st in hist_seen.items():
+        for part in ("bucket", "sum", "count"):
+            if not st[part]:
+                problems.append(f"histogram {base!r}: missing _{part}")
+        if not st["inf"]:
+            problems.append(f"histogram {base!r}: no le=\"+Inf\" bucket")
+        if not st["cumulative"]:
+            problems.append(f"histogram {base!r}: buckets not cumulative")
+    return problems

@@ -29,7 +29,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from .quantiles import (
+    DEFAULT_PERCENTILES,
+    bucket_index,
+    bucket_quantile,
+)
 
 __all__ = [
     "Counter",
@@ -96,23 +102,29 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary: count/sum/min/max (enough for rates and means).
+    """Streaming distribution: count/sum/min/max plus log-spaced buckets.
 
-    One lock keeps the four fields mutually consistent: concurrent
-    observers can never leave ``count`` and ``total`` describing
-    different sample sets.
+    Observations land in fixed geometric buckets
+    (:data:`repro.obs.quantiles.GROWTH` ≈ 19% wide), so live p50/p95/p99
+    come out of ``quantile()`` with bounded error and O(1) update cost —
+    no sample retention.  One lock keeps all fields mutually consistent:
+    concurrent observers can never leave ``count`` and ``total``
+    describing different sample sets.
     """
 
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    #: Sparse log-bucket counts: ``{bucket_index(v): n}``.
+    buckets: Dict[int, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
     def observe(self, v: float) -> None:
         v = float(v)
+        idx = bucket_index(v)
         with self._lock:
             self.count += 1
             self.total += v
@@ -120,22 +132,51 @@ class Histogram:
                 self.min = v
             if v > self.max:
                 self.max = v
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucketed estimate of the ``q``-quantile (``0 <= q <= 1``),
+        clamped to the observed min/max; 0.0 when empty."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            return bucket_quantile(self.buckets, q, self.min, self.max)
+
+    def percentiles(
+        self, ps: Iterable[float] = DEFAULT_PERCENTILES
+    ) -> Dict[str, float]:
+        """Bucketed percentile estimates keyed ``"p50"``-style."""
+        return {f"p{p:g}": self.quantile(p / 100.0) for p in ps}
+
+    def count_below(self, threshold: float) -> int:
+        """Samples with value ``<= threshold`` (bucket-resolution upper
+        count; exact when ``threshold`` is a bucket boundary).
+
+        The SLO tracker uses this as its "good events" counter for
+        latency-threshold objectives.
+        """
+        t_idx = bucket_index(threshold)
+        with self._lock:
+            return sum(n for idx, n in self.buckets.items() if idx <= t_idx)
+
     def summary(self) -> Dict[str, float]:
         with self._lock:
             if not self.count:
                 return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                        "mean": 0.0}
+                        "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
             return {
                 "count": self.count,
                 "sum": self.total,
                 "min": self.min,
                 "max": self.max,
                 "mean": self.total / self.count,
+                "p50": bucket_quantile(self.buckets, 0.50, self.min, self.max),
+                "p95": bucket_quantile(self.buckets, 0.95, self.min, self.max),
+                "p99": bucket_quantile(self.buckets, 0.99, self.min, self.max),
             }
 
 
@@ -201,6 +242,17 @@ class MetricsRegistry:
             return sum(
                 c.value for (n, _), c in self._counters.items() if n == name
             )
+
+    def instruments(
+        self,
+    ) -> Tuple[Dict[MetricKey, Counter], Dict[MetricKey, Gauge],
+               Dict[MetricKey, Histogram]]:
+        """Shallow copies of the instrument maps (counters, gauges,
+        histograms) keyed by ``(name, labels)`` — the raw view the
+        Prometheus exposition and the SLO tracker read from."""
+        with self._lock:
+            return (dict(self._counters), dict(self._gauges),
+                    dict(self._histograms))
 
     def snapshot(self, prefix: str = "") -> Dict[str, Any]:
         """JSON-friendly view of every instrument, sorted by formatted key."""

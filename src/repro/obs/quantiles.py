@@ -1,0 +1,139 @@
+"""Shared quantile math: exact percentiles and log-bucketed estimates.
+
+One home for every percentile computed in the repo, so the serving
+load generator (:mod:`repro.serve.loadgen`), the live bucketed
+:class:`~repro.obs.metrics.Histogram` and the regression checker all
+agree on definitions:
+
+* :func:`percentiles` — exact percentiles over a sample list (NumPy's
+  linear interpolation), the offline/batch path;
+* the ``bucket_*`` family — fixed log-spaced buckets for **streaming**
+  estimation: O(1) per observation, bounded storage, and a quantile
+  error bounded by one bucket width (:data:`GROWTH` ≈ 19% per bucket).
+
+The bucket layout is shared with the Prometheus exposition endpoint
+(:func:`repro.obs.exporters.to_prometheus`), so a scraped
+``histogram_quantile`` and the in-process ``Histogram.quantile`` answer
+from the same bins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "GROWTH",
+    "UNDERFLOW_INDEX",
+    "DEFAULT_PERCENTILES",
+    "percentiles",
+    "bucket_index",
+    "bucket_bounds",
+    "bucket_quantile",
+    "bucket_quantiles",
+]
+
+#: Geometric growth factor between consecutive bucket upper bounds.
+#: ``2 ** 0.25`` ≈ 1.189 gives ~19% relative bucket width — 4 buckets
+#: per octave, ~80 buckets per µs-to-seconds latency range.
+GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Bucket index holding every non-positive observation (latencies and
+#: sizes are positive; zero shows up from e.g. cached sub-µs waits).
+UNDERFLOW_INDEX = -(2 ** 31)
+
+#: The percentiles every latency distribution reports by default.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def percentiles(
+    values: Sequence[float],
+    ps: Iterable[float] = DEFAULT_PERCENTILES,
+) -> Dict[str, float]:
+    """Exact percentiles of ``values`` as ``{"p50": ..., "p95": ...}``.
+
+    Empty input returns an empty dict — callers that previously guarded
+    ``if latencies:`` keep the same shape.
+    """
+    vals = list(values)
+    if not vals:
+        return {}
+    import numpy as np
+
+    arr = np.asarray(vals, dtype=np.float64)
+    return {f"p{p:g}": float(np.percentile(arr, p)) for p in ps}
+
+
+def bucket_index(v: float) -> int:
+    """The log-bucket index of ``v``: bucket ``i`` covers
+    ``(GROWTH**i, GROWTH**(i+1)]`` (non-positives go to the underflow
+    bucket)."""
+    if v <= 0.0:
+        return UNDERFLOW_INDEX
+    # ceil(log(v)) - 1 with an exactness nudge so bucket upper bounds
+    # land in their own bucket (the "le" convention Prometheus uses).
+    idx = math.ceil(math.log(v) / _LOG_GROWTH - 1e-9) - 1
+    return int(idx)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``(lower, upper]`` value bounds of bucket ``index``."""
+    if index == UNDERFLOW_INDEX:
+        return (float("-inf"), 0.0)
+    return (GROWTH ** index, GROWTH ** (index + 1))
+
+
+def bucket_quantile(
+    buckets: Mapping[int, int],
+    q: float,
+    lo: float = float("nan"),
+    hi: float = float("nan"),
+) -> float:
+    """Estimate the ``q``-quantile (``0 <= q <= 1``) from bucket counts.
+
+    Linear interpolation by rank inside the covering bucket, clamped to
+    the observed ``[lo, hi]`` when those are finite — so the estimate is
+    never outside the data range and is within one bucket width of the
+    exact sample quantile.  Empty input returns 0.0.
+    """
+    total = sum(buckets.values())
+    if total <= 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = q * total
+    seen = 0.0
+    for idx in sorted(buckets):
+        n = buckets[idx]
+        if n <= 0:
+            continue
+        if seen + n >= rank:
+            b_lo, b_hi = bucket_bounds(idx)
+            if idx == UNDERFLOW_INDEX:
+                est = 0.0
+            else:
+                frac = (rank - seen) / n if n else 1.0
+                est = b_lo + (b_hi - b_lo) * min(1.0, max(0.0, frac))
+            if not math.isnan(lo):
+                est = max(est, lo)
+            if not math.isnan(hi):
+                est = min(est, hi)
+            return est
+        seen += n
+    # Rounding fell off the end: the maximum bucket's upper bound.
+    top = max(i for i in buckets if buckets[i] > 0)
+    est = bucket_bounds(top)[1]
+    return min(est, hi) if not math.isnan(hi) else est
+
+
+def bucket_quantiles(
+    buckets: Mapping[int, int],
+    ps: Iterable[float] = DEFAULT_PERCENTILES,
+    lo: float = float("nan"),
+    hi: float = float("nan"),
+) -> Dict[str, float]:
+    """Several :func:`bucket_quantile` estimates keyed ``"p50"``-style."""
+    return {f"p{p:g}": bucket_quantile(buckets, p / 100.0, lo, hi)
+            for p in ps}

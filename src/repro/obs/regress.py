@@ -49,6 +49,7 @@ SIMULATOR_METRICS: Dict[str, str] = {
 SERVE_METRICS: Dict[str, str] = {
     "coalesce_ratio": "higher",
     "p95_ms": "lower",
+    "p99_ms": "lower",
 }
 SHARD_METRICS: Dict[str, str] = {
     "tiles_per_s": "higher",
@@ -60,7 +61,7 @@ AUTOTUNE_METRICS: Dict[str, str] = {
 }
 #: Metrics measured in host wall time (noisy; excluded from strict checks
 #: unless --include-wall).
-WALL_METRICS = {"fused_s", "legacy_s", "wall_s", "p95_ms"}
+WALL_METRICS = {"fused_s", "legacy_s", "wall_s", "p95_ms", "p99_ms"}
 
 
 @dataclass
@@ -256,6 +257,7 @@ def fresh_serve_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
     return {
         "coalesce_ratio": rep.coalesce_ratio,
         "p95_ms": rep.latency_ms.get("p95", 0.0),
+        "p99_ms": rep.latency_ms.get("p99", 0.0),
     }
 
 

@@ -1,0 +1,283 @@
+"""Service-level objectives evaluated as multi-window burn rates.
+
+An :class:`SloObjective` defines a *good-event fraction* the serving
+stack must sustain — e.g. "95% of requests complete under 100 ms",
+"99.9% of requests succeed", "50% of requests coalesce".  Each objective
+reads a cumulative ``(good, total)`` pair straight from the process
+:class:`~repro.obs.metrics.MetricsRegistry` (the latency objective uses
+the bucketed histogram's ``count_below``), so tracking adds **no new
+instrumentation** to the hot path — the tracker is a pure reader.
+
+Burn rate (the SRE framing): with ``budget = 1 - target`` as the allowed
+bad fraction, the burn rate over a window is::
+
+    burn = (bad events / total events) / budget
+
+``burn == 1`` consumes the error budget exactly at the sustainable rate;
+``burn == 2`` exhausts it twice as fast.  One window cannot distinguish
+a blip from a trend, so the tracker evaluates **two**:
+
+* a *short* window (fast detection, noisy), and
+* a *long* window (slow, confident);
+
+and classifies each objective::
+
+    breach   short >= breach_factor  AND  long >= breach_factor
+    warning  short >= warn_factor    (long still fine)
+    ok       otherwise (or no traffic in the window)
+
+The clock is injectable, so tests drive ok → warning → breach
+transitions deterministically with fault injection and a fake clock.
+The tracker samples lazily on :meth:`evaluate` (every ``stats()`` call
+advances it) and keeps a bounded deque of count snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry, get_metrics
+
+__all__ = [
+    "SloObjective",
+    "SloTracker",
+    "default_objectives",
+]
+
+#: Objective kinds and the metrics their (good, total) counts come from.
+KINDS = ("latency", "error_rate", "coalesce")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One good-event-fraction objective over the serve metrics.
+
+    kind:
+        ``"latency"`` — good = responses with
+        ``serve.request_latency_us <= threshold_us`` (bucket-resolution
+        count from the streaming histogram);
+        ``"error_rate"`` — good = successful responses, total = responses
+        plus structured errors;
+        ``"coalesce"`` — good = responses that shared their launch.
+    target:
+        Required good fraction in ``(0, 1)``; the error budget is
+        ``1 - target``.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_us: float = 0.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; one of {KINDS}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.threshold_us <= 0:
+            raise ValueError("latency objectives need threshold_us > 0")
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad-event fraction."""
+        return 1.0 - self.target
+
+    def counts(self, registry: MetricsRegistry) -> Tuple[float, float]:
+        """Cumulative ``(good, total)`` for this objective, read-only."""
+        if self.kind == "latency":
+            h = registry.histogram("serve.request_latency_us")
+            return float(h.count_below(self.threshold_us)), float(h.count)
+        if self.kind == "error_rate":
+            ok = registry.counter_total("serve.responses")
+            bad = registry.counter_total("serve.errors")
+            return float(ok), float(ok + bad)
+        # coalesce
+        ok = registry.counter_total("serve.coalesced_requests")
+        total = registry.counter_total("serve.responses")
+        return float(ok), float(total)
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = {"name": self.name, "kind": self.kind, "target": self.target,
+             "budget": self.budget}
+        if self.kind == "latency":
+            d["threshold_us"] = self.threshold_us
+        if self.description:
+            d["description"] = self.description
+        return d
+
+
+def default_objectives(
+    latency_threshold_us: float = 100_000.0,
+    latency_target: float = 0.95,
+    error_target: float = 0.999,
+    coalesce_target: float = 0.5,
+) -> List[SloObjective]:
+    """The stock serving objectives (p95-style latency, availability,
+    coalesce ratio), with overridable knobs."""
+    return [
+        SloObjective(
+            name="latency_p95", kind="latency", target=latency_target,
+            threshold_us=latency_threshold_us,
+            description=(f"{latency_target:.0%} of requests under "
+                         f"{latency_threshold_us / 1e3:g} ms"),
+        ),
+        SloObjective(
+            name="availability", kind="error_rate", target=error_target,
+            description=f"{error_target:.1%} of requests succeed",
+        ),
+        SloObjective(
+            name="coalesce", kind="coalesce", target=coalesce_target,
+            description=(f"{coalesce_target:.0%} of requests share "
+                         "their launch"),
+        ),
+    ]
+
+
+class SloTracker:
+    """Evaluates objectives over short/long burn-rate windows.
+
+    Pure reader over the metrics registry: sampling and evaluation never
+    write an instrument, so a tracker cannot perturb the quantities it
+    judges.  Thread-safe by construction — evaluation happens under the
+    caller (``stats()``/CLI), and the deque is only touched there.
+    """
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[SloObjective]] = None,
+        short_window_s: float = 60.0,
+        long_window_s: float = 600.0,
+        warn_factor: float = 1.0,
+        breach_factor: float = 2.0,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.objectives = (list(objectives) if objectives is not None
+                           else default_objectives())
+        if short_window_s >= long_window_s:
+            raise ValueError("short window must be shorter than the long one")
+        self.short_window_s = float(short_window_s)
+        self.long_window_s = float(long_window_s)
+        self.warn_factor = float(warn_factor)
+        self.breach_factor = float(breach_factor)
+        self._registry = registry
+        self._clock = clock
+        #: (t, ((good, total) per objective)) snapshots, oldest first.
+        self._samples: Deque[Tuple[float, Tuple[Tuple[float, float], ...]]] \
+            = deque()
+
+    @classmethod
+    def from_config(cls, config, **kwargs) -> Optional["SloTracker"]:
+        """Coerce a service-level ``slo=`` parameter.
+
+        ``None``/``False`` → no tracker; ``True`` → defaults; a mapping →
+        knobs for :func:`default_objectives` plus tracker kwargs
+        (``short_window_s``...); an :class:`SloTracker` passes through.
+        """
+        if config is None or config is False:
+            return None
+        if isinstance(config, cls):
+            return config
+        if config is True:
+            return cls(**kwargs)
+        cfg = dict(config)
+        obj_keys = {"latency_threshold_us", "latency_target",
+                    "error_target", "coalesce_target"}
+        obj_kwargs = {k: cfg.pop(k) for k in list(cfg) if k in obj_keys}
+        cfg.update(kwargs)
+        # An explicit objectives list wins over the default_objectives knobs.
+        objectives = cfg.pop("objectives", None)
+        if objectives is None:
+            objectives = default_objectives(**obj_kwargs)
+        elif obj_kwargs:
+            raise ValueError(
+                "pass either 'objectives' or objective knobs "
+                f"({sorted(obj_kwargs)}), not both"
+            )
+        return cls(objectives=objectives, **cfg)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_metrics()
+
+    # -- sampling --------------------------------------------------------
+    def sample(self, now: Optional[float] = None) -> None:
+        """Snapshot cumulative counts; prunes history past the long
+        window (one older sample is kept as the window's left edge)."""
+        t = self._clock() if now is None else float(now)
+        counts = tuple(o.counts(self.registry) for o in self.objectives)
+        self._samples.append((t, counts))
+        horizon = t - self.long_window_s
+        while len(self._samples) >= 2 and self._samples[1][0] <= horizon:
+            self._samples.popleft()
+
+    def _window_counts(
+        self, idx: int, now: float, window: float,
+        current: Tuple[float, float],
+    ) -> Tuple[float, float]:
+        """(good, total) delta over the trailing ``window`` seconds."""
+        edge = now - window
+        base = (0.0, 0.0)
+        for t, counts in self._samples:
+            if t <= edge:
+                base = counts[idx]
+            else:
+                break
+        return current[0] - base[0], current[1] - base[1]
+
+    # -- evaluation ------------------------------------------------------
+    def _classify(self, burn_short: float, burn_long: float) -> str:
+        if (burn_short >= self.breach_factor
+                and burn_long >= self.breach_factor):
+            return "breach"
+        if burn_short >= self.warn_factor:
+            return "warning"
+        return "ok"
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Sample, then judge every objective; the ``stats()`` payload.
+
+        Returns ``{"state": worst, "objectives": {name: {...}}}`` where
+        each objective reports its cumulative good fraction, both window
+        burn rates and its state.  Zero traffic in a window reads as
+        burn 0 (you cannot burn budget without events).
+        """
+        t = self._clock() if now is None else float(now)
+        self.sample(t)
+        rank = {"ok": 0, "warning": 1, "breach": 2}
+        worst = "ok"
+        out: Dict[str, Any] = {}
+        current = self._samples[-1][1]
+        for i, obj in enumerate(self.objectives):
+            good, total = current[i]
+            burns = {}
+            for label, window in (("short", self.short_window_s),
+                                  ("long", self.long_window_s)):
+                g, n = self._window_counts(i, t, window, current[i])
+                bad_frac = ((n - g) / n) if n > 0 else 0.0
+                burns[label] = bad_frac / obj.budget
+            state = self._classify(burns["short"], burns["long"])
+            if rank[state] > rank[worst]:
+                worst = state
+            entry = obj.as_dict()
+            entry.update(
+                good=good,
+                total=total,
+                good_fraction=(good / total) if total else 1.0,
+                burn_short=burns["short"],
+                burn_long=burns["long"],
+                state=state,
+            )
+            out[obj.name] = entry
+        return {
+            "state": worst,
+            "windows": {"short_s": self.short_window_s,
+                        "long_s": self.long_window_s},
+            "factors": {"warn": self.warn_factor,
+                        "breach": self.breach_factor},
+            "objectives": out,
+        }

@@ -48,6 +48,7 @@ places them on the modeled timeline.  All attribute collection happens by
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
@@ -60,6 +61,7 @@ __all__ = [
     "TRACE_ENV",
     "Span",
     "Tracer",
+    "next_trace_id",
     "tracing",
     "current_tracer",
     "resolve_tracer",
@@ -70,6 +72,17 @@ __all__ = [
 
 #: Environment flag enabling the process-global tracer (lowest precedence).
 TRACE_ENV = "REPRO_TRACE"
+
+# Process-wide id counters: span and trace ids stay unique across every
+# Tracer instance, so merged multi-thread / multi-tracer exports never
+# collide.  ``itertools.count`` increments are atomic under the GIL.
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+def next_trace_id() -> int:
+    """Allocate a fresh process-unique trace id."""
+    return next(_trace_ids)
 
 
 @dataclass
@@ -85,6 +98,15 @@ class Span:
     t1_ns: int = 0
     #: Structured attributes (config, geometry, counters, timing...).
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: The request/trace this span belongs to (cross-thread correlation).
+    trace_id: int = 0
+    #: Span links: causal edges that are not parent/child — e.g. a batch
+    #: span linking every request that coalesced into it.  Each link is
+    #: ``{"trace_id": int, "span_id": int}``.
+    links: List[Dict[str, int]] = field(default_factory=list)
+    #: Name of the thread that opened the span (exporters group host
+    #: tracks by thread).
+    thread: str = ""
 
     @property
     def wall_us(self) -> float:
@@ -100,38 +122,96 @@ class Span:
 class Tracer:
     """Collects :class:`Span` and instant events for one traced region.
 
-    Spans are appended in *open* order (pre-order of the span tree), so a
-    child always follows its parent; ``parent_id`` reconstructs nesting.
-    The tracer is cheap but not free — it exists only while tracing is
-    enabled; disabled call sites never construct spans at all.
+    Spans are appended in *open* order (pre-order of the span tree per
+    thread), so a child always follows its parent; ``parent_id``
+    reconstructs nesting.  The tracer is cheap but not free — it exists
+    only while tracing is enabled; disabled call sites never construct
+    spans at all.
+
+    Thread safety: the serving layer traces from client and worker
+    threads concurrently into one tracer.  The open-span stack is
+    **thread-local** (nesting is a per-thread notion), appends to the
+    shared ``spans``/``events`` lists take a lock, and span ids come from
+    a process-wide counter.  A worker re-parents its spans under the
+    originating request with :meth:`activate`.
     """
 
     def __init__(self):
         self.spans: List[Span] = []
         #: Instant events: plan-cache hits/misses, tape mismatches...
         self.events: List[Dict[str, Any]] = []
-        self._ids = itertools.count(1)
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Default trace id for spans opened with no enclosing span and
+        #: no :meth:`activate` context (single-request CLI traces).
+        self.trace_id = next(_trace_ids)
 
     def __len__(self) -> int:
         return len(self.spans)
 
     @property
+    def _stack(self) -> List[Span]:
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = self._local.stack = []
+        return st
+
+    @property
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        """The innermost open span *on the calling thread*."""
+        st = self._stack
+        return st[-1] if st else None
+
+    def _lineage(self) -> "tuple[int, Optional[int]]":
+        """(trace_id, parent span id) a new span on this thread inherits."""
+        st = self._stack
+        if st:
+            return st[-1].trace_id, st[-1].id
+        amb = getattr(self._local, "ambient", None)
+        if amb is not None:
+            return amb
+        return self.trace_id, None
+
+    @contextmanager
+    def activate(self, ctx) -> Iterator[None]:
+        """Adopt a captured trace context as this thread's span lineage.
+
+        ``ctx`` is anything with ``trace_id``/``span_id`` attributes
+        (:class:`~repro.obs.context.TraceContext`).  While active, spans
+        opened on this thread with an empty stack parent under
+        ``ctx.span_id`` and carry ``ctx.trace_id`` — this is how a worker
+        thread nests engine/launch/replay spans under the submitting
+        request's span.  ``ctx=None`` is a no-op scope.
+        """
+        if ctx is None:
+            yield
+            return
+        prev = getattr(self._local, "ambient", None)
+        self._local.ambient = (
+            int(ctx.trace_id),
+            int(ctx.span_id) if ctx.span_id else None,
+        )
+        try:
+            yield
+        finally:
+            self._local.ambient = prev
 
     @contextmanager
     def span(self, name: str, category: str = "span", **attrs) -> Iterator[Span]:
         """Open a span around a ``with`` block; yields it for annotation."""
+        trace_id, parent_id = self._lineage()
         sp = Span(
-            id=next(self._ids),
-            parent_id=self._stack[-1].id if self._stack else None,
+            id=next(_span_ids),
+            parent_id=parent_id,
             name=name,
             category=category,
             t0_ns=time.perf_counter_ns(),
             attrs=dict(attrs),
+            trace_id=trace_id,
+            thread=threading.current_thread().name,
         )
-        self.spans.append(sp)
+        with self._lock:
+            self.spans.append(sp)
         self._stack.append(sp)
         try:
             yield sp
@@ -139,22 +219,66 @@ class Tracer:
             self._stack.pop()
             sp.t1_ns = time.perf_counter_ns()
 
+    def start_span(self, name: str, category: str = "span", ctx=None,
+                   links=None, **attrs) -> Span:
+        """Open a span *without* entering the per-thread stack.
+
+        For regions whose lifetime crosses threads — a serve request span
+        is opened on the submitting thread and closed by whichever worker
+        completes it — the ``with``-block discipline of :meth:`span`
+        cannot apply.  ``ctx`` overrides lineage (else the calling
+        thread's resolution is used); ``links`` is an iterable of
+        trace-context-like objects recorded as span links.  Close with
+        :meth:`end_span`.
+        """
+        if ctx is not None:
+            trace_id = int(ctx.trace_id)
+            parent_id = int(ctx.span_id) if ctx.span_id else None
+        else:
+            trace_id, parent_id = self._lineage()
+        sp = Span(
+            id=next(_span_ids),
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            t0_ns=time.perf_counter_ns(),
+            attrs=dict(attrs),
+            trace_id=trace_id,
+            thread=threading.current_thread().name,
+        )
+        if links:
+            sp.links = [
+                {"trace_id": int(l.trace_id), "span_id": int(l.span_id)}
+                for l in links
+            ]
+        with self._lock:
+            self.spans.append(sp)
+        return sp
+
+    def end_span(self, sp: Span) -> Span:
+        """Close a span opened with :meth:`start_span`."""
+        sp.t1_ns = time.perf_counter_ns()
+        return sp
+
     def event(self, name: str, category: str = "event", **attrs) -> Dict[str, Any]:
         """Record an instant event attached to the current span (if any)."""
+        cur = self.current_span
         ev = {
             "name": name,
             "category": category,
             "t_ns": time.perf_counter_ns(),
-            "span_id": self._stack[-1].id if self._stack else None,
+            "span_id": cur.id if cur is not None else None,
             **attrs,
         }
-        self.events.append(ev)
+        with self._lock:
+            self.events.append(ev)
         return ev
 
     def clear(self) -> None:
-        """Drop collected spans/events (the id counter keeps running)."""
-        self.spans.clear()
-        self.events.clear()
+        """Drop collected spans/events (the id counters keep running)."""
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
 
 
 # -- resolution ------------------------------------------------------------

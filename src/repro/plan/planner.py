@@ -45,6 +45,7 @@ from ..dtypes import parse_pair
 from ..engine.lru import LRUCache
 from ..exec.config import ExecutionConfig
 from ..gpusim.device import get_device
+from ..obs.context import timeline_add
 from ..obs.metrics import get_metrics
 from ..obs.trace import current_tracer
 
@@ -290,6 +291,9 @@ class Planner:
 
         ``device=None`` resolves through the standard execution layers.
         """
+        import time as _time
+
+        t0 = _time.perf_counter()
         tp = parse_pair(pair)
         if device is None:
             from ..exec.config import resolve_execution
@@ -302,6 +306,10 @@ class Planner:
             key, lambda: self._compute(dev.name, tp.name, bucket, bb))
         if created:
             get_metrics().counter("plan.decisions").inc()
+        # Serving-timeline attribution (no-op outside a serve request):
+        # cache hits cost microseconds, cold ranking dominates — both are
+        # honest parts of the request's submit/execute path.
+        timeline_add("plan_decide_us", (_time.perf_counter() - t0) * 1e6)
         return decision
 
     def _compute(self, device: str, pair: str, bucket: Tuple[int, int],

@@ -9,6 +9,15 @@ launches the engine's plan cache makes nearly free, under a deadline +
 size-knee admission policy; a :class:`WorkerPool` drains admitted batches
 into one shared :class:`~repro.engine.batch.Engine`.
 
+Every response carries a :class:`~repro.obs.context.RequestTimeline`
+decomposing its wall latency; with tracing enabled
+(``SatService(tracer=...)`` or an ambient ``tracing()`` scope on the
+submitting thread), request spans propagate across the worker boundary
+and coalesced batches record span links.  ``stats()`` and the HTTP
+facade (``/health``, ``/stats``, Prometheus ``/metrics``) expose live
+bucketed latency quantiles and optional SLO burn rates
+(``SatService(slo=True)``).
+
 Start here: :class:`SatService` (``docs/serving.md`` for the guide,
 ``benchmarks/bench_serve.py`` for the load-generator harness).
 """

@@ -46,7 +46,9 @@ import numpy as np
 from ..engine.scheduler import BatchScheduler
 from ..exec.config import ExecutionConfig
 from ..exec.registry import get_kernel_spec, has_kernel_spec
+from ..obs.context import TraceContext, recording_timeline
 from ..obs.metrics import get_metrics
+from ..obs.trace import Span, Tracer
 from .request import ServeRequest
 
 __all__ = ["CompatKey", "Batch", "DynamicBatcher"]
@@ -78,8 +80,20 @@ class _Pending:
     future: Future
     #: Submitting clock (batcher clock) time, for deadline accounting.
     arrival: float
-    #: ``time.perf_counter()`` at submit, for latency measurement.
+    #: ``time.perf_counter()`` at submit *entry* (before key resolution),
+    #: the timeline's origin and the latency measurement's start.
     t_submit: float
+    #: ``time.perf_counter()`` when the request entered its group queue.
+    t_queued: float = 0.0
+    #: The request's open span (tracing enabled) — closed at completion.
+    span: Optional[Span] = None
+    #: Lineage under the request span, for the worker to link/nest under.
+    ctx: Optional[TraceContext] = None
+    #: The tracer the span lives in (completion runs on a worker thread).
+    tracer: Optional[Tracer] = None
+    #: Submit-side timeline annotations (plan.decide runs on the
+    #: submitting thread); merged with the worker's at completion.
+    annotations: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -109,6 +123,9 @@ class Batch:
     reason: str
     #: Batcher-clock admission time.
     admitted: float
+    #: ``time.perf_counter()`` at admission (timelines use the perf
+    #: clock throughout; ``admitted`` may come from an injected clock).
+    t_admitted: float = 0.0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -231,23 +248,52 @@ class DynamicBatcher:
         )
 
     # -- submission ------------------------------------------------------
-    def submit(self, request: ServeRequest,
-               resolved: ExecutionConfig) -> Future:
+    def submit(self, request: ServeRequest, resolved: ExecutionConfig,
+               tracer: Optional[Tracer] = None) -> Future:
         """Queue ``request`` under its compatibility key; returns a Future.
 
         Raises :class:`ValueError`/``KeyError`` synchronously for invalid
         requests (bad image, unknown algorithm, dtype/pair mismatch) and
         ``RuntimeError`` after :meth:`close` — a closed batcher accepts
         nothing.
+
+        With a ``tracer``, a ``serve.request`` span is opened *here*, on
+        the submitting thread — under the submitter's current span if it
+        has one, else as the root of a fresh trace — and travels with the
+        pending entry so the worker can nest execution under it and the
+        completion path can close it.  The timeline's origin
+        (``t_submit``) is taken before key resolution, so the submit
+        stage includes config/plan.decide cost.
         """
-        key = self.compat_key_of(request, resolved)
+        t_submit = time.perf_counter()
+        sub_ann: Dict[str, float] = {}
+        with recording_timeline(sub_ann):
+            key = self.compat_key_of(request, resolved)
         fut: Future = Future()
         pend = _Pending(
             request=request, future=fut,
-            arrival=self._clock(), t_submit=time.perf_counter(),
+            arrival=self._clock(), t_submit=t_submit,
+            annotations=sub_ann,
         )
+        if tracer is not None:
+            ctx = request.trace_ctx
+            if ctx is None:
+                ctx = TraceContext.capture(tracer)
+            span = tracer.start_span(
+                "serve.request", category="serve.request", ctx=ctx,
+                request_id=request.request_id, kind=request.kind,
+                algorithm=key.algorithm, pair=key.pair,
+                bucket=key.bucket,
+            )
+            pend.span = span
+            pend.ctx = ctx.child(span.id)
+            pend.tracer = tracer
+        pend.t_queued = time.perf_counter()
         with self._cond:
             if self._closed:
+                if pend.span is not None:
+                    pend.span.attrs["error"] = "closed"
+                    tracer.end_span(pend.span)
                 raise RuntimeError("batcher is closed")
             grp = self._groups.get(key)
             if grp is None:
@@ -275,7 +321,7 @@ class DynamicBatcher:
                now: float) -> None:
         del self._groups[key]
         batch = Batch(key=key, entries=grp.entries, reason=reason,
-                      admitted=now)
+                      admitted=now, t_admitted=time.perf_counter())
         self._ready.append(batch)
         self._pending -= len(grp.entries)
         self.admitted_batches += 1

@@ -27,13 +27,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.quantiles import DEFAULT_PERCENTILES, percentiles
 from .request import SatRequest, ServeRequest
 from .service import SatService
 
 __all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
 
-#: Percentiles reported for every latency distribution.
-PERCENTILES = (50.0, 95.0, 99.0)
+#: Percentiles reported for every latency distribution (the shared
+#: repo-wide set from :mod:`repro.obs.quantiles`).
+PERCENTILES = DEFAULT_PERCENTILES
 
 
 @dataclass
@@ -78,10 +80,12 @@ def _summarise(mode: str, latencies_ms: List[float], responses,
                offered_rps: Optional[float] = None,
                clients: Optional[int] = None) -> LoadReport:
     n_ok = len(responses)
-    lat: Dict[str, float] = {}
+    # Exact percentiles via the shared quantile helper — the same
+    # definitions the bucketed histograms estimate, so harness and live
+    # telemetry agree to within one bucket width.
+    lat: Dict[str, float] = percentiles(latencies_ms, PERCENTILES)
     if latencies_ms:
         arr = np.asarray(latencies_ms, dtype=np.float64)
-        lat = {f"p{p:g}": float(np.percentile(arr, p)) for p in PERCENTILES}
         lat["mean"] = float(arr.mean())
         lat["max"] = float(arr.max())
     coalesced = sum(1 for r in responses if r.coalesced)

@@ -31,14 +31,31 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Dict, List, Optional
 
 from ..engine.batch import Engine
+from ..obs.context import RequestTimeline, TraceContext, recording_timeline
 from ..obs.metrics import get_metrics
+from ..obs.trace import tracing
 from .batcher import Batch, DynamicBatcher
 from .request import ServeError, ServeResponse
 
 __all__ = ["WorkerPool"]
+
+
+@contextmanager
+def _scope(tracer, ctx):
+    """Trace scope for worker-side execution: make ``tracer`` the ambient
+    tracer (workers inherit no client context vars) and adopt ``ctx`` as
+    the thread's span lineage, so engine/launch/replay/plan spans nest
+    under the originating request.  No-op when tracing is off."""
+    if tracer is None:
+        yield
+        return
+    with tracing(tracer):
+        with tracer.activate(ctx):
+            yield
 
 
 class WorkerPool:
@@ -104,18 +121,59 @@ class WorkerPool:
             **dict(key.opts),
         )
 
+    def _open_batch_span(self, batch: Batch):
+        """One ``serve.batch`` span per admitted batch.
+
+        The span is a *child of the first request's span* (the batch
+        executes somewhere; the oldest request is the natural home) and
+        carries **span links** to every coalesced request's context —
+        the trace-level record of which requests shared this launch.
+        Returns ``(tracer, span)`` — ``(None, None)`` when no entry was
+        traced.
+        """
+        tracer = next(
+            (e.tracer for e in batch.entries if e.tracer is not None), None
+        )
+        if tracer is None:
+            return None, None
+        ctxs = [e.ctx for e in batch.entries if e.ctx is not None]
+        span = tracer.start_span(
+            "serve.batch", category="serve.batch",
+            ctx=ctxs[0] if ctxs else None, links=ctxs,
+            batch_size=len(batch.entries), reason=batch.reason,
+            algorithm=batch.key.algorithm, pair=batch.key.pair,
+            bucket=batch.key.bucket,
+            request_ids=[e.request.request_id for e in batch.entries],
+        )
+        return tracer, span
+
     def _execute(self, batch: Batch) -> None:
         m = get_metrics()
         key = batch.key
+        tracer, bspan = self._open_batch_span(batch)
+        bctx = (TraceContext(trace_id=bspan.trace_id, span_id=bspan.id)
+                if bspan is not None else None)
+        annotations: Dict[str, float] = {}
+        t_started = time.perf_counter()
         try:
-            run = self._run_group(batch.images, key)
+            with _scope(tracer, bctx):
+                with recording_timeline(annotations):
+                    run = self._run_group(batch.images, key)
         except Exception as exc:
+            if bspan is not None:
+                bspan.attrs["error"] = type(exc).__name__
+                tracer.end_span(bspan)
             m.counter("serve.worker_error",
                       error=type(exc).__name__).inc()
             self._execute_solo(batch, exc)
             return
+        t_executed = time.perf_counter()
+        if bspan is not None:
+            tracer.end_span(bspan)
         for entry, satrun in zip(batch.entries, run.runs):
-            self._complete(entry, batch, satrun.output)
+            self._complete(entry, batch, satrun.output,
+                           t_started=t_started, t_executed=t_executed,
+                           annotations=annotations)
 
     def _execute_solo(self, batch: Batch, batch_exc: Exception) -> None:
         """Batched launch failed: isolate the poison by re-running solo."""
@@ -123,12 +181,18 @@ class WorkerPool:
         for entry in batch.entries:
             if entry.future.done():  # pragma: no cover - defensive
                 continue
+            annotations: Dict[str, float] = {}
+            t_started = time.perf_counter()
             try:
-                run = self._run_group([entry.request.image], batch.key)
+                with _scope(entry.tracer, entry.ctx):
+                    with recording_timeline(annotations):
+                        run = self._run_group([entry.request.image],
+                                              batch.key)
             except Exception as exc:
                 m.counter("serve.worker_error",
                           error=type(exc).__name__).inc()
                 m.counter("serve.errors", code="execution_error").inc()
+                self._finish_span(entry, error=type(exc).__name__)
                 entry.future.set_exception(ServeError(
                     code="execution_error",
                     message=f"{batch.key.algorithm} execution failed: {exc}",
@@ -140,15 +204,29 @@ class WorkerPool:
                     },
                 ))
                 continue
-            self._complete(entry, batch, run.runs[0].output, solo=True)
+            self._complete(entry, batch, run.runs[0].output, solo=True,
+                           t_started=t_started,
+                           t_executed=time.perf_counter(),
+                           annotations=annotations)
 
-    def _complete(self, entry, batch: Batch, table, solo: bool = False) -> None:
+    @staticmethod
+    def _finish_span(entry, **attrs) -> None:
+        """Close the request's span (if traced) with final attributes."""
+        if entry.span is not None and entry.tracer is not None:
+            entry.span.attrs.update(attrs)
+            entry.tracer.end_span(entry.span)
+            entry.span = None
+
+    def _complete(self, entry, batch: Batch, table, solo: bool = False,
+                  t_started: float = 0.0, t_executed: float = 0.0,
+                  annotations: Optional[Dict[str, float]] = None) -> None:
         """Post-process and resolve one request's future."""
         m = get_metrics()
         try:
             result = entry.request.finish(table)
         except Exception as exc:
             m.counter("serve.errors", code="bad_request").inc()
+            self._finish_span(entry, error=type(exc).__name__)
             entry.future.set_exception(ServeError(
                 code="bad_request",
                 message=str(exc),
@@ -156,20 +234,41 @@ class WorkerPool:
                 details={"error": type(exc).__name__},
             ))
             return
-        latency_us = (time.perf_counter() - entry.t_submit) * 1e6
         depth = 1 if solo else len(batch.entries)
+        queued = entry.t_queued or entry.t_submit
+        admitted = batch.t_admitted or queued
+        # Submit-side annotations (plan.decide on the client thread)
+        # merge additively with the worker's execute-side ones.
+        merged = dict(entry.annotations)
+        for k, v in (annotations or {}).items():
+            merged[k] = merged.get(k, 0.0) + v
+        timeline = RequestTimeline.from_marks(
+            submitted=entry.t_submit,
+            queued=queued,
+            admitted=admitted,
+            started=t_started or admitted,
+            executed=t_executed or t_started or admitted,
+            completed=time.perf_counter(),
+            batch_size=depth,
+            batch_reason=batch.reason,
+            annotations=merged,
+        )
         resp = ServeResponse(
             request_id=entry.request.request_id,
             kind=entry.request.kind,
             result=result,
-            latency_us=latency_us,
+            latency_us=timeline.latency_us,
             batch_size=depth,
             batch_reason=batch.reason,
+            timeline=timeline,
+            trace_id=entry.ctx.trace_id if entry.ctx is not None else 0,
         )
         m.counter("serve.responses", kind=entry.request.kind).inc()
         if resp.coalesced:
             m.counter("serve.coalesced_requests").inc()
-        m.histogram("serve.request_latency_us").observe(latency_us)
+        m.histogram("serve.request_latency_us").observe(timeline.latency_us)
+        self._finish_span(entry, batch_size=depth, solo=solo,
+                          latency_us=timeline.latency_us)
         entry.future.set_result(resp)
 
     def _fail_remaining(self, batch: Batch, exc: BaseException) -> None:
@@ -179,6 +278,7 @@ class WorkerPool:
             if not entry.future.done():
                 get_metrics().counter("serve.errors",
                                       code="execution_error").inc()
+                self._finish_span(entry, error=type(exc).__name__)
                 entry.future.set_exception(ServeError(
                     code="execution_error",
                     message=f"worker failed: {exc}",

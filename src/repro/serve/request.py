@@ -24,6 +24,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..exec.config import ConfigLike
+from ..obs.context import RequestTimeline, TraceContext
 from ..sat.box_filter import box_filter as _box_filter
 from ..sat.box_filter import rect_sums as _rect_sums
 from ..sat.naive import exclusive_from_inclusive
@@ -79,6 +80,11 @@ class ServeRequest:
     opts: Mapping[str, Any] = field(default_factory=dict)
     #: Unique id, assigned at construction (stable across retries).
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Span lineage captured on the submitting thread (set explicitly to
+    #: continue an existing trace; left ``None``, the service captures
+    #: the submitter's current span — or starts a fresh trace — when
+    #: tracing is enabled).  Never part of the compatibility key.
+    trace_ctx: Optional[TraceContext] = None
 
     kind = "sat"
 
@@ -154,6 +160,12 @@ class ServeResponse:
     batch_reason: str = "size"
     #: Whether the underlying launch was shared with other requests.
     coalesced: bool = False
+    #: Where the latency went: stage decomposition summing exactly to
+    #: ``latency_us``, plus batch-scoped annotations (modeled kernel µs,
+    #: plan/compile cache traffic, shard carry).  Always populated.
+    timeline: Optional[RequestTimeline] = None
+    #: Trace id of the request's span tree (0 when tracing was off).
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         self.coalesced = self.batch_size > 1

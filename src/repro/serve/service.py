@@ -37,7 +37,10 @@ import numpy as np
 
 from ..engine.batch import Engine
 from ..exec.config import ConfigLike, ExecutionConfig, _coerce, resolve_execution
+from ..obs.exporters import to_prometheus
 from ..obs.metrics import get_metrics
+from ..obs.slo import SloTracker
+from ..obs.trace import Tracer, current_tracer
 from .batcher import DynamicBatcher
 from .pool import WorkerPool
 from .request import (
@@ -65,12 +68,25 @@ class SatService:
         config: ConfigLike = None,
         device: Optional[str] = None,
         start: bool = True,
+        tracer: Optional[Tracer] = None,
+        slo=None,
     ):
         #: Service-level default config, layered *under* per-request
         #: configs and *over* nothing — ambient contexts and env still
         #: apply below it through normal resolution.
         self.config = config
         self.device = device
+        #: Service-level tracer: used for requests whose submitting
+        #: thread has no ambient tracer of its own.  Context vars do not
+        #: cross thread spawns, so a client thread pool outside any
+        #: ``tracing()`` scope needs this to get request spans at all.
+        #: ``None`` (the default) keeps tracing fully off — the
+        #: bit-identical no-op path.
+        self.tracer = tracer
+        #: Optional SLO burn-rate tracker: ``True`` for stock objectives,
+        #: a mapping for knobs (``latency_threshold_us``...), a
+        #: pre-built :class:`~repro.obs.slo.SloTracker`, or ``None``.
+        self.slo = SloTracker.from_config(slo)
         self.engine = engine if engine is not None else Engine()
         self.batcher = DynamicBatcher(
             max_delay_s=max_delay_s,
@@ -115,7 +131,14 @@ class SatService:
             raise ServeError("shutdown", "service is closed",
                              request_id=request.request_id)
         resolved = self._resolve(request)
-        return self.batcher.submit(request, resolved)
+        # Tracer resolution mirrors config resolution: the submitting
+        # thread's ambient tracer wins; the service-level tracer is the
+        # fallback for bare client threads (context vars don't cross
+        # thread spawns).  None -> untraced, the guarded no-op path.
+        tracer = current_tracer()
+        if tracer is None:
+            tracer = self.tracer
+        return self.batcher.submit(request, resolved, tracer=tracer)
 
     def _resolve(self, request: ServeRequest) -> ExecutionConfig:
         """Resolve the request's execution modes on the calling thread."""
@@ -182,12 +205,18 @@ class SatService:
         shared their launch with at least one other request — the
         figure of merit for the batcher (a same-shape stream should
         exceed 0.5 easily; see ``benchmarks/bench_serve.py``).
+
+        ``latency_quantiles`` carries live bucketed p50/p95/p99 for the
+        request-latency and batch-wait histograms; ``slo`` (when a
+        tracker is configured) reports each objective's burn rates and
+        ok/warning/breach state — every ``stats()`` call advances the
+        tracker's sampling window.
         """
         m = get_metrics()
         responses = m.counter_total("serve.responses")
         coalesced = m.counter_total("serve.coalesced_requests")
         cache = self.engine.cache
-        return {
+        out = {
             "requests": m.counter_total("serve.requests"),
             "responses": responses,
             "errors": m.counter_total("serve.errors"),
@@ -202,13 +231,23 @@ class SatService:
                 "evictions": cache.evictions,
                 "hit_rate": cache.hit_rate,
             },
+            "latency_quantiles": {
+                "request_latency_us":
+                    m.histogram("serve.request_latency_us").percentiles(),
+                "batch_wait_us":
+                    m.histogram("serve.batch_wait_us").percentiles(),
+            },
             "metrics": m.snapshot(prefix="serve."),
         }
+        if self.slo is not None:
+            out["slo"] = self.slo.evaluate()
+        return out
 
     # -- HTTP facade -----------------------------------------------------
     def start_http(self, port: int = 0,
                    host: str = "127.0.0.1") -> Tuple[str, int]:
-        """Serve ``GET /health`` and ``GET /stats`` as JSON over HTTP.
+        """Serve ``GET /health``, ``GET /stats`` (JSON) and
+        ``GET /metrics`` (Prometheus text exposition) over HTTP.
 
         ``port=0`` binds an ephemeral port; returns ``(host, port)``.
         """
@@ -220,15 +259,26 @@ class SatService:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - http.server API
                 routes = {"/health": service.health, "/stats": service.stats}
-                fn = routes.get(self.path.split("?", 1)[0])
-                if fn is None:
-                    body = json.dumps({"error": "not found",
-                                       "routes": sorted(routes)}).encode()
-                    self.send_response(404)
-                else:
-                    body = json.dumps(fn()).encode()
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    # Prometheus text exposition of the whole registry —
+                    # a scrape target for any stock collector.
+                    body = to_prometheus(get_metrics()).encode()
                     self.send_response(200)
-                self.send_header("Content-Type", "application/json")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                else:
+                    ctype = "application/json"
+                    fn = routes.get(path)
+                    if fn is None:
+                        body = json.dumps({
+                            "error": "not found",
+                            "routes": sorted(routes) + ["/metrics"],
+                        }).encode()
+                        self.send_response(404)
+                    else:
+                        body = json.dumps(fn()).encode()
+                        self.send_response(200)
+                self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)

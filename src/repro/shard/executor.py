@@ -49,6 +49,7 @@ from ..engine.scheduler import TilePlan, TileScheduler
 from ..exec.registry import get_kernel_spec
 from ..gpusim.device import get_device, parse_device_set
 from ..gpusim.stream import D2D_ALPHA, D2D_BW, H2D_BW, DeviceSet, SimDevice
+from ..obs.context import timeline_add
 from ..obs.metrics import get_metrics
 from ..obs.trace import resolve_tracer
 from ..sat.common import SatRun
@@ -442,6 +443,10 @@ def sharded_sat(
     m.counter("shard.runs", algorithm=algorithm).inc()
     m.counter("shard.tiles", algorithm=algorithm).inc(plan.n_tiles)
     m.counter("shard.carry_ops").inc(carry_ops)
+    # Serving-timeline attribution: modeled carry + copy time a sharded
+    # request spent off the kernel path (no-op outside a serve request).
+    timeline_add("shard_carry_us", (cb + pb) * 1e6)
+    timeline_add("shard_kernel_us", kb * 1e6)
     m.counter("shard.lookback.steps").inc(row_stats.steps + col_stats.steps)
     m.counter("shard.lookback.deferred").inc(
         row_stats.deferred + col_stats.deferred

@@ -33,8 +33,41 @@ class TestInstruments:
         for v in (2.0, 8.0, 5.0):
             h.observe(v)
         s = h.summary()
-        assert s == {"count": 3, "sum": 15.0, "min": 2.0, "max": 8.0, "mean": 5.0}
-        assert reg.histogram("empty").summary()["count"] == 0
+        assert s["count"] == 3 and s["sum"] == 15.0
+        assert s["min"] == 2.0 and s["max"] == 8.0 and s["mean"] == 5.0
+        # Bucketed quantile estimates live alongside the exact moments;
+        # they are accurate to one log-bucket width (~19%) and clamped to
+        # the observed range.
+        assert 2.0 <= s["p50"] <= 8.0
+        assert s["p50"] <= s["p95"] <= s["p99"] <= 8.0
+        empty = reg.histogram("empty").summary()
+        assert empty["count"] == 0 and empty["p99"] == 0.0
+
+    def test_histogram_quantiles_track_exact(self):
+        import numpy as np
+
+        from repro.obs.quantiles import GROWTH
+
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=3.0, sigma=0.8, size=5000)
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in values:
+            h.observe(float(v))
+        for q, exact in zip((0.5, 0.95, 0.99),
+                            np.percentile(values, [50, 95, 99])):
+            est = h.quantile(q)
+            # One log-bucket of relative error, by construction.
+            assert exact / GROWTH <= est <= exact * GROWTH
+
+    def test_histogram_count_below(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 10.0, 100.0, 1000.0):
+            h.observe(v)
+        assert h.count_below(0.5) == 0
+        assert h.count_below(15.0) == 2
+        assert h.count_below(5000.0) == 4
 
     def test_labels_separate_series(self):
         reg = MetricsRegistry()

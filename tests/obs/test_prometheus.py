@@ -1,0 +1,114 @@
+"""Prometheus text exposition: rendering and the format validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.exporters import to_prometheus, validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import bucket_bounds, bucket_index
+
+
+def _lines(text):
+    return [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+
+
+class TestRendering:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", kind="sat").inc(3)
+        text = to_prometheus(reg)
+        assert '# TYPE serve_requests_total counter' in text
+        assert 'serve_requests_total{kind="sat"} 3' in text
+
+    def test_gauge_keeps_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(5)
+        text = to_prometheus(reg)
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 5" in text
+
+    def test_dots_and_dashes_become_underscores(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c.d").inc()
+        assert "a_b_c_d_total 1" in to_prometheus(reg)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x", msg='say "hi"\nplease').inc()
+        text = to_prometheus(reg)
+        assert r'msg="say \"hi\"\nplease"' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_histogram_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 10.0, 10.0, 100.0):
+            h.observe(v)
+        text = to_prometheus(reg)
+        assert "# TYPE lat histogram" in text
+        bucket_lines = [ln for ln in _lines(text)
+                        if ln.startswith("lat_bucket")]
+        # Cumulative counts, non-decreasing, ending at +Inf == count.
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert counts[-1] == 4.0
+        assert "lat_sum 121" in text
+        assert "lat_count 4" in text
+
+    def test_histogram_bucket_bounds_match_quantile_module(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(42.0)
+        text = to_prometheus(reg)
+        upper = bucket_bounds(bucket_index(42.0))[1]
+        assert f'le="{upper}"' in text or f'le="{upper:g}"' in text
+
+    def test_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc()
+        reg.counter("engine.batches").inc()
+        text = to_prometheus(reg, prefix="serve.")
+        assert "serve_requests_total" in text
+        assert "engine_batches_total" not in text
+
+    def test_output_is_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", kind="sat").inc(2)
+        reg.gauge("serve.queue_depth", bucket="b0").set(1)
+        for v in (5.0, 50.0, 500.0):
+            reg.histogram("serve.request_latency_us").observe(v)
+        assert validate_prometheus_text(to_prometheus(reg)) == []
+
+
+class TestValidator:
+    def test_rejects_bad_sample_line(self):
+        assert validate_prometheus_text("not a metric line at all!\n")
+
+    def test_rejects_untyped_after_typed_family(self):
+        text = ("# TYPE x counter\n"
+                "x_total 1\n"
+                "x_total{ 2\n")
+        assert validate_prometheus_text(text)
+
+    def test_rejects_histogram_missing_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 1\n'
+                "h_sum 1\n"
+                "h_count 1\n")
+        problems = validate_prometheus_text(text)
+        assert any("Inf" in p for p in problems)
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 5\n'
+                'h_bucket{le="2.0"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 9\n"
+                "h_count 5\n")
+        problems = validate_prometheus_text(text)
+        assert any("cumulative" in p.lower() or "decreas" in p.lower()
+                   for p in problems)
+
+    def test_accepts_empty(self):
+        assert validate_prometheus_text("") == []

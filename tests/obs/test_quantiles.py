@@ -1,0 +1,97 @@
+"""The shared quantile helpers: exact percentiles and log buckets.
+
+The contract tying live telemetry to the offline harness: the bucketed
+estimate of any quantile is within one log-bucket width (a factor of
+``GROWTH`` ~ 1.19) of the exact value computed over the same samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.quantiles import (
+    DEFAULT_PERCENTILES,
+    GROWTH,
+    UNDERFLOW_INDEX,
+    bucket_bounds,
+    bucket_index,
+    bucket_quantile,
+    bucket_quantiles,
+    percentiles,
+)
+
+
+class TestExactPercentiles:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        vals = list(rng.exponential(10.0, size=500))
+        out = percentiles(vals, (50.0, 95.0, 99.0))
+        want = np.percentile(vals, [50, 95, 99])
+        assert out["p50"] == pytest.approx(want[0])
+        assert out["p95"] == pytest.approx(want[1])
+        assert out["p99"] == pytest.approx(want[2])
+
+    def test_empty_is_empty(self):
+        assert percentiles([], DEFAULT_PERCENTILES) == {}
+
+    def test_key_format(self):
+        out = percentiles([1.0, 2.0], (50.0, 99.9))
+        assert set(out) == {"p50", "p99.9"}
+
+
+class TestBuckets:
+    def test_index_brackets_value(self):
+        # bucket_index and bucket_bounds share the same log computation;
+        # allow one ulp of float-pow slack at the boundaries.
+        for v in (0.001, 0.5, 1.0, 2.0, 3.7, 100.0, 1e7):
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert lo * (1 - 1e-9) < v <= hi * (1 + 1e-9)
+
+    def test_index_is_monotone(self):
+        vals = [0.01, 0.1, 1.0, 1.2, 5.0, 50.0, 1e4]
+        idx = [bucket_index(v) for v in vals]
+        assert idx == sorted(idx)
+
+    def test_nonpositive_underflows(self):
+        assert bucket_index(0.0) == UNDERFLOW_INDEX
+        assert bucket_index(-5.0) == UNDERFLOW_INDEX
+
+    def test_bucket_width_is_growth(self):
+        lo, hi = bucket_bounds(bucket_index(42.0))
+        assert hi / lo == pytest.approx(GROWTH)
+
+
+class TestBucketQuantile:
+    @staticmethod
+    def _fill(values):
+        buckets = {}
+        for v in values:
+            i = bucket_index(v)
+            buckets[i] = buckets.get(i, 0) + 1
+        return buckets
+
+    def test_within_one_bucket_of_exact(self):
+        rng = np.random.default_rng(3)
+        vals = rng.lognormal(mean=4.0, sigma=1.0, size=20_000)
+        buckets = self._fill(vals)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(vals, q))
+            est = bucket_quantile(buckets, q)
+            assert exact / GROWTH <= est <= exact * GROWTH
+
+    def test_empty_is_zero(self):
+        assert bucket_quantile({}, 0.5) == 0.0
+
+    def test_clamped_to_observed_range(self):
+        vals = [10.0, 11.0, 12.0, 13.0]
+        buckets = self._fill(vals)
+        lo = bucket_quantile(buckets, 0.0, lo=10.0, hi=13.0)
+        hi = bucket_quantile(buckets, 1.0, lo=10.0, hi=13.0)
+        assert lo >= 10.0 and hi <= 13.0
+
+    def test_bucket_quantiles_keys(self):
+        buckets = self._fill([1.0, 2.0, 3.0])
+        out = bucket_quantiles(buckets, DEFAULT_PERCENTILES)
+        assert set(out) == {"p50", "p95", "p99"}
+        assert out["p50"] <= out["p95"] <= out["p99"]

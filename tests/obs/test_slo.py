@@ -1,0 +1,231 @@
+"""SLO objectives and multi-window burn-rate classification.
+
+The tracker is a pure reader over a MetricsRegistry with an injectable
+clock, so the ok -> warning -> breach ladder is driven deterministically:
+feed good traffic to build window history, then inject failures and
+advance the fake clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloObjective, SloTracker, default_objectives
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _tracker(registry, **kwargs):
+    clock = FakeClock(0.0)
+    kwargs.setdefault("short_window_s", 60.0)
+    kwargs.setdefault("long_window_s", 600.0)
+    tr = SloTracker(registry=registry, clock=clock, **kwargs)
+    return tr, clock
+
+
+def _traffic(reg, ok: int = 0, errors: int = 0, coalesced: int = 0,
+             latency_us: float = 10_000.0):
+    for _ in range(ok):
+        reg.counter("serve.responses").inc()
+        reg.histogram("serve.request_latency_us").observe(latency_us)
+    for _ in range(coalesced):
+        reg.counter("serve.coalesced_requests").inc()
+    for _ in range(errors):
+        reg.counter("serve.errors").inc()
+
+
+class TestObjective:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="nope", target=0.9)
+
+    def test_target_range(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="coalesce", target=1.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="latency", target=0.9)
+
+    def test_budget(self):
+        ob = SloObjective(name="x", kind="coalesce", target=0.95)
+        assert ob.budget == pytest.approx(0.05)
+
+    def test_latency_counts_use_bucketed_histogram(self):
+        reg = MetricsRegistry()
+        for us in (10.0, 100.0, 1000.0, 100000.0):
+            reg.histogram("serve.request_latency_us").observe(us)
+        ob = SloObjective(name="lat", kind="latency", target=0.9,
+                          threshold_us=5000.0)
+        good, total = ob.counts(reg)
+        assert (good, total) == (3.0, 4.0)
+
+    def test_error_rate_counts(self):
+        reg = MetricsRegistry()
+        _traffic(reg, ok=9, errors=1)
+        ob = SloObjective(name="avail", kind="error_rate", target=0.99)
+        assert ob.counts(reg) == (9.0, 10.0)
+
+    def test_coalesce_counts(self):
+        reg = MetricsRegistry()
+        _traffic(reg, ok=10, coalesced=7)
+        ob = SloObjective(name="co", kind="coalesce", target=0.5)
+        assert ob.counts(reg) == (7.0, 10.0)
+
+
+class TestFromConfig:
+    def test_none_and_false_disable(self):
+        assert SloTracker.from_config(None) is None
+        assert SloTracker.from_config(False) is None
+
+    def test_true_gives_defaults(self):
+        tr = SloTracker.from_config(True)
+        assert [o.kind for o in tr.objectives] == ["latency", "error_rate",
+                                                   "coalesce"]
+
+    def test_tracker_passes_through(self):
+        tr = SloTracker()
+        assert SloTracker.from_config(tr) is tr
+
+    def test_mapping_splits_objective_and_tracker_knobs(self):
+        tr = SloTracker.from_config({
+            "latency_threshold_us": 50_000.0,
+            "short_window_s": 10.0,
+            "long_window_s": 100.0,
+        })
+        lat = next(o for o in tr.objectives if o.kind == "latency")
+        assert lat.threshold_us == 50_000.0
+        assert tr.short_window_s == 10.0
+
+    def test_mapping_with_explicit_objectives(self):
+        obs = [SloObjective(name="co", kind="coalesce", target=0.5)]
+        tr = SloTracker.from_config({"objectives": obs})
+        assert tr.objectives == obs
+
+    def test_objectives_and_knobs_conflict(self):
+        obs = [SloObjective(name="co", kind="coalesce", target=0.5)]
+        with pytest.raises(ValueError):
+            SloTracker.from_config({"objectives": obs,
+                                    "latency_target": 0.9})
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            SloTracker(short_window_s=600.0, long_window_s=60.0)
+
+
+class TestBurnRates:
+    def test_zero_traffic_is_ok(self):
+        reg = MetricsRegistry()
+        tr, clock = _tracker(reg)
+        ev = tr.evaluate()
+        assert ev["state"] == "ok"
+        for ob in ev["objectives"].values():
+            assert ob["burn_short"] == 0.0 and ob["burn_long"] == 0.0
+
+    def test_burn_one_consumes_budget_at_par(self):
+        reg = MetricsRegistry()
+        objectives = [SloObjective(name="avail", kind="error_rate",
+                                   target=0.9)]
+        tr, clock = _tracker(reg, objectives=objectives)
+        tr.sample()
+        # Exactly the budgeted bad fraction: 1 error in 10 vs budget 0.1.
+        _traffic(reg, ok=9, errors=1)
+        clock.t = 30.0
+        ev = tr.evaluate()
+        ob = ev["objectives"]["avail"]
+        assert ob["burn_short"] == pytest.approx(1.0)
+        assert ob["state"] == "warning"  # short at par, long still fine
+
+    def test_ok_to_warning_to_breach_ladder(self):
+        reg = MetricsRegistry()
+        objectives = [SloObjective(name="avail", kind="error_rate",
+                                   target=0.9)]
+        tr, clock = _tracker(reg, objectives=objectives,
+                             short_window_s=60.0, long_window_s=600.0)
+
+        # Phase 1 — healthy history filling both windows: state ok.
+        for step in range(0, 700, 50):
+            clock.t = float(step)
+            _traffic(reg, ok=10)
+            assert tr.evaluate()["state"] == "ok"
+
+        # Phase 2 — a short burst of failures: the short window burns
+        # hot but the long window still holds history -> warning.
+        clock.t = 710.0
+        _traffic(reg, ok=5, errors=5)
+        ev = tr.evaluate()
+        ob = ev["objectives"]["avail"]
+        assert ob["burn_short"] > 2.0
+        assert ob["burn_long"] < 2.0
+        assert ev["state"] == "warning"
+
+        # Phase 3 — failures sustained across the long window: breach.
+        for step in range(720, 1400, 50):
+            clock.t = float(step)
+            _traffic(reg, ok=5, errors=5)
+        ev = tr.evaluate()
+        ob = ev["objectives"]["avail"]
+        assert ob["burn_short"] >= 2.0 and ob["burn_long"] >= 2.0
+        assert ev["state"] == "breach"
+
+        # Phase 4 — recovery: clean traffic ages the faults out of the
+        # short window first (warning clears before the long burn does).
+        for step in range(1400, 1600, 25):
+            clock.t = float(step)
+            _traffic(reg, ok=20)
+        ev = tr.evaluate()
+        assert ev["objectives"]["avail"]["burn_short"] < 1.0
+        assert ev["state"] == "ok"
+
+    def test_worst_objective_wins(self):
+        reg = MetricsRegistry()
+        tr, clock = _tracker(reg, objectives=[
+            SloObjective(name="avail", kind="error_rate", target=0.9),
+            SloObjective(name="co", kind="coalesce", target=0.5),
+        ])
+        tr.sample()
+        _traffic(reg, ok=10, errors=10, coalesced=10)  # avail burns, co fine
+        clock.t = 30.0
+        ev = tr.evaluate()
+        assert ev["objectives"]["co"]["state"] == "ok"
+        assert ev["objectives"]["avail"]["state"] != "ok"
+        assert ev["state"] == ev["objectives"]["avail"]["state"]
+
+    def test_history_pruned_to_long_window(self):
+        reg = MetricsRegistry()
+        tr, clock = _tracker(reg, short_window_s=10.0, long_window_s=100.0)
+        for step in range(0, 2000, 10):
+            clock.t = float(step)
+            tr.sample()
+        # Bounded: everything older than the long window is dropped,
+        # except one sample kept as the left edge.
+        assert len(tr._samples) <= 12
+
+    def test_evaluate_payload_shape(self):
+        reg = MetricsRegistry()
+        tr, clock = _tracker(reg)
+        _traffic(reg, ok=4, coalesced=4)
+        ev = tr.evaluate()
+        assert set(ev) == {"state", "windows", "factors", "objectives"}
+        for name, ob in ev["objectives"].items():
+            assert {"kind", "target", "budget", "good", "total",
+                    "good_fraction", "burn_short", "burn_long",
+                    "state"} <= set(ob)
+
+
+def test_default_objectives_knobs():
+    obs = default_objectives(latency_threshold_us=5_000.0,
+                             latency_target=0.8, error_target=0.99,
+                             coalesce_target=0.25)
+    by_kind = {o.kind: o for o in obs}
+    assert by_kind["latency"].threshold_us == 5_000.0
+    assert by_kind["latency"].target == 0.8
+    assert by_kind["error_rate"].target == 0.99
+    assert by_kind["coalesce"].target == 0.25
